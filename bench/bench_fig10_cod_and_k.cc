@@ -1,0 +1,88 @@
+// Figure 10: (left) coefficient of determination R² = 1 − s of LLM vs REG
+// vs PLR as a function of the number of prototypes K on R1; (right) the
+// number of prototypes K produced by each coefficient a for d ∈ {2, 3, 5}.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qreg {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  PrintHeader("bench_fig10_cod_and_k",
+              "Figure 10: CoD R^2 vs prototypes K (left), K vs a (right), R1",
+              env);
+
+  const int64_t cap = std::min<int64_t>(env.train_cap, 15000);
+  const int64_t m = 12;
+
+  // Left: CoD vs K for d ∈ {2, 5}; K is swept indirectly through a.
+  for (size_t d : {2UL, 5UL}) {
+    DataBundle bundle = MakeR1Bundle(d, env.rows_r1, env.seed + d);
+    util::TablePrinter table(
+        {"a", "K", "CoD_LLM", "CoD_REG", "CoD_PLR", "FVU_LLM"});
+    double reg_cod = 0.0, plr_cod = 0.0;
+    bool baselines_done = false;
+    const std::vector<double> a_sweep =
+        d >= 4 ? std::vector<double>{0.9, 0.5, 0.3, 0.2, 0.12, 0.1}
+               : std::vector<double>{0.9, 0.5, 0.3, 0.2, 0.12, 0.08, 0.05};
+    const double theta_scale = d >= 4 ? 1.5 : 3.0;
+    for (double a : a_sweep) {
+      TrainedModel tm = TrainLlm(bundle, a, 0.01, cap,
+                                 env.seed + static_cast<uint64_t>(1000 * a));
+      const int32_t plr_terms =
+          std::min<int32_t>(2 * tm.model->num_prototypes() + 1, 21);
+      Q2Eval q2 = EvalQ2(*tm.model, bundle, m, env.seed + 17,
+                         /*eval_plr=*/!baselines_done, plr_terms,
+                         theta_scale);
+      if (!baselines_done) {
+        reg_cod = q2.reg_cod;
+        plr_cod = q2.plr_cod;
+        baselines_done = true;
+      }
+      table.AddRow({util::Format("%.2f", a),
+                    util::Format("%d", tm.model->num_prototypes()),
+                    util::Format("%.4f", q2.llm_cod),
+                    util::Format("%.4f", reg_cod),
+                    util::Format("%.4f", plr_cod),
+                    util::Format("%.4f", q2.llm_fvu)});
+    }
+    EmitTable("fig10", util::Format("cod_vs_k_d%zu", d), table, env);
+  }
+
+  // Right: K vs a for d ∈ {2, 3, 5}.
+  util::TablePrinter ktab({"a", "K_d2", "K_d3", "K_d5"});
+  std::vector<double> a_values{0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.9};
+  std::vector<std::vector<std::string>> rows(a_values.size());
+  for (size_t ai = 0; ai < a_values.size(); ++ai) {
+    rows[ai].push_back(util::Format("%.2f", a_values[ai]));
+  }
+  for (size_t d : {2UL, 3UL, 5UL}) {
+    DataBundle bundle = MakeR1Bundle(d, env.rows_r1, env.seed + 3 * d);
+    for (size_t ai = 0; ai < a_values.size(); ++ai) {
+      TrainedModel tm =
+          TrainLlm(bundle, a_values[ai], 0.01, cap, env.seed + 41 * d + ai);
+      rows[ai].push_back(util::Format("%d", tm.model->num_prototypes()));
+    }
+  }
+  for (auto& row : rows) ktab.AddRow(row);
+  EmitTable("fig10", "k_vs_a", ktab, env);
+
+  std::cout << "\npaper shape check: CoD_LLM rises with K and beats REG (whose\n"
+               "CoD can be low/negative on non-linear subspaces); PLR tops the\n"
+               "CoD chart; K falls monotonically as a grows.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qreg
+
+int main() {
+  qreg::bench::Run();
+  return 0;
+}

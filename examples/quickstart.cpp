@@ -1,0 +1,78 @@
+// Quickstart: the full qreg loop in ~80 lines.
+//
+//   1. load a relation of (x, u) rows into the storage engine;
+//   2. run exact mean-value (Q1) and regression (Q2) queries against it;
+//   3. train the query-driven LLM model from executed queries;
+//   4. answer the same query types from the model alone — no data access.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/llm_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "storage/kdtree.h"
+
+using namespace qreg;
+
+int main() {
+  // 1. A 2-attribute dataset with a non-linear dependency u = g(x1, x2).
+  auto dataset = data::MakeR1(/*d=*/2, /*n=*/50000, /*seed=*/1);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  storage::KdTree index(dataset->table);          // dNN selection access path
+  query::ExactEngine engine(dataset->table, index);
+
+  // 2. One exact analytics query: mean of u within radius 0.15 of (0.4, 0.6).
+  query::Query q({0.4, 0.6}, 0.15);
+  auto exact = engine.MeanValue(q);
+  auto exact_fit = engine.Regression(q);
+  if (!exact.ok() || !exact_fit.ok()) {
+    std::fprintf(stderr, "exact query failed\n");
+    return 1;
+  }
+  std::printf("exact Q1  : mean(u | D) = %.4f over %lld tuples\n", exact->mean,
+              static_cast<long long>(exact->count));
+  std::printf("exact Q2  : u ~ %.3f + %.3f x1 + %.3f x2  (CoD %.3f)\n",
+              exact_fit->intercept, exact_fit->slope[0], exact_fit->slope[1],
+              exact_fit->CoD());
+
+  // 3. Train the model from (query, answer) streams (Figure 2 of the paper).
+  core::LlmModel model(core::LlmConfig::ForDimension(2, /*a=*/0.1));
+  core::TrainerConfig tcfg;
+  tcfg.max_pairs = 20000;
+  core::Trainer trainer(engine, tcfg);
+  query::WorkloadGenerator workload(
+      query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.05, /*seed=*/7));
+  auto report = trainer.Train(&workload, &model);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntrained   : %s\n", model.Summary().c_str());
+  std::printf("            %lld pairs, converged=%s, %.1f%% of time in the DBMS\n",
+              static_cast<long long>(report->pairs_used),
+              report->converged ? "yes" : "no",
+              100.0 * report->QueryExecFraction());
+
+  // 4. Answer the same queries from the model — no table access at all.
+  auto predicted = model.PredictMean(q);
+  std::printf("\nmodel Q1  : %.4f (exact %.4f)\n", predicted.value_or(0.0),
+              exact->mean);
+
+  auto pieces = model.RegressionQuery(q);
+  if (pieces.ok()) {
+    std::printf("model Q2  : %zu local linear model(s) over D(x, theta):\n",
+                pieces->size());
+    for (const core::LocalLinearModel& m : *pieces) {
+      std::printf("            u ~ %.3f + %.3f x1 + %.3f x2   (weight %.2f)\n",
+                  m.intercept, m.slope[0], m.slope[1], m.weight);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Sensor-array exploration: an R1-style workflow on 6 attributes.
+//
+// A chemometrics team explores which operating sub-regions of a 6-channel
+// gas-sensor array respond linearly (paper desiderata D1-D3): they sweep
+// subspaces, ask the model where linear approximations fit well, and only
+// fall back to the (expensive) exact engine where the model flags poor fit.
+//
+// Build & run:  ./build/examples/sensor_exploration
+
+#include <cstdio>
+
+#include "core/llm_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "eval/fvu_eval.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "storage/kdtree.h"
+
+using namespace qreg;
+
+int main() {
+  const size_t d = 6;
+  auto dataset = data::MakeR1(d, 150000, /*seed=*/11);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  storage::KdTree index(dataset->table);
+  query::ExactEngine engine(dataset->table, index);
+
+  // Train from an exploration session over the array's operating envelope.
+  core::LlmModel model(core::LlmConfig::ForDimension(d, /*a=*/0.12, 0.01));
+  core::TrainerConfig tcfg;
+  tcfg.max_pairs = 30000;
+  tcfg.min_pairs = 10000;
+  core::Trainer trainer(engine, tcfg);
+  query::WorkloadGenerator session(
+      query::WorkloadConfig::Cube(d, 0.0, 1.0, 0.25, 0.05, 13));
+  auto report = trainer.Train(&session, &model);
+  if (!report.ok()) return 1;
+  std::printf("%s\n", model.Summary().c_str());
+
+  // Sweep a line of probe subspaces through the envelope and rank them by
+  // the model's goodness of fit — all without touching the table.
+  std::printf("\nprobe sweep (radius 0.3 balls along the channel-1 axis):\n");
+  std::printf("%-26s %8s %10s %12s\n", "center", "pieces", "model_CoD",
+              "exact_CoD");
+  for (double c1 : {0.15, 0.3, 0.45, 0.6, 0.75, 0.9}) {
+    std::vector<double> center(d, 0.5);
+    center[0] = c1;
+    query::Query probe(center, 0.3);
+
+    auto pieces = model.RegressionQuery(probe);
+    if (!pieces.ok()) continue;
+
+    // The analyst validates the model's two most promising probes exactly.
+    auto ids = engine.Select(probe);
+    double exact_cod = 0.0;
+    double model_cod = 0.0;
+    if (!ids.empty()) {
+      // Pooled CoD of the combined piecewise predictor: the stable summary
+      // for an analyst (per-piece FVUs are noisy for tiny pieces).
+      auto pw = eval::EvaluatePiecewiseFvu(model, probe, dataset->table, ids);
+      if (pw.ok()) model_cod = 1.0 - pw->pooled_fvu;
+      auto reg = engine.Regression(probe);
+      if (reg.ok()) exact_cod = reg->CoD();
+    }
+    std::printf("(%.2f, 0.5, ..., 0.5)      %8zu %10.3f %12.3f\n", c1,
+                pieces->size(), model_cod, exact_cod);
+  }
+
+  // Inspect the strongest local dependency the model found near one probe.
+  std::vector<double> center(d, 0.5);
+  query::Query probe(center, 0.3);
+  auto pieces = model.RegressionQuery(probe);
+  if (pieces.ok() && !pieces->empty()) {
+    const core::LocalLinearModel& top = (*pieces)[0];
+    std::printf("\nstrongest local model near the envelope center:\n  u ~ %.3f",
+                top.intercept);
+    for (size_t j = 0; j < d; ++j) std::printf(" %+.3f*x%zu", top.slope[j], j + 1);
+    std::printf("\n  -> channel sensitivities (|slope|) rank the attributes'\n"
+                "     local statistical significance (paper Section I).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/drift.h"
+
+#include <cmath>
+
+namespace qreg {
+namespace core {
+
+util::Result<double> DriftMonitor::MeasureRmse(const LlmModel& model,
+                                               const query::ExactEngine& engine,
+                                               query::WorkloadGenerator* workload,
+                                               int64_t* used) const {
+  if (workload == nullptr) return util::Status::InvalidArgument("null workload");
+  double sse = 0.0;
+  int64_t n = 0;
+  int64_t attempts = 0;
+  while (n < config_.probe_queries && attempts < 50 * config_.probe_queries) {
+    ++attempts;
+    const query::Query q = workload->Next();
+    auto exact = engine.MeanValue(q);
+    if (!exact.ok()) continue;  // empty subspace: nothing to compare
+    QREG_ASSIGN_OR_RETURN(double pred, model.PredictMean(q));
+    sse += (exact->mean - pred) * (exact->mean - pred);
+    ++n;
+  }
+  if (n == 0) {
+    return util::Status::FailedPrecondition(
+        "no probe query selected a non-empty subspace");
+  }
+  if (used != nullptr) *used = n;
+  return std::sqrt(sse / static_cast<double>(n));
+}
+
+util::Status DriftMonitor::Calibrate(const LlmModel& model,
+                                     const query::ExactEngine& engine,
+                                     query::WorkloadGenerator* workload) {
+  int64_t used = 0;
+  QREG_ASSIGN_OR_RETURN(baseline_rmse_, MeasureRmse(model, engine, workload, &used));
+  calibrated_ = true;
+  return util::Status::OK();
+}
+
+util::Result<DriftReport> DriftMonitor::Probe(
+    const LlmModel& model, const query::ExactEngine& engine,
+    query::WorkloadGenerator* workload) const {
+  if (!calibrated_) {
+    return util::Status::FailedPrecondition("Calibrate() before Probe()");
+  }
+  DriftReport report;
+  QREG_ASSIGN_OR_RETURN(
+      report.rmse, MeasureRmse(model, engine, workload, &report.queries_used));
+  report.baseline_rmse = baseline_rmse_;
+  const double threshold = std::max(config_.absolute_threshold,
+                                    config_.degradation_factor * baseline_rmse_);
+  report.drifted = report.rmse > threshold;
+  return report;
+}
+
+util::Result<TrainingReport> DriftMonitor::Retrain(
+    LlmModel* model, const query::ExactEngine& engine,
+    query::WorkloadGenerator* workload, int64_t max_pairs) const {
+  if (model == nullptr) return util::Status::InvalidArgument("null model");
+  model->Unfreeze();
+  // Stale prototypes carry near-zero learning rates; restore plasticity so
+  // Algorithm 1 can actually track the new regime.
+  model->ResetPlasticity();
+  TrainerConfig tc;
+  tc.max_pairs = max_pairs;
+  tc.min_pairs = std::min<int64_t>(max_pairs, 200);
+  Trainer trainer(engine, tc);
+  return trainer.Train(workload, model);
+}
+
+}  // namespace core
+}  // namespace qreg

@@ -1,0 +1,81 @@
+// Adaptation to data updates — the paper's closing future-work item.
+//
+// A trained (frozen) model silently goes stale when the underlying relation
+// changes (appends, upserts, regime shifts). DriftMonitor probes the model
+// against fresh exact answers, reports the current prediction error, and —
+// when the error exceeds a calibrated threshold — re-opens the model so the
+// trainer can continue Algorithm 1 on the new data distribution.
+
+#ifndef QREG_CORE_DRIFT_H_
+#define QREG_CORE_DRIFT_H_
+
+#include <cstdint>
+
+#include "core/llm_model.h"
+#include "core/trainer.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace core {
+
+/// \brief Drift-probe parameters.
+struct DriftConfig {
+  /// Fresh queries to execute exactly per probe.
+  int64_t probe_queries = 200;
+  /// Drift is declared when the probe RMSE exceeds
+  /// max(absolute_threshold, degradation_factor * baseline_rmse).
+  double absolute_threshold = 0.0;
+  double degradation_factor = 2.0;
+};
+
+/// \brief Outcome of one drift probe.
+struct DriftReport {
+  double rmse = 0.0;           ///< Probe RMSE of the model vs exact answers.
+  double baseline_rmse = 0.0;  ///< RMSE recorded at calibration time.
+  bool drifted = false;
+  int64_t queries_used = 0;
+};
+
+/// \brief Probes a model against the (possibly changed) exact engine.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftConfig config) : config_(config) {}
+
+  /// Establishes the baseline RMSE right after training (on the engine the
+  /// model was trained against).
+  util::Status Calibrate(const LlmModel& model, const query::ExactEngine& engine,
+                         query::WorkloadGenerator* workload);
+
+  /// Measures the current RMSE and compares it with the calibrated baseline.
+  util::Result<DriftReport> Probe(const LlmModel& model,
+                                  const query::ExactEngine& engine,
+                                  query::WorkloadGenerator* workload) const;
+
+  /// Convenience recovery path: unfreezes the model and resumes Algorithm 1
+  /// against the (updated) engine until re-convergence or `max_pairs`.
+  /// Returns the retraining report.
+  util::Result<TrainingReport> Retrain(LlmModel* model,
+                                       const query::ExactEngine& engine,
+                                       query::WorkloadGenerator* workload,
+                                       int64_t max_pairs) const;
+
+  double baseline_rmse() const { return baseline_rmse_; }
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  util::Result<double> MeasureRmse(const LlmModel& model,
+                                   const query::ExactEngine& engine,
+                                   query::WorkloadGenerator* workload,
+                                   int64_t* used) const;
+
+  DriftConfig config_;
+  double baseline_rmse_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace core
+}  // namespace qreg
+
+#endif  // QREG_CORE_DRIFT_H_

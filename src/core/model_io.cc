@@ -1,0 +1,165 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace core {
+
+namespace {
+constexpr const char* kMagic = "qreg-llm-model";
+constexpr int kVersion = 1;
+}  // namespace
+
+util::Status ModelSerializer::Save(const LlmModel& model, std::ostream* os) {
+  if (os == nullptr) return util::Status::InvalidArgument("null stream");
+  const LlmConfig& c = model.config();
+  *os << kMagic << ' ' << kVersion << '\n';
+  *os << std::setprecision(17);
+  *os << "d " << c.d << '\n';
+  *os << "vigilance " << c.vigilance << '\n';
+  *os << "a " << c.a << '\n';
+  *os << "gamma " << c.gamma << '\n';
+  *os << "schedule " << static_cast<int>(c.schedule) << '\n';
+  *os << "constant_eta " << c.constant_eta << '\n';
+  *os << "coef_power " << c.coef_power << '\n';
+  *os << "slope_shrinkage " << c.slope_shrinkage << '\n';
+  *os << "normalize " << (c.normalize_coef_step ? 1 : 0) << '\n';
+  *os << "prediction " << static_cast<int>(c.prediction) << '\n';
+  *os << "fixed_k " << c.fixed_k << '\n';
+  *os << "seed_y " << (c.seed_y_with_answer ? 1 : 0) << '\n';
+  *os << "window " << c.convergence_window << '\n';
+  *os << "observations " << model.observations() << '\n';
+  *os << "frozen " << (model.frozen() ? 1 : 0) << '\n';
+  *os << "prototypes " << model.num_prototypes() << '\n';
+  for (const Prototype& p : model.prototypes()) {
+    *os << "p";
+    for (double v : p.w.center) *os << ' ' << v;
+    *os << ' ' << p.w.theta << ' ' << p.y;
+    for (double v : p.b_x) *os << ' ' << v;
+    *os << ' ' << p.b_theta << ' ' << p.wins << '\n';
+  }
+  if (!os->good()) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+util::Status ModelSerializer::SaveToFile(const LlmModel& model,
+                                         const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  QREG_RETURN_NOT_OK(Save(model, &out));
+  out.close();
+  if (out.fail()) return util::Status::IoError("close failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<LlmModel> ModelSerializer::Load(std::istream* is) {
+  if (is == nullptr) return util::Status::InvalidArgument("null stream");
+  std::string magic;
+  int version = 0;
+  *is >> magic >> version;
+  if (magic != kMagic) {
+    return util::Status::InvalidArgument("not a qreg model stream");
+  }
+  if (version != kVersion) {
+    return util::Status::NotImplemented(
+        util::Format("unsupported model version %d", version));
+  }
+
+  LlmConfig c;
+  int schedule = 0;
+  int prediction = 0;
+  int seed_y = 0;
+  int frozen = 0;
+  int64_t observations = 0;
+  int32_t num_prototypes = 0;
+  std::string key;
+
+  auto expect = [&](const char* want) -> util::Status {
+    if (key != want) {
+      return util::Status::InvalidArgument(
+          util::Format("expected field '%s', found '%s'", want, key.c_str()));
+    }
+    return util::Status::OK();
+  };
+
+  *is >> key >> c.d;
+  QREG_RETURN_NOT_OK(expect("d"));
+  *is >> key >> c.vigilance;
+  QREG_RETURN_NOT_OK(expect("vigilance"));
+  *is >> key >> c.a;
+  QREG_RETURN_NOT_OK(expect("a"));
+  *is >> key >> c.gamma;
+  QREG_RETURN_NOT_OK(expect("gamma"));
+  *is >> key >> schedule;
+  QREG_RETURN_NOT_OK(expect("schedule"));
+  *is >> key >> c.constant_eta;
+  QREG_RETURN_NOT_OK(expect("constant_eta"));
+  *is >> key >> c.coef_power;
+  QREG_RETURN_NOT_OK(expect("coef_power"));
+  *is >> key >> c.slope_shrinkage;
+  QREG_RETURN_NOT_OK(expect("slope_shrinkage"));
+  int normalize = 0;
+  *is >> key >> normalize;
+  QREG_RETURN_NOT_OK(expect("normalize"));
+  c.normalize_coef_step = normalize != 0;
+  *is >> key >> prediction;
+  QREG_RETURN_NOT_OK(expect("prediction"));
+  *is >> key >> c.fixed_k;
+  QREG_RETURN_NOT_OK(expect("fixed_k"));
+  *is >> key >> seed_y;
+  QREG_RETURN_NOT_OK(expect("seed_y"));
+  *is >> key >> c.convergence_window;
+  QREG_RETURN_NOT_OK(expect("window"));
+  *is >> key >> observations;
+  QREG_RETURN_NOT_OK(expect("observations"));
+  *is >> key >> frozen;
+  QREG_RETURN_NOT_OK(expect("frozen"));
+  *is >> key >> num_prototypes;
+  QREG_RETURN_NOT_OK(expect("prototypes"));
+  if (!is->good()) return util::Status::IoError("truncated model header");
+
+  c.schedule = static_cast<LearningRateSchedule>(schedule);
+  c.prediction = static_cast<PredictionMode>(prediction);
+  c.seed_y_with_answer = seed_y != 0;
+  QREG_RETURN_NOT_OK(c.Validate());
+
+  LlmModel model(c);
+  model.t_ = observations;
+  model.prototypes_.reserve(static_cast<size_t>(num_prototypes));
+  for (int32_t i = 0; i < num_prototypes; ++i) {
+    *is >> key;
+    QREG_RETURN_NOT_OK(expect("p"));
+    Prototype p;
+    p.w.center.resize(c.d);
+    p.b_x.resize(c.d);
+    // The preconditioner's second-moment accumulators are training state;
+    // they are not persisted and re-warm if training resumes.
+    p.input_sq_x.assign(c.d, 0.0);
+    for (size_t j = 0; j < c.d; ++j) *is >> p.w.center[j];
+    *is >> p.w.theta >> p.y;
+    for (size_t j = 0; j < c.d; ++j) *is >> p.b_x[j];
+    *is >> p.b_theta >> p.wins;
+    if (!is->good()) {
+      return util::Status::IoError(
+          util::Format("truncated prototype %d of %d", i, num_prototypes));
+    }
+    model.prototypes_.push_back(std::move(p));
+  }
+  if (frozen != 0) model.Freeze();
+  return model;
+}
+
+util::Result<LlmModel> ModelSerializer::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  return Load(&in);
+}
+
+}  // namespace core
+}  // namespace qreg

@@ -1,0 +1,106 @@
+// A query-space prototype w_k = [x_k, θ_k] together with its Local Linear
+// Mapping (LLM) coefficients (y_k, b_k) — the per-subspace model of
+// Section III-A:
+//
+//   f_k(x, θ) ≈ y_k + b_{X,k} (x − x_k)ᵀ + b_{Θ,k} (θ − θ_k)        (Eq. 5)
+//
+// and, via Theorem 3, the induced local model of the data function g over
+// the data subspace D_k:
+//
+//   g(x) ≈ f_k(x, θ_k) = y_k + b_{X,k} (x − x_k)ᵀ
+//        = (y_k − b_{X,k} x_kᵀ)  +  b_{X,k} xᵀ.
+
+#ifndef QREG_CORE_PROTOTYPE_H_
+#define QREG_CORE_PROTOTYPE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace qreg {
+namespace core {
+
+/// \brief One local linear model of g over a data subspace (an entry of the
+/// Q2 answer list S).
+struct LocalLinearModel {
+  double intercept = 0.0;          ///< u-intercept: y_k − b_{X,k} x_kᵀ.
+  std::vector<double> slope;       ///< u-slope: b_{X,k} (size d).
+  int32_t prototype_id = -1;       ///< Which prototype produced this model.
+  double weight = 0.0;             ///< Normalized overlap δ̃ (0 for fallback).
+
+  /// Predicted data value at x.
+  double Predict(const std::vector<double>& x) const {
+    assert(x.size() == slope.size());
+    double s = intercept;
+    for (size_t i = 0; i < slope.size(); ++i) s += slope[i] * x[i];
+    return s;
+  }
+};
+
+/// \brief Prototype + LLM coefficients (the parameter triplet α_k).
+struct Prototype {
+  query::Query w;                  ///< [x_k, θ_k]: the local expectation query.
+  double y = 0.0;                  ///< y_k: local expectation of the answer.
+  std::vector<double> b_x;         ///< b_{X,k}: slope w.r.t. the center (size d).
+  double b_theta = 0.0;            ///< b_{Θ,k}: slope w.r.t. the radius.
+  int64_t wins = 0;                ///< Times this prototype won a training pair.
+
+  /// Accumulated squared inputs Σ (q_i − w_i)² per coordinate (centers, then
+  /// θ), used to precondition the coefficient SGD step (diagonal NLMS; see
+  /// LlmConfig::normalize_coef_step). Training state only — prediction never
+  /// reads these.
+  std::vector<double> input_sq_x;
+  double input_sq_theta = 0.0;
+
+  Prototype() = default;
+  Prototype(const query::Query& q, double y0)
+      : w(q), y(y0), b_x(q.dimension(), 0.0), input_sq_x(q.dimension(), 0.0) {}
+
+  size_t dimension() const { return w.dimension(); }
+
+  /// LLM output f_k(x, θ) for an arbitrary query (Eq. 12). `slope_scale`
+  /// multiplies the learned slopes (1.0 = the raw LLM; LlmModel passes a
+  /// wins-based shrinkage factor for under-trained prototypes).
+  double PredictQuery(const query::Query& q, double slope_scale = 1.0) const {
+    assert(q.dimension() == dimension());
+    double s = y + slope_scale * b_theta * (q.theta - w.theta);
+    for (size_t i = 0; i < b_x.size(); ++i) {
+      s += slope_scale * b_x[i] * (q.center[i] - w.center[i]);
+    }
+    return s;
+  }
+
+  /// LLM output with θ pinned at θ_k: the data-function approximation
+  /// f_k(x, θ_k) of Theorem 3 / Eq. 13.
+  double PredictData(const std::vector<double>& x, double slope_scale = 1.0) const {
+    assert(x.size() == dimension());
+    double s = y;
+    for (size_t i = 0; i < b_x.size(); ++i) {
+      s += slope_scale * b_x[i] * (x[i] - w.center[i]);
+    }
+    return s;
+  }
+
+  /// The induced local linear model of g over D_k (Theorem 3).
+  LocalLinearModel ToDataModel(int32_t id, double weight,
+                               double slope_scale = 1.0) const {
+    LocalLinearModel m;
+    m.prototype_id = id;
+    m.weight = weight;
+    m.slope = b_x;
+    double dot = 0.0;
+    for (size_t i = 0; i < b_x.size(); ++i) {
+      m.slope[i] *= slope_scale;
+      dot += m.slope[i] * w.center[i];
+    }
+    m.intercept = y - dot;
+    return m;
+  }
+};
+
+}  // namespace core
+}  // namespace qreg
+
+#endif  // QREG_CORE_PROTOTYPE_H_

@@ -1,0 +1,78 @@
+#include "core/trainer.h"
+
+#include "util/timer.h"
+
+namespace qreg {
+namespace core {
+
+util::Result<TrainingReport> Trainer::Train(query::WorkloadGenerator* workload,
+                                            LlmModel* model) const {
+  if (workload == nullptr || model == nullptr) {
+    return util::Status::InvalidArgument("null workload or model");
+  }
+  TrainingReport report;
+  util::Stopwatch sw;
+
+  while (report.pairs_used < config_.max_pairs) {
+    const query::Query q = workload->Next();
+
+    sw.Restart();
+    query::ExecStats stats;
+    auto mean = engine_.MeanValue(q, &stats);
+    report.query_exec_nanos += sw.ElapsedNanos();
+
+    if (!mean.ok()) {
+      // Empty subspace: the DBMS returns NULL; nothing to learn from.
+      ++report.pairs_skipped;
+      continue;
+    }
+
+    sw.Restart();
+    QREG_ASSIGN_OR_RETURN(TrainStep step, model->Observe(q, mean->mean));
+    (void)step;
+    report.model_update_nanos += sw.ElapsedNanos();
+    ++report.pairs_used;
+
+    if (config_.trace_every > 0 && report.pairs_used % config_.trace_every == 0) {
+      report.gamma_trace.emplace_back(report.pairs_used, model->CurrentGamma());
+    }
+    if (report.pairs_used >= config_.min_pairs && model->HasConverged()) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.final_gamma = model->CurrentGamma();
+  report.num_prototypes = model->num_prototypes();
+  if (report.converged && config_.freeze_on_convergence) model->Freeze();
+  return report;
+}
+
+util::Result<TrainingReport> Trainer::TrainFromPairs(
+    const std::vector<query::QueryAnswer>& pairs, LlmModel* model) const {
+  if (model == nullptr) return util::Status::InvalidArgument("null model");
+  TrainingReport report;
+  util::Stopwatch sw;
+  for (const query::QueryAnswer& pair : pairs) {
+    if (report.pairs_used >= config_.max_pairs) break;
+    sw.Restart();
+    QREG_ASSIGN_OR_RETURN(TrainStep step, model->Observe(pair.q, pair.y));
+    (void)step;
+    report.model_update_nanos += sw.ElapsedNanos();
+    ++report.pairs_used;
+    if (config_.trace_every > 0 && report.pairs_used % config_.trace_every == 0) {
+      report.gamma_trace.emplace_back(report.pairs_used, model->CurrentGamma());
+    }
+    if (report.pairs_used >= config_.min_pairs && model->HasConverged()) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.final_gamma = model->CurrentGamma();
+  report.num_prototypes = model->num_prototypes();
+  if (report.converged && config_.freeze_on_convergence) model->Freeze();
+  return report;
+}
+
+}  // namespace core
+}  // namespace qreg

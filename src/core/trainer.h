@@ -1,0 +1,79 @@
+// The training loop of Figure 2: stream random queries, execute them
+// *exactly* against the DBMS substrate to obtain answers y, feed the
+// (q, y) pairs to the model until Γ ≤ γ (or a pair budget runs out).
+//
+// The trainer instruments where wall time goes (query execution vs model
+// update), reproducing the paper's claim that ~99.6% of training cost is the
+// unavoidable exact query execution.
+
+#ifndef QREG_CORE_TRAINER_H_
+#define QREG_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/llm_model.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace core {
+
+/// \brief Training-loop limits and instrumentation options.
+struct TrainerConfig {
+  int64_t max_pairs = 100000;    ///< Hard budget of (q, y) pairs.
+  int64_t min_pairs = 50;        ///< Do not test convergence before this.
+  /// Record Γ every `trace_every` pairs into TrainingReport::gamma_trace
+  /// (0 disables tracing).
+  int64_t trace_every = 0;
+  /// Freeze the model once converged (Algorithm 1 semantics).
+  bool freeze_on_convergence = true;
+};
+
+/// \brief Outcome of a training run.
+struct TrainingReport {
+  int64_t pairs_used = 0;        ///< |T|: executed (q, y) pairs fed to the model.
+  int64_t pairs_skipped = 0;     ///< Queries whose subspace was empty.
+  bool converged = false;
+  double final_gamma = 0.0;
+  int32_t num_prototypes = 0;
+
+  int64_t query_exec_nanos = 0;  ///< Time in the exact engine.
+  int64_t model_update_nanos = 0;
+
+  /// (pair index, Γ) samples when trace_every > 0.
+  std::vector<std::pair<int64_t, double>> gamma_trace;
+
+  /// Fraction of training time spent executing queries (paper: 99.62%).
+  double QueryExecFraction() const {
+    const double total =
+        static_cast<double>(query_exec_nanos + model_update_nanos);
+    return total > 0.0 ? static_cast<double>(query_exec_nanos) / total : 0.0;
+  }
+};
+
+/// \brief Drives Algorithm 1 against an exact engine and a workload.
+class Trainer {
+ public:
+  Trainer(const query::ExactEngine& engine, TrainerConfig config)
+      : engine_(engine), config_(config) {}
+
+  /// Streams queries from `workload` into `model` until convergence or the
+  /// pair budget. The model is mutated in place.
+  util::Result<TrainingReport> Train(query::WorkloadGenerator* workload,
+                                     LlmModel* model) const;
+
+  /// Trains from pre-computed pairs (used by benches that reuse workloads).
+  util::Result<TrainingReport> TrainFromPairs(
+      const std::vector<query::QueryAnswer>& pairs, LlmModel* model) const;
+
+ private:
+  const query::ExactEngine& engine_;
+  TrainerConfig config_;
+};
+
+}  // namespace core
+}  // namespace qreg
+
+#endif  // QREG_CORE_TRAINER_H_

@@ -1,0 +1,43 @@
+#include "core/variance_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/model_io.h"
+
+namespace qreg {
+namespace core {
+
+util::Status VarianceModel::Observe(const query::Query& q, double mean,
+                                    double second_moment) {
+  QREG_ASSIGN_OR_RETURN(TrainStep mean_step, mean_model_.Observe(q, mean));
+  (void)mean_step;
+  QREG_ASSIGN_OR_RETURN(TrainStep m2_step, m2_model_.Observe(q, second_moment));
+  (void)m2_step;
+  return util::Status::OK();
+}
+
+util::Result<MomentPrediction> VarianceModel::Predict(const query::Query& q) const {
+  QREG_ASSIGN_OR_RETURN(double mean, mean_model_.PredictMean(q));
+  QREG_ASSIGN_OR_RETURN(double m2, m2_model_.PredictMean(q));
+  MomentPrediction out;
+  out.mean = mean;
+  out.second_moment = m2;
+  out.variance = std::max(0.0, m2 - mean * mean);
+  out.stddev = std::sqrt(out.variance);
+  return out;
+}
+
+util::Status VarianceModel::Save(std::ostream* os) const {
+  QREG_RETURN_NOT_OK(ModelSerializer::Save(mean_model_, os));
+  return ModelSerializer::Save(m2_model_, os);
+}
+
+util::Result<VarianceModel> VarianceModel::Load(std::istream* is) {
+  QREG_ASSIGN_OR_RETURN(LlmModel mean_model, ModelSerializer::Load(is));
+  QREG_ASSIGN_OR_RETURN(LlmModel m2_model, ModelSerializer::Load(is));
+  return VarianceModel(std::move(mean_model), std::move(m2_model));
+}
+
+}  // namespace core
+}  // namespace qreg

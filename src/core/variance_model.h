@@ -1,0 +1,71 @@
+// Variance (high-order moment) queries — the first item on the paper's
+// future-work list (Section VII): predict not just the mean of u over
+// D(x, θ) but also its variance, again without data access.
+//
+// Construction: two LLM models over the same query space, one trained on
+// the exact subspace mean E[u | D] and one on the exact second moment
+// E[u² | D]; the predicted variance is the moment difference, clamped at 0.
+
+#ifndef QREG_CORE_VARIANCE_MODEL_H_
+#define QREG_CORE_VARIANCE_MODEL_H_
+
+#include <iosfwd>
+
+#include "core/llm_model.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace core {
+
+/// \brief Predicted first/second moments of u over a data subspace.
+struct MomentPrediction {
+  double mean = 0.0;
+  double second_moment = 0.0;
+  double variance = 0.0;  ///< max(0, second_moment − mean²).
+  double stddev = 0.0;
+};
+
+/// \brief Joint mean + second-moment model for variance queries.
+class VarianceModel {
+ public:
+  /// Both sub-models share the configuration (quantization geometry).
+  explicit VarianceModel(const LlmConfig& config)
+      : mean_model_(config), m2_model_(config) {}
+
+  /// Processes one training observation: the exact subspace mean and second
+  /// moment for query q (from ExactEngine::Moments).
+  util::Status Observe(const query::Query& q, double mean, double second_moment);
+
+  /// Predicts mean, second moment, variance, and stddev for an unseen query.
+  util::Result<MomentPrediction> Predict(const query::Query& q) const;
+
+  /// True once both sub-models' Γ fell below γ.
+  bool HasConverged() const {
+    return mean_model_.HasConverged() && m2_model_.HasConverged();
+  }
+
+  void Freeze() {
+    mean_model_.Freeze();
+    m2_model_.Freeze();
+  }
+
+  const LlmModel& mean_model() const { return mean_model_; }
+  const LlmModel& second_moment_model() const { return m2_model_; }
+
+  /// Serialization: two concatenated LlmModel sections.
+  util::Status Save(std::ostream* os) const;
+  static util::Result<VarianceModel> Load(std::istream* is);
+
+ private:
+  VarianceModel(LlmModel mean_model, LlmModel m2_model)
+      : mean_model_(std::move(mean_model)), m2_model_(std::move(m2_model)) {}
+
+  LlmModel mean_model_;
+  LlmModel m2_model_;
+};
+
+}  // namespace core
+}  // namespace qreg
+
+#endif  // QREG_CORE_VARIANCE_MODEL_H_

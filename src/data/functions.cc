@@ -1,0 +1,74 @@
+#include "data/functions.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace qreg {
+namespace data {
+
+double RosenbrockFunction::Eval(const double* x) const {
+  double s = 0.0;
+  for (size_t i = 0; i + 1 < d_; ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    s += 100.0 * a * a + b * b;
+  }
+  return s;
+}
+
+GasSensorFunction::GasSensorFunction(size_t d, uint64_t seed) : d_(d) {
+  // Deterministic per-channel response parameters drawn once from the seed;
+  // ranges chosen so every term contributes at the same order of magnitude.
+  util::Rng rng(seed);
+  amp_.resize(d_);
+  km_.resize(d_);
+  decay_.resize(d_);
+  phase_.resize(d_);
+  for (size_t j = 0; j < d_; ++j) {
+    amp_[j] = rng.Uniform(0.5, 2.0);
+    km_[j] = rng.Uniform(0.05, 0.4);
+    decay_[j] = rng.Uniform(1.0, 4.0);
+    phase_[j] = rng.Uniform(0.0, 2.0 * M_PI);
+  }
+}
+
+double GasSensorFunction::Eval(const double* x) const {
+  // Saturating single-channel responses.
+  double s = 0.0;
+  for (size_t j = 0; j < d_; ++j) {
+    s += amp_[j] * x[j] / (km_[j] + x[j]);
+  }
+  // Exponential quenching by the *previous* channel (cross-sensitivity).
+  for (size_t j = 0; j + 1 < d_; ++j) {
+    s -= 0.6 * amp_[j] * x[j + 1] * std::exp(-decay_[j] * x[j]);
+  }
+  // Pairwise interference between adjacent channels.
+  for (size_t j = 0; j + 1 < d_; ++j) {
+    s += 0.8 * std::sin(2.0 * M_PI * x[j] * x[j + 1] + phase_[j]);
+  }
+  return s;
+}
+
+double Curve1DFunction::Eval(const double* x) const {
+  const double t = x[0];
+  const double sigmoid = 1.0 / (1.0 + std::exp(-12.0 * (t - 0.5)));
+  return 0.1 + 0.7 * sigmoid + 0.12 * std::sin(3.0 * M_PI * t);
+}
+
+double Friedman1Function::Eval(const double* x) const {
+  return 10.0 * std::sin(M_PI * x[0] * x[1]) + 20.0 * (x[2] - 0.5) * (x[2] - 0.5) +
+         10.0 * x[3] + 5.0 * x[4];
+}
+
+std::unique_ptr<DataFunction> MakeFunction(const std::string& name, size_t d) {
+  if (name == "rosenbrock") return std::make_unique<RosenbrockFunction>(d);
+  if (name == "gas_sensor") return std::make_unique<GasSensorFunction>(d);
+  if (name == "saddle_demo") return std::make_unique<SaddleDemoFunction>();
+  if (name == "curve1d") return std::make_unique<Curve1DFunction>();
+  if (name == "friedman1") return std::make_unique<Friedman1Function>(d);
+  return nullptr;
+}
+
+}  // namespace data
+}  // namespace qreg

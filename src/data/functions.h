@@ -1,0 +1,121 @@
+// Data functions u = g(x) used to synthesize evaluation datasets.
+//
+//  - RosenbrockFunction: the paper's R2 benchmark function (Section VI-A).
+//  - GasSensorFunction: our substitute for the paper's real dataset R1
+//    (a gas-sensor-array calibration set [18] that is not redistributable):
+//    a fixed, strongly non-linear 6-attribute response surface whose global
+//    linear fit leaves FVU >> 1, matching the property the paper relies on.
+//  - Demo functions used by the paper's figures (Fig. 4's x1(x2+1), a 1-D
+//    curve for Fig. 5) and the classic Friedman-1 MARS test function.
+
+#ifndef QREG_DATA_FUNCTIONS_H_
+#define QREG_DATA_FUNCTIONS_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qreg {
+namespace data {
+
+/// \brief A deterministic scalar field over a hyper-rectangular domain.
+class DataFunction {
+ public:
+  virtual ~DataFunction() = default;
+
+  virtual double Eval(const double* x) const = 0;
+  virtual size_t dimension() const = 0;
+
+  /// Per-dimension domain bounds (uniform across dimensions).
+  virtual double domain_lo() const = 0;
+  virtual double domain_hi() const = 0;
+
+  virtual std::string name() const = 0;
+
+  double Eval(const std::vector<double>& x) const { return Eval(x.data()); }
+};
+
+/// \brief Rosenbrock: Σ 100(x_{i+1} − x_i²)² + (1 − x_i)², |x_i| ≤ 10.
+class RosenbrockFunction : public DataFunction {
+ public:
+  explicit RosenbrockFunction(size_t d) : d_(d) {}
+
+  double Eval(const double* x) const override;
+  size_t dimension() const override { return d_; }
+  double domain_lo() const override { return -10.0; }
+  double domain_hi() const override { return 10.0; }
+  std::string name() const override { return "rosenbrock"; }
+
+ private:
+  size_t d_;
+};
+
+/// \brief Synthetic sensor-array response on [0,1]^d: saturating
+/// Michaelis–Menten terms, exponential quenching, cross-sensitivity
+/// interactions and a periodic drift — strongly non-linear everywhere.
+class GasSensorFunction : public DataFunction {
+ public:
+  /// `seed` fixes the (deterministic) per-channel response coefficients.
+  explicit GasSensorFunction(size_t d, uint64_t seed = 7);
+
+  double Eval(const double* x) const override;
+  size_t dimension() const override { return d_; }
+  double domain_lo() const override { return 0.0; }
+  double domain_hi() const override { return 1.0; }
+  std::string name() const override { return "gas_sensor"; }
+
+ private:
+  size_t d_;
+  std::vector<double> amp_;     // per-channel amplitude
+  std::vector<double> km_;      // saturation constant
+  std::vector<double> decay_;   // quenching rate
+  std::vector<double> phase_;   // drift phase
+};
+
+/// \brief Fig. 4's example surface u = x1 (x2 + 1) on [-1.5, 1.5]^2.
+class SaddleDemoFunction : public DataFunction {
+ public:
+  double Eval(const double* x) const override { return x[0] * (x[1] + 1.0); }
+  size_t dimension() const override { return 2; }
+  double domain_lo() const override { return -1.5; }
+  double domain_hi() const override { return 1.5; }
+  std::string name() const override { return "saddle_demo"; }
+};
+
+/// \brief 1-D S-curve with bumps on [0,1] (the Fig. 5 shape): a smooth
+/// sigmoid trend with superposed oscillation, so a global line fits badly
+/// but ~4-6 local lines fit well.
+class Curve1DFunction : public DataFunction {
+ public:
+  double Eval(const double* x) const override;
+  size_t dimension() const override { return 1; }
+  double domain_lo() const override { return 0.0; }
+  double domain_hi() const override { return 1.0; }
+  std::string name() const override { return "curve1d"; }
+};
+
+/// \brief Friedman-1 (MARS benchmark): 10 sin(π x1 x2) + 20 (x3 − .5)² +
+/// 10 x4 + 5 x5 on [0,1]^d (d ≥ 5; extra dimensions are inert noise inputs).
+class Friedman1Function : public DataFunction {
+ public:
+  explicit Friedman1Function(size_t d = 5) : d_(d < 5 ? 5 : d) {}
+
+  double Eval(const double* x) const override;
+  size_t dimension() const override { return d_; }
+  double domain_lo() const override { return 0.0; }
+  double domain_hi() const override { return 1.0; }
+  std::string name() const override { return "friedman1"; }
+
+ private:
+  size_t d_;
+};
+
+/// \brief Factory by name ("rosenbrock", "gas_sensor", "saddle_demo",
+/// "curve1d", "friedman1"); returns nullptr for unknown names.
+std::unique_ptr<DataFunction> MakeFunction(const std::string& name, size_t d);
+
+}  // namespace data
+}  // namespace qreg
+
+#endif  // QREG_DATA_FUNCTIONS_H_

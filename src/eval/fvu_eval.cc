@@ -1,0 +1,98 @@
+#include "eval/fvu_eval.h"
+
+#include <cmath>
+#include <limits>
+
+#include "eval/metrics.h"
+
+namespace qreg {
+namespace eval {
+
+util::Result<PiecewiseFvuResult> EvaluatePiecewiseFvuAt(
+    const std::vector<core::LocalLinearModel>& pieces,
+    const std::vector<std::vector<double>>& anchors, const storage::Table& table,
+    const std::vector<int64_t>& ids) {
+  if (pieces.empty()) {
+    return util::Status::InvalidArgument("no local models to evaluate");
+  }
+  if (pieces.size() != anchors.size()) {
+    return util::Status::InvalidArgument("pieces/anchors size mismatch");
+  }
+  if (ids.empty()) {
+    return util::Status::InvalidArgument("empty data subspace");
+  }
+  const size_t d = table.dimension();
+
+  // Ball-wide mean of u: the common TSS baseline for all pieces, REG, PLR.
+  double u_mean = 0.0;
+  for (int64_t id : ids) u_mean += table.u(id);
+  u_mean /= static_cast<double>(ids.size());
+
+  std::vector<double> piece_ssr(pieces.size(), 0.0);
+  std::vector<double> piece_tss(pieces.size(), 0.0);
+  std::vector<int64_t> piece_n(pieces.size(), 0);
+
+  for (int64_t id : ids) {
+    const double* x = table.x(id);
+    // Assign to the nearest anchor (Voronoi over the local models).
+    size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < anchors.size(); ++k) {
+      double d2 = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double t = x[j] - anchors[k][j];
+        d2 += t * t;
+      }
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = k;
+      }
+    }
+    double pred = pieces[best].intercept;
+    for (size_t j = 0; j < d; ++j) pred += pieces[best].slope[j] * x[j];
+    const double u = table.u(id);
+    piece_ssr[best] += (u - pred) * (u - pred);
+    piece_tss[best] += (u - u_mean) * (u - u_mean);
+    ++piece_n[best];
+  }
+
+  PiecewiseFvuResult out;
+  out.pieces_total = static_cast<int32_t>(pieces.size());
+  out.points = static_cast<int64_t>(ids.size());
+
+  double ssr_total = 0.0, tss_total = 0.0, fvu_sum = 0.0;
+  int32_t scored = 0;
+  for (size_t k = 0; k < pieces.size(); ++k) {
+    ssr_total += piece_ssr[k];
+    tss_total += piece_tss[k];
+    if (piece_n[k] < 1 || piece_tss[k] <= 0.0) continue;
+    fvu_sum += piece_ssr[k] / piece_tss[k];
+    ++scored;
+  }
+  out.pooled_fvu = tss_total > 0.0
+                       ? ssr_total / tss_total
+                       : (ssr_total > 0.0 ? std::numeric_limits<double>::infinity()
+                                          : 0.0);
+  out.pieces_scored = scored;
+  // All pieces degenerate (e.g. constant u in the ball): fall back to pooled.
+  out.mean_fvu = scored > 0 ? fvu_sum / scored : out.pooled_fvu;
+  out.mean_cod = 1.0 - out.mean_fvu;
+  return out;
+}
+
+util::Result<PiecewiseFvuResult> EvaluatePiecewiseFvu(
+    const core::LlmModel& model, const query::Query& q,
+    const storage::Table& table, const std::vector<int64_t>& ids) {
+  QREG_ASSIGN_OR_RETURN(std::vector<core::LocalLinearModel> pieces,
+                        model.RegressionQuery(q));
+  std::vector<std::vector<double>> anchors;
+  anchors.reserve(pieces.size());
+  for (const core::LocalLinearModel& m : pieces) {
+    anchors.push_back(
+        model.prototypes()[static_cast<size_t>(m.prototype_id)].w.center);
+  }
+  return EvaluatePiecewiseFvuAt(pieces, anchors, table, ids);
+}
+
+}  // namespace eval
+}  // namespace qreg

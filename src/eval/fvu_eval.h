@@ -1,0 +1,57 @@
+// Goodness-of-fit evaluation of a Q2 answer (the list S of local linear
+// models) against the data inside D(x, θ), per Section VI:
+//
+//   s = (1/|S|) Σ_ℓ s_ℓ,  the average of the per-local-model FVUs.
+//
+// Each point of the selected subspace is assigned to the nearest local
+// model's prototype (Voronoi in the input space), every local model is
+// scored on its own region, and the FVUs are averaged. A pooled variant
+// (one FVU for the combined piecewise predictor) is also reported.
+
+#ifndef QREG_EVAL_FVU_EVAL_H_
+#define QREG_EVAL_FVU_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/llm_model.h"
+#include "query/query.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace eval {
+
+/// \brief Result of scoring a Q2 answer against the selected data.
+struct PiecewiseFvuResult {
+  double mean_fvu = 0.0;    ///< Average of per-piece FVUs (the paper's s).
+  double mean_cod = 0.0;    ///< 1 - mean_fvu.
+  double pooled_fvu = 0.0;  ///< FVU of the combined piecewise predictor.
+  int32_t pieces_scored = 0;    ///< Pieces with enough points to score.
+  int32_t pieces_total = 0;     ///< |S|.
+  int64_t points = 0;           ///< Points inside D(x, θ).
+};
+
+/// \brief Scores `model`'s Algorithm-3 answer for `q` on the rows `ids` of
+/// `table` (the rows inside D(x, θ), typically from ExactEngine::Select).
+///
+/// Every piece's FVU uses the *subspace-wide* TSS baseline (deviations of
+/// its points from the ball's mean of u), making s_ℓ directly comparable to
+/// the REG/PLR FVUs over the same D(x, θ) and crediting the piecewise answer
+/// for explaining between-piece level differences. Pieces with no assigned
+/// points are skipped. Fails if ids is empty or the model has no prototypes.
+util::Result<PiecewiseFvuResult> EvaluatePiecewiseFvu(
+    const core::LlmModel& model, const query::Query& q,
+    const storage::Table& table, const std::vector<int64_t>& ids);
+
+/// \brief Scores an explicit list of local linear models with given anchor
+/// points (exposed for testing and for non-LLM piecewise baselines).
+util::Result<PiecewiseFvuResult> EvaluatePiecewiseFvuAt(
+    const std::vector<core::LocalLinearModel>& pieces,
+    const std::vector<std::vector<double>>& anchors, const storage::Table& table,
+    const std::vector<int64_t>& ids);
+
+}  // namespace eval
+}  // namespace qreg
+
+#endif  // QREG_EVAL_FVU_EVAL_H_

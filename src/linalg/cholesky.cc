@@ -1,0 +1,88 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace linalg {
+
+util::Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return util::Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return util::Status::FailedPrecondition(
+          util::Format("non-positive pivot %.3e at column %zu", diag, j));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+util::Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                                const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return util::Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  }
+  QREG_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const size_t n = b.size();
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Backward substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+util::Result<std::vector<double>> CholeskySolveRegularized(
+    const Matrix& a, const std::vector<double>& b, double initial_jitter,
+    int max_attempts) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return util::Status::InvalidArgument(
+        "dimension mismatch in CholeskySolveRegularized");
+  }
+  // Scale the jitter by the largest diagonal entry so it is meaningful for
+  // both tiny and huge moment matrices.
+  double max_diag = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    max_diag = std::max(max_diag, std::fabs(a(i, i)));
+  }
+  if (max_diag == 0.0) max_diag = 1.0;
+
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Matrix aj = a;
+    if (jitter > 0.0) {
+      for (size_t i = 0; i < aj.rows(); ++i) aj(i, i) += jitter * max_diag;
+    }
+    auto solved = CholeskySolve(aj, b);
+    if (solved.ok()) return solved;
+    jitter = (jitter == 0.0) ? initial_jitter : jitter * 10.0;
+  }
+  return util::Status::FailedPrecondition(
+      "matrix is not positive definite even after regularization");
+}
+
+}  // namespace linalg
+}  // namespace qreg

@@ -1,0 +1,36 @@
+// Cholesky factorization and SPD solves for normal-equation systems.
+
+#ifndef QREG_LINALG_CHOLESKY_H_
+#define QREG_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace linalg {
+
+/// \brief Computes the lower-triangular L with A = L L^T.
+///
+/// Fails with InvalidArgument for non-square input and FailedPrecondition if a
+/// non-positive pivot is met (A not positive definite to working precision).
+util::Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// \brief Solves A x = b for SPD A via Cholesky.
+util::Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                                const std::vector<double>& b);
+
+/// \brief Solves (A + jitter*I) x = b, escalating jitter by 10x up to
+/// `max_attempts` times when A is numerically semi-definite.
+///
+/// This is the production path for normal equations built from nearly
+/// collinear subspaces (tiny query balls often select collinear points).
+util::Result<std::vector<double>> CholeskySolveRegularized(
+    const Matrix& a, const std::vector<double>& b, double initial_jitter = 1e-10,
+    int max_attempts = 8);
+
+}  // namespace linalg
+}  // namespace qreg
+
+#endif  // QREG_LINALG_CHOLESKY_H_

@@ -1,0 +1,101 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].size() == m.cols_);
+    for (size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  assert(i < rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  assert(j < cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += row[j] * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeMatVec(const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    const double vi = v[i];
+    for (size_t j = 0; j < cols_; ++j) out[j] += row[j] * vi;
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      out += util::Format("%.*g", precision, (*this)(i, j));
+      if (j + 1 < cols_) out += ", ";
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace linalg
+}  // namespace qreg

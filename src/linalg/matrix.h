@@ -1,0 +1,83 @@
+// Dense row-major matrix of doubles, sized for small regression problems
+// (normal equations of dimension d+1, MARS design matrices of a few dozen
+// columns). Not a general BLAS; operations are written for clarity and
+// correctness at these sizes.
+
+#ifndef QREG_LINALG_MATRIX_H_
+#define QREG_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qreg {
+namespace linalg {
+
+/// \brief Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// Builds an n x d matrix from n row vectors (all must have size d).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i (contiguous `cols()` doubles).
+  double* RowPtr(size_t i) { return &data_[i * cols_]; }
+  const double* RowPtr(size_t i) const { return &data_[i * cols_]; }
+
+  /// Copies row i into a vector.
+  std::vector<double> Row(size_t i) const;
+
+  /// Copies column j into a vector.
+  std::vector<double> Col(size_t j) const;
+
+  Matrix Transpose() const;
+
+  /// this * other; inner dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this * v (v.size() == cols()).
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// this^T * v (v.size() == rows()).
+  std::vector<double> TransposeMatVec(const std::vector<double>& v) const;
+
+  /// Frobenius-norm difference; matrices must be the same shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  std::string ToString(int precision = 4) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace linalg
+}  // namespace qreg
+
+#endif  // QREG_LINALG_MATRIX_H_

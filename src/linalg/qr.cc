@@ -1,0 +1,76 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace qreg {
+namespace linalg {
+
+util::Result<std::vector<double>> QrLeastSquares(const Matrix& a,
+                                                 const std::vector<double>& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (b.size() != m) {
+    return util::Status::InvalidArgument("rhs size mismatch in QrLeastSquares");
+  }
+  if (m < n) {
+    return util::Status::InvalidArgument(
+        "QrLeastSquares requires rows >= cols (overdetermined system)");
+  }
+
+  Matrix r = a;                  // Reduced in place to R.
+  std::vector<double> qtb = b;   // Accumulates Q^T b.
+
+  double max_abs = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) max_abs = std::max(max_abs, std::fabs(r(i, j)));
+  }
+  const double tol = std::max(m, n) * 1e-14 * (max_abs == 0.0 ? 1.0 : max_abs);
+
+  std::vector<double> v(m);
+  for (size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below (and including) the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= tol) continue;  // Column already (numerically) zero: skip.
+
+    const double alpha = (r(k, k) >= 0.0) ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (size_t i = k; i < m; ++i) {
+      v[i] = r(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 <= 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n-1) and to qtb.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
+      const double f = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) r(i, j) -= f * v[i];
+    }
+    double dotb = 0.0;
+    for (size_t i = k; i < m; ++i) dotb += v[i] * qtb[i];
+    const double fb = 2.0 * dotb / vnorm2;
+    for (size_t i = k; i < m; ++i) qtb[i] -= fb * v[i];
+  }
+
+  // Back substitution on the upper-triangular R; zero out rank-deficient
+  // coordinates instead of dividing by ~0.
+  std::vector<double> x(n, 0.0);
+  for (size_t kk = n; kk-- > 0;) {
+    const double diag = r(kk, kk);
+    if (std::fabs(diag) <= tol) {
+      x[kk] = 0.0;
+      continue;
+    }
+    double s = qtb[kk];
+    for (size_t j = kk + 1; j < n; ++j) s -= r(kk, j) * x[j];
+    x[kk] = s / diag;
+  }
+  return x;
+}
+
+}  // namespace linalg
+}  // namespace qreg

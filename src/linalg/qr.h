@@ -1,0 +1,27 @@
+// Householder QR least-squares solver. Used as the numerically robust
+// fallback when normal equations are ill-conditioned, and by the MARS
+// baseline where design matrices can be strongly correlated.
+
+#ifndef QREG_LINALG_QR_H_
+#define QREG_LINALG_QR_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace linalg {
+
+/// \brief Solves min_x ||A x - b||_2 via Householder QR.
+///
+/// Requires rows >= cols. Rank deficiency (a zero R diagonal within
+/// tolerance) maps the free coordinates to zero rather than failing, which is
+/// the behaviour regression callers want for collinear designs.
+util::Result<std::vector<double>> QrLeastSquares(const Matrix& a,
+                                                 const std::vector<double>& b);
+
+}  // namespace linalg
+}  // namespace qreg
+
+#endif  // QREG_LINALG_QR_H_

@@ -1,0 +1,97 @@
+#include "linalg/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qreg {
+namespace linalg {
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2Squared(const Vec& a) { return Dot(a, a); }
+
+double Norm2(const Vec& a) { return std::sqrt(Norm2Squared(a)); }
+
+double Distance2Squared(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double dlt = a[i] - b[i];
+    s += dlt * dlt;
+  }
+  return s;
+}
+
+double Distance2(const Vec& a, const Vec& b) {
+  return std::sqrt(Distance2Squared(a, b));
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Scale(const Vec& a, double s) {
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AxPy(double alpha, const Vec& x, Vec* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+double Mean(const Vec& a) {
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s / static_cast<double>(a.size());
+}
+
+double Variance(const Vec& a) {
+  if (a.size() < 1) return 0.0;
+  const double m = Mean(a);
+  double s = 0.0;
+  for (double v : a) s += (v - m) * (v - m);
+  return s / static_cast<double>(a.size());
+}
+
+void ElementwiseRange(const std::vector<Vec>& vs, Vec* mins, Vec* maxs) {
+  if (vs.empty()) {
+    mins->clear();
+    maxs->clear();
+    return;
+  }
+  const size_t d = vs[0].size();
+  mins->assign(d, vs[0][0]);
+  maxs->assign(d, vs[0][0]);
+  for (size_t j = 0; j < d; ++j) {
+    (*mins)[j] = vs[0][j];
+    (*maxs)[j] = vs[0][j];
+  }
+  for (const Vec& v : vs) {
+    assert(v.size() == d);
+    for (size_t j = 0; j < d; ++j) {
+      if (v[j] < (*mins)[j]) (*mins)[j] = v[j];
+      if (v[j] > (*maxs)[j]) (*maxs)[j] = v[j];
+    }
+  }
+}
+
+}  // namespace linalg
+}  // namespace qreg

@@ -1,0 +1,57 @@
+// Free functions over std::vector<double> used throughout qreg.
+//
+// Points, query centers, slopes, and prototypes are all dense double vectors;
+// dimensions are small (d <= ~16) so contiguous std::vector wins over any
+// fancier representation.
+
+#ifndef QREG_LINALG_VECTOR_OPS_H_
+#define QREG_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qreg {
+namespace linalg {
+
+using Vec = std::vector<double>;
+
+/// \brief Dot product; vectors must have equal size.
+double Dot(const Vec& a, const Vec& b);
+
+/// \brief Euclidean (L2) norm.
+double Norm2(const Vec& a);
+
+/// \brief Squared Euclidean norm.
+double Norm2Squared(const Vec& a);
+
+/// \brief L2 distance between `a` and `b`.
+double Distance2(const Vec& a, const Vec& b);
+
+/// \brief Squared L2 distance.
+double Distance2Squared(const Vec& a, const Vec& b);
+
+/// \brief a + b elementwise.
+Vec Add(const Vec& a, const Vec& b);
+
+/// \brief a - b elementwise.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// \brief s * a.
+Vec Scale(const Vec& a, double s);
+
+/// \brief In-place y += alpha * x.
+void AxPy(double alpha, const Vec& x, Vec* y);
+
+/// \brief Arithmetic mean of the entries (0 for empty).
+double Mean(const Vec& a);
+
+/// \brief Population variance of the entries (0 for size < 1).
+double Variance(const Vec& a);
+
+/// \brief Elementwise min/max over a set of vectors; out params sized to d.
+void ElementwiseRange(const std::vector<Vec>& vs, Vec* mins, Vec* maxs);
+
+}  // namespace linalg
+}  // namespace qreg
+
+#endif  // QREG_LINALG_VECTOR_OPS_H_

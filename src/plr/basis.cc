@@ -1,0 +1,28 @@
+#include "plr/basis.h"
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace plr {
+
+std::string BasisFunction::ToString(
+    const std::vector<std::string>& feature_names) const {
+  if (terms.empty()) return "1";
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const HingeTerm& t = terms[i];
+    const std::string var = t.dim < feature_names.size()
+                                ? feature_names[t.dim]
+                                : util::Format("x%u", t.dim + 1);
+    if (i > 0) out += " * ";
+    if (t.sign > 0) {
+      out += util::Format("max(0, %s - %.4g)", var.c_str(), t.knot);
+    } else {
+      out += util::Format("max(0, %.4g - %s)", t.knot, var.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace plr
+}  // namespace qreg

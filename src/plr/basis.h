@@ -1,0 +1,62 @@
+// Hinge basis functions for Multivariate Adaptive Regression Splines
+// (Friedman, Annals of Statistics 19(1), 1991) — the paper's PLR baseline
+// (built with the ARESLab toolbox in the original evaluation).
+
+#ifndef QREG_PLR_BASIS_H_
+#define QREG_PLR_BASIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qreg {
+namespace plr {
+
+/// \brief One hinge factor h(x) = max(0, sign * (x[dim] - knot)).
+struct HingeTerm {
+  uint32_t dim = 0;
+  double knot = 0.0;
+  int8_t sign = 1;  ///< +1 or -1.
+
+  double Eval(const double* x) const {
+    const double v = static_cast<double>(sign) * (x[dim] - knot);
+    return v > 0.0 ? v : 0.0;
+  }
+
+  bool operator==(const HingeTerm& o) const {
+    return dim == o.dim && knot == o.knot && sign == o.sign;
+  }
+};
+
+/// \brief Product of hinge factors; an empty product is the intercept term.
+struct BasisFunction {
+  std::vector<HingeTerm> terms;
+
+  double Eval(const double* x) const {
+    double v = 1.0;
+    for (const HingeTerm& t : terms) {
+      v *= t.Eval(x);
+      if (v == 0.0) return 0.0;
+    }
+    return v;
+  }
+
+  bool is_intercept() const { return terms.empty(); }
+  size_t interaction_order() const { return terms.size(); }
+
+  /// True if the basis already hinges on `dim` (MARS forbids reusing a
+  /// variable within one product).
+  bool UsesDim(uint32_t dim) const {
+    for (const HingeTerm& t : terms) {
+      if (t.dim == dim) return true;
+    }
+    return false;
+  }
+
+  std::string ToString(const std::vector<std::string>& feature_names) const;
+};
+
+}  // namespace plr
+}  // namespace qreg
+
+#endif  // QREG_PLR_BASIS_H_

@@ -1,0 +1,354 @@
+#include "plr/mars.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "linalg/cholesky.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace qreg {
+namespace plr {
+
+namespace {
+
+/// Effective number of parameters for GCV: terms + penalty * distinct knots
+/// (Friedman '91, section 3.6 with the knot-count form used by ARESLab).
+double EffectiveParams(const std::vector<BasisFunction>& bases, double penalty) {
+  std::set<std::pair<uint32_t, double>> knots;
+  for (const BasisFunction& b : bases) {
+    for (const HingeTerm& t : b.terms) knots.insert({t.dim, t.knot});
+  }
+  return static_cast<double>(bases.size()) +
+         penalty * static_cast<double>(knots.size());
+}
+
+double Gcv(double ssr, int64_t n, double c_eff) {
+  const double nn = static_cast<double>(n);
+  const double denom = 1.0 - c_eff / nn;
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return (ssr / nn) / (denom * denom);
+}
+
+}  // namespace
+
+util::Status MarsConfig::Validate() const {
+  if (max_terms < 1) return util::Status::InvalidArgument("max_terms must be >= 1");
+  if (gcv_penalty < 0.0) {
+    return util::Status::InvalidArgument("gcv_penalty must be non-negative");
+  }
+  if (max_knots_per_dim < 1) {
+    return util::Status::InvalidArgument("max_knots_per_dim must be >= 1");
+  }
+  if (max_interaction < 1) {
+    return util::Status::InvalidArgument("max_interaction must be >= 1");
+  }
+  return util::Status::OK();
+}
+
+double MarsModel::Predict(const double* x) const {
+  double s = 0.0;
+  for (size_t i = 0; i < bases_.size(); ++i) s += coeffs_[i] * bases_[i].Eval(x);
+  return s;
+}
+
+double MarsModel::Fvu() const {
+  if (tss_ > 0.0) return ssr_ / tss_;
+  return ssr_ > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+std::string MarsModel::ToString(const std::vector<std::string>& feature_names) const {
+  std::string out = util::Format("MARS(terms=%d, ssr=%.4g, gcv=%.4g)\n",
+                                 num_terms(), ssr_, gcv_);
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    out += util::Format("  %+.5g * %s\n", coeffs_[i],
+                        bases_[i].ToString(feature_names).c_str());
+  }
+  return out;
+}
+
+/// Internal fitting engine: keeps the design columns plus cached moments
+/// G = D'D and D'u so candidate evaluation and pruning cost O(m^3) after a
+/// single O(n m) column pass.
+class MarsFitter {
+ public:
+  MarsFitter(const linalg::Matrix& x, const std::vector<double>& u,
+             const MarsConfig& config)
+      : x_(x), u_(u), config_(config) {}
+
+  util::Result<MarsModel> Fit();
+
+ private:
+  struct SolvedModel {
+    std::vector<double> beta;
+    double ssr = 0.0;
+  };
+
+  void Subsample();
+  void BuildKnotCandidates();
+  std::vector<double> EvalBasisColumn(const BasisFunction& b) const;
+
+  /// Solves OLS from the moment matrices of the given column subset.
+  util::Result<SolvedModel> SolveFromMoments(
+      const std::vector<std::vector<double>>& cols) const;
+
+  util::Status ForwardPass();
+  util::Status BackwardPass(MarsModel* out);
+
+  const linalg::Matrix& x_;
+  const std::vector<double>& u_;
+  MarsConfig config_;
+
+  std::vector<int64_t> rows_;                  // active (possibly subsampled) rows
+  std::vector<std::vector<double>> knots_;     // per-dim candidate knots
+  std::vector<BasisFunction> bases_;
+  std::vector<std::vector<double>> cols_;      // design columns over rows_
+  double utu_ = 0.0;
+  double usum_ = 0.0;
+};
+
+void MarsFitter::Subsample() {
+  const int64_t n = static_cast<int64_t>(x_.rows());
+  rows_.clear();
+  if (config_.max_fit_rows > 0 && n > config_.max_fit_rows) {
+    util::Rng rng(config_.subsample_seed);
+    // Reservoir-free uniform pick without replacement: shuffle a prefix.
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    rng.Shuffle(&all);
+    all.resize(static_cast<size_t>(config_.max_fit_rows));
+    std::sort(all.begin(), all.end());
+    rows_ = std::move(all);
+  } else {
+    rows_.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) rows_[static_cast<size_t>(i)] = i;
+  }
+  utu_ = 0.0;
+  usum_ = 0.0;
+  for (int64_t r : rows_) {
+    const double uu = u_[static_cast<size_t>(r)];
+    utu_ += uu * uu;
+    usum_ += uu;
+  }
+}
+
+void MarsFitter::BuildKnotCandidates() {
+  const size_t d = x_.cols();
+  knots_.assign(d, {});
+  const size_t n = rows_.size();
+  std::vector<double> vals(n);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = x_(static_cast<size_t>(rows_[i]), j);
+    }
+    std::sort(vals.begin(), vals.end());
+    // Interior quantile knots (endpoints produce degenerate hinges).
+    const int32_t kq = config_.max_knots_per_dim;
+    std::vector<double>& out = knots_[j];
+    for (int32_t q = 1; q <= kq; ++q) {
+      const double frac = static_cast<double>(q) / static_cast<double>(kq + 1);
+      const double v = vals[static_cast<size_t>(frac * static_cast<double>(n - 1))];
+      if (out.empty() || v > out.back()) out.push_back(v);
+    }
+  }
+}
+
+std::vector<double> MarsFitter::EvalBasisColumn(const BasisFunction& b) const {
+  std::vector<double> col(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    col[i] = b.Eval(x_.RowPtr(static_cast<size_t>(rows_[i])));
+  }
+  return col;
+}
+
+util::Result<MarsFitter::SolvedModel> MarsFitter::SolveFromMoments(
+    const std::vector<std::vector<double>>& cols) const {
+  const size_t m = cols.size();
+  const size_t n = rows_.size();
+  linalg::Matrix g(m, m);
+  std::vector<double> rhs(m, 0.0);
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a; b < m; ++b) {
+      double s = 0.0;
+      for (size_t i = 0; i < n; ++i) s += cols[a][i] * cols[b][i];
+      g(a, b) = s;
+      g(b, a) = s;
+    }
+    double su = 0.0;
+    for (size_t i = 0; i < n; ++i) su += cols[a][i] * u_[static_cast<size_t>(rows_[i])];
+    rhs[a] = su;
+  }
+  QREG_ASSIGN_OR_RETURN(std::vector<double> beta,
+                        linalg::CholeskySolveRegularized(g, rhs));
+  double bgb = 0.0;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = 0; b < m; ++b) bgb += beta[a] * g(a, b) * beta[b];
+  }
+  double bru = 0.0;
+  for (size_t a = 0; a < m; ++a) bru += beta[a] * rhs[a];
+  SolvedModel sm;
+  sm.beta = std::move(beta);
+  sm.ssr = std::max(0.0, utu_ - 2.0 * bru + bgb);
+  return sm;
+}
+
+util::Status MarsFitter::ForwardPass() {
+  bases_.clear();
+  cols_.clear();
+  bases_.push_back(BasisFunction{});  // Intercept.
+  cols_.push_back(std::vector<double>(rows_.size(), 1.0));
+
+  QREG_ASSIGN_OR_RETURN(SolvedModel current, SolveFromMoments(cols_));
+  double current_ssr = current.ssr;
+
+  const size_t d = x_.cols();
+  while (static_cast<int32_t>(bases_.size()) + 2 <= config_.max_terms) {
+    double best_ssr = current_ssr;
+    BasisFunction best_pos, best_neg;
+    std::vector<double> best_col_pos, best_col_neg;
+    bool found = false;
+
+    for (size_t parent = 0; parent < bases_.size(); ++parent) {
+      const BasisFunction& pb = bases_[parent];
+      if (static_cast<int32_t>(pb.interaction_order()) + 1 > config_.max_interaction) {
+        continue;
+      }
+      for (uint32_t j = 0; j < d; ++j) {
+        if (pb.UsesDim(j)) continue;
+        for (double knot : knots_[j]) {
+          BasisFunction cand_pos = pb;
+          cand_pos.terms.push_back({j, knot, +1});
+          BasisFunction cand_neg = pb;
+          cand_neg.terms.push_back({j, knot, -1});
+
+          std::vector<double> col_pos = EvalBasisColumn(cand_pos);
+          std::vector<double> col_neg = EvalBasisColumn(cand_neg);
+
+          cols_.push_back(std::move(col_pos));
+          cols_.push_back(std::move(col_neg));
+          auto solved = SolveFromMoments(cols_);
+          std::vector<double> cn = std::move(cols_.back());
+          cols_.pop_back();
+          std::vector<double> cp = std::move(cols_.back());
+          cols_.pop_back();
+
+          if (!solved.ok()) continue;
+          if (solved->ssr < best_ssr) {
+            best_ssr = solved->ssr;
+            best_pos = cand_pos;
+            best_neg = cand_neg;
+            best_col_pos = std::move(cp);
+            best_col_neg = std::move(cn);
+            found = true;
+          }
+        }
+      }
+    }
+
+    if (!found) break;
+    const double rel_gain =
+        (current_ssr > 0.0) ? (current_ssr - best_ssr) / current_ssr : 0.0;
+    bases_.push_back(std::move(best_pos));
+    cols_.push_back(std::move(best_col_pos));
+    bases_.push_back(std::move(best_neg));
+    cols_.push_back(std::move(best_col_neg));
+    current_ssr = best_ssr;
+    if (rel_gain < config_.min_rel_improvement || current_ssr <= 1e-14 * utu_) break;
+  }
+  return util::Status::OK();
+}
+
+util::Status MarsFitter::BackwardPass(MarsModel* out) {
+  // Sequence of nested models; keep the one with the best GCV.
+  std::vector<BasisFunction> work_bases = bases_;
+  std::vector<std::vector<double>> work_cols = cols_;
+
+  QREG_ASSIGN_OR_RETURN(SolvedModel solved, SolveFromMoments(work_cols));
+  double best_gcv = Gcv(solved.ssr, static_cast<int64_t>(rows_.size()),
+                        EffectiveParams(work_bases, config_.gcv_penalty));
+  std::vector<BasisFunction> best_bases = work_bases;
+  std::vector<double> best_beta = solved.beta;
+  double best_ssr = solved.ssr;
+
+  while (work_bases.size() > 1) {
+    double level_best_gcv = std::numeric_limits<double>::infinity();
+    size_t level_best_idx = 0;
+    SolvedModel level_best_solved;
+
+    for (size_t drop = 1; drop < work_bases.size(); ++drop) {  // Keep intercept.
+      std::vector<std::vector<double>> cols;
+      std::vector<BasisFunction> bases;
+      cols.reserve(work_cols.size() - 1);
+      bases.reserve(work_bases.size() - 1);
+      for (size_t i = 0; i < work_bases.size(); ++i) {
+        if (i == drop) continue;
+        cols.push_back(work_cols[i]);
+        bases.push_back(work_bases[i]);
+      }
+      auto s = SolveFromMoments(cols);
+      if (!s.ok()) continue;
+      const double g = Gcv(s->ssr, static_cast<int64_t>(rows_.size()),
+                           EffectiveParams(bases, config_.gcv_penalty));
+      if (g < level_best_gcv) {
+        level_best_gcv = g;
+        level_best_idx = drop;
+        level_best_solved = std::move(*s);
+      }
+    }
+    if (level_best_idx == 0) break;  // No removable term solved.
+
+    work_bases.erase(work_bases.begin() + static_cast<long>(level_best_idx));
+    work_cols.erase(work_cols.begin() + static_cast<long>(level_best_idx));
+    if (level_best_gcv < best_gcv) {
+      best_gcv = level_best_gcv;
+      best_bases = work_bases;
+      best_beta = level_best_solved.beta;
+      best_ssr = level_best_solved.ssr;
+    }
+  }
+
+  out->bases_ = std::move(best_bases);
+  out->coeffs_ = std::move(best_beta);
+  out->ssr_ = best_ssr;
+  out->gcv_ = best_gcv;
+  out->n_ = static_cast<int64_t>(rows_.size());
+  out->d_ = x_.cols();
+  const double mean = usum_ / static_cast<double>(rows_.size());
+  out->tss_ =
+      std::max(0.0, utu_ - static_cast<double>(rows_.size()) * mean * mean);
+  return util::Status::OK();
+}
+
+util::Result<MarsModel> MarsFitter::Fit() {
+  QREG_RETURN_NOT_OK(config_.Validate());
+  if (x_.rows() < 2) {
+    return util::Status::InvalidArgument("MARS needs at least 2 rows");
+  }
+  if (u_.size() != x_.rows()) {
+    return util::Status::InvalidArgument("|u| != rows(x)");
+  }
+  Subsample();
+  BuildKnotCandidates();
+  QREG_RETURN_NOT_OK(ForwardPass());
+  MarsModel model;
+  QREG_RETURN_NOT_OK(BackwardPass(&model));
+  return model;
+}
+
+util::Result<MarsModel> FitMars(const linalg::Matrix& x,
+                                const std::vector<double>& u,
+                                const MarsConfig& config) {
+  MarsFitter fitter(x, u, config);
+  return fitter.Fit();
+}
+
+util::Result<MarsModel> FitMars(const std::vector<std::vector<double>>& rows,
+                                const std::vector<double>& u,
+                                const MarsConfig& config) {
+  return FitMars(linalg::Matrix::FromRows(rows), u, config);
+}
+
+}  // namespace plr
+}  // namespace qreg

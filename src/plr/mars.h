@@ -1,0 +1,93 @@
+// MARS: forward stagewise selection of hinge-pair basis functions, backward
+// pruning, and Generalized Cross-Validation model selection — the PLR
+// baseline of the paper's Section VI (ARESLab with GCV knot penalty 3 and
+// the maximum number of discovered linear models tied to K).
+
+#ifndef QREG_PLR_MARS_H_
+#define QREG_PLR_MARS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "plr/basis.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace plr {
+
+/// \brief MARS hyper-parameters (ARESLab-compatible defaults).
+struct MarsConfig {
+  /// Maximum basis functions (including the intercept) grown in the forward
+  /// phase ("max number of discovered linear models" in the paper).
+  int32_t max_terms = 21;
+  /// GCV penalty per knot (the paper uses 3, per Friedman's recommendation).
+  double gcv_penalty = 3.0;
+  /// Candidate knots per dimension (quantiles of the training sample).
+  int32_t max_knots_per_dim = 20;
+  /// 1 = additive (piecewise-linear) model; 2 allows pairwise products.
+  int32_t max_interaction = 1;
+  /// Training rows are uniformly subsampled down to this bound (ARESLab-style
+  /// practicality guard; 0 disables).
+  int64_t max_fit_rows = 20000;
+  uint64_t subsample_seed = 99;
+  /// Forward phase stops early once relative SSR improvement drops below this.
+  double min_rel_improvement = 1e-9;
+
+  util::Status Validate() const;
+};
+
+/// \brief A fitted MARS model.
+class MarsModel {
+ public:
+  MarsModel() = default;
+
+  double Predict(const double* x) const;
+  double Predict(const std::vector<double>& x) const { return Predict(x.data()); }
+
+  const std::vector<BasisFunction>& bases() const { return bases_; }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+  /// Number of basis functions including the intercept.
+  int32_t num_terms() const { return static_cast<int32_t>(bases_.size()); }
+  /// Number of non-intercept hinge bases (the "linear pieces" count the
+  /// paper compares against K).
+  int32_t num_hinges() const { return num_terms() - 1; }
+
+  double ssr() const { return ssr_; }
+  double tss() const { return tss_; }
+  double gcv() const { return gcv_; }
+  int64_t fit_rows() const { return n_; }
+  size_t dimension() const { return d_; }
+
+  double Fvu() const;
+  double CoD() const { return 1.0 - Fvu(); }
+
+  std::string ToString(const std::vector<std::string>& feature_names = {}) const;
+
+ private:
+  friend class MarsFitter;
+
+  std::vector<BasisFunction> bases_;  // bases_[0] is the intercept.
+  std::vector<double> coeffs_;
+  double ssr_ = 0.0;
+  double tss_ = 0.0;
+  double gcv_ = 0.0;
+  int64_t n_ = 0;
+  size_t d_ = 0;
+};
+
+/// \brief Fits a MARS model to (x rows, u). Needs at least 2 rows.
+util::Result<MarsModel> FitMars(const linalg::Matrix& x,
+                                const std::vector<double>& u,
+                                const MarsConfig& config = MarsConfig());
+
+/// \brief Convenience overload from row vectors.
+util::Result<MarsModel> FitMars(const std::vector<std::vector<double>>& rows,
+                                const std::vector<double>& u,
+                                const MarsConfig& config = MarsConfig());
+
+}  // namespace plr
+}  // namespace qreg
+
+#endif  // QREG_PLR_MARS_H_

@@ -1,0 +1,101 @@
+#include "query/exact_engine.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace qreg {
+namespace query {
+
+util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
+                                                     ExecStats* stats) const {
+  util::Stopwatch sw;
+  storage::SelectionStats sel;
+  double sum = 0.0;
+  int64_t count = 0;
+  index_.RadiusVisit(
+      q.center.data(), q.theta, norm_,
+      [&sum, &count](int64_t, const double*, double u) {
+        sum += u;
+        ++count;
+      },
+      &sel);
+  if (stats != nullptr) {
+    stats->tuples_examined = sel.tuples_examined;
+    stats->tuples_matched = sel.tuples_matched;
+    stats->nanos = sw.ElapsedNanos();
+  }
+  if (count == 0) {
+    return util::Status::NotFound("empty data subspace D(x, theta)");
+  }
+  MeanValueResult r;
+  r.mean = sum / static_cast<double>(count);
+  r.count = count;
+  return r;
+}
+
+util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
+                                                 ExecStats* stats) const {
+  util::Stopwatch sw;
+  storage::SelectionStats sel;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int64_t count = 0;
+  index_.RadiusVisit(
+      q.center.data(), q.theta, norm_,
+      [&sum, &sum_sq, &count](int64_t, const double*, double u) {
+        sum += u;
+        sum_sq += u * u;
+        ++count;
+      },
+      &sel);
+  if (stats != nullptr) {
+    stats->tuples_examined = sel.tuples_examined;
+    stats->tuples_matched = sel.tuples_matched;
+    stats->nanos = sw.ElapsedNanos();
+  }
+  if (count == 0) {
+    return util::Status::NotFound("empty data subspace D(x, theta)");
+  }
+  MomentsResult r;
+  r.count = count;
+  r.mean = sum / static_cast<double>(count);
+  r.second_moment = sum_sq / static_cast<double>(count);
+  r.variance = std::max(0.0, r.second_moment - r.mean * r.mean);
+  return r;
+}
+
+util::Result<linalg::OlsFit> ExactEngine::Regression(const Query& q,
+                                                     ExecStats* stats) const {
+  util::Stopwatch sw;
+  storage::SelectionStats sel;
+  linalg::OlsAccumulator acc(table_.dimension());
+  index_.RadiusVisit(
+      q.center.data(), q.theta, norm_,
+      [&acc](int64_t, const double* x, double u) { acc.Add(x, u); }, &sel);
+  auto fit = acc.count() == 0
+                 ? util::Result<linalg::OlsFit>(
+                       util::Status::NotFound("empty data subspace D(x, theta)"))
+                 : acc.Solve();
+  if (stats != nullptr) {
+    stats->tuples_examined = sel.tuples_examined;
+    stats->tuples_matched = sel.tuples_matched;
+    stats->nanos = sw.ElapsedNanos();
+  }
+  return fit;
+}
+
+std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const {
+  util::Stopwatch sw;
+  storage::SelectionStats sel;
+  std::vector<int64_t> ids = index_.RadiusSearch(q.center.data(), q.theta, norm_, &sel);
+  if (stats != nullptr) {
+    stats->tuples_examined = sel.tuples_examined;
+    stats->tuples_matched = sel.tuples_matched;
+    stats->nanos = sw.ElapsedNanos();
+  }
+  return ids;
+}
+
+}  // namespace query
+}  // namespace qreg

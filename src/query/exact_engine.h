@@ -1,0 +1,87 @@
+// Exact query evaluation over the storage engine: the ground truth the
+// paper's model is trained from and compared against.
+//
+//  - Q1 (MeanValue): average of u over D(x, θ)          [Definition 4]
+//  - Q2 (Regression): multivariate OLS over D(x, θ)     [the REG baseline]
+//
+// Both run the selection through a SpatialIndex access path and aggregate in
+// one streaming pass (no subspace materialization).
+
+#ifndef QREG_QUERY_EXACT_ENGINE_H_
+#define QREG_QUERY_EXACT_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/ols.h"
+#include "query/query.h"
+#include "storage/spatial_index.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace query {
+
+/// \brief Execution statistics of one exact query.
+struct ExecStats {
+  int64_t tuples_examined = 0;
+  int64_t tuples_matched = 0;
+  int64_t nanos = 0;
+
+  double millis() const { return static_cast<double>(nanos) / 1e6; }
+};
+
+/// \brief Result of an exact Q1 query.
+struct MeanValueResult {
+  double mean = 0.0;
+  int64_t count = 0;  ///< n_θ(x): cardinality of the selected subspace.
+};
+
+/// \brief First two moments of u over a subspace (the high-order-moment
+/// extension of Q1 from the paper's future-work list).
+struct MomentsResult {
+  double mean = 0.0;
+  double second_moment = 0.0;  ///< E[u²] over D(x, θ).
+  double variance = 0.0;       ///< Population variance (clamped at 0).
+  int64_t count = 0;
+};
+
+/// \brief Exact Q1/Q2 executor over a table + access path.
+class ExactEngine {
+ public:
+  /// Both referents must outlive the engine.
+  ExactEngine(const storage::Table& table, const storage::SpatialIndex& index,
+              storage::LpNorm norm = storage::LpNorm::L2())
+      : table_(table), index_(index), norm_(norm) {}
+
+  /// Q1: mean of u over D(x, θ). NotFound if the subspace is empty.
+  util::Result<MeanValueResult> MeanValue(const Query& q,
+                                          ExecStats* stats = nullptr) const;
+
+  /// Q1 moment extension: mean, second moment and variance of u over
+  /// D(x, θ) in one streaming pass. NotFound if the subspace is empty.
+  util::Result<MomentsResult> Moments(const Query& q,
+                                      ExecStats* stats = nullptr) const;
+
+  /// Q2: OLS fit of u on x over D(x, θ) (the REG baseline).
+  /// NotFound if the subspace is empty.
+  util::Result<linalg::OlsFit> Regression(const Query& q,
+                                          ExecStats* stats = nullptr) const;
+
+  /// Row ids inside D(x, θ) (helper for baselines that need raw points).
+  std::vector<int64_t> Select(const Query& q, ExecStats* stats = nullptr) const;
+
+  const storage::Table& table() const { return table_; }
+  const storage::SpatialIndex& index() const { return index_; }
+  const storage::LpNorm& norm() const { return norm_; }
+
+ private:
+  const storage::Table& table_;
+  const storage::SpatialIndex& index_;
+  storage::LpNorm norm_;
+};
+
+}  // namespace query
+}  // namespace qreg
+
+#endif  // QREG_QUERY_EXACT_ENGINE_H_

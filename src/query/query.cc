@@ -1,0 +1,71 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace query {
+
+std::vector<double> Query::ToVector() const {
+  std::vector<double> v = center;
+  v.push_back(theta);
+  return v;
+}
+
+Query Query::FromVector(const std::vector<double>& v) {
+  assert(!v.empty());
+  Query q;
+  q.center.assign(v.begin(), v.end() - 1);
+  q.theta = v.back();
+  return q;
+}
+
+std::string Query::ToString() const {
+  std::string out = "Q([";
+  for (size_t i = 0; i < center.size(); ++i) {
+    out += util::Format("%.4g", center[i]);
+    if (i + 1 < center.size()) out += ", ";
+  }
+  out += util::Format("], θ=%.4g)", theta);
+  return out;
+}
+
+double QueryDistanceSquared(const Query& a, const Query& b) {
+  assert(a.dimension() == b.dimension());
+  double s = 0.0;
+  for (size_t i = 0; i < a.center.size(); ++i) {
+    const double t = a.center[i] - b.center[i];
+    s += t * t;
+  }
+  const double dt = a.theta - b.theta;
+  return s + dt * dt;
+}
+
+double QueryDistance(const Query& a, const Query& b) {
+  return std::sqrt(QueryDistanceSquared(a, b));
+}
+
+bool Overlaps(const Query& a, const Query& b, const storage::LpNorm& norm) {
+  assert(a.dimension() == b.dimension());
+  const double dist =
+      norm.Distance(a.center.data(), b.center.data(), a.dimension());
+  return dist <= a.theta + b.theta;
+}
+
+double DegreeOfOverlap(const Query& a, const Query& b,
+                       const storage::LpNorm& norm) {
+  if (!Overlaps(a, b, norm)) return 0.0;
+  const double center_dist =
+      storage::LpNorm::L2().Distance(a.center.data(), b.center.data(), a.dimension());
+  const double theta_sum = a.theta + b.theta;
+  if (theta_sum <= 0.0) return 0.0;
+  const double ratio =
+      std::max(center_dist, std::fabs(a.theta - b.theta)) / theta_sum;
+  return std::clamp(1.0 - ratio, 0.0, 1.0);
+}
+
+}  // namespace query
+}  // namespace qreg

@@ -1,0 +1,62 @@
+#include "query/workload.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace query {
+
+WorkloadConfig WorkloadConfig::Cube(size_t d, double lo, double hi,
+                                    double theta_mean, double theta_stddev,
+                                    uint64_t seed) {
+  WorkloadConfig c;
+  c.d = d;
+  c.center_lo.assign(d, lo);
+  c.center_hi.assign(d, hi);
+  c.theta_mean = theta_mean;
+  c.theta_stddev = theta_stddev;
+  c.seed = seed;
+  return c;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+util::Status WorkloadGenerator::Validate() const {
+  if (config_.d == 0) return util::Status::InvalidArgument("d must be positive");
+  if (config_.center_lo.size() != config_.d || config_.center_hi.size() != config_.d) {
+    return util::Status::InvalidArgument("center bounds must have size d");
+  }
+  for (size_t i = 0; i < config_.d; ++i) {
+    if (config_.center_lo[i] > config_.center_hi[i]) {
+      return util::Status::InvalidArgument(
+          util::Format("center_lo[%zu] > center_hi[%zu]", i, i));
+    }
+  }
+  if (config_.theta_mean <= 0.0) {
+    return util::Status::InvalidArgument("theta_mean must be positive");
+  }
+  return util::Status::OK();
+}
+
+Query WorkloadGenerator::Next() {
+  Query q;
+  q.center.resize(config_.d);
+  for (size_t i = 0; i < config_.d; ++i) {
+    q.center[i] = rng_.Uniform(config_.center_lo[i], config_.center_hi[i]);
+  }
+  q.theta = std::max(config_.theta_min,
+                     rng_.Gaussian(config_.theta_mean, config_.theta_stddev));
+  return q;
+}
+
+std::vector<Query> WorkloadGenerator::Generate(int64_t n) {
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace query
+}  // namespace qreg

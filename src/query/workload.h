@@ -1,0 +1,57 @@
+// Workload generation: the evaluation setup of section VI-A — query centers
+// uniform over the attribute domain, radii Gaussian θ ~ N(µθ, σθ²) truncated
+// to be positive.
+
+#ifndef QREG_QUERY_WORKLOAD_H_
+#define QREG_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace query {
+
+/// \brief Parameters of a random query workload.
+struct WorkloadConfig {
+  size_t d = 2;                       ///< Input-space dimension.
+  std::vector<double> center_lo;      ///< Per-dim lower bound (size d).
+  std::vector<double> center_hi;      ///< Per-dim upper bound (size d).
+  double theta_mean = 0.1;            ///< µθ.
+  double theta_stddev = 0.1;          ///< σθ.
+  double theta_min = 1e-6;            ///< Truncation floor (θ must be > 0).
+  uint64_t seed = 1;
+
+  /// Uniform cube [lo, hi]^d with the given radius distribution.
+  static WorkloadConfig Cube(size_t d, double lo, double hi, double theta_mean,
+                             double theta_stddev, uint64_t seed);
+};
+
+/// \brief Deterministic stream of random queries.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Validates bounds/dimensions.
+  util::Status Validate() const;
+
+  /// Next random query (uniform center, truncated-Gaussian radius).
+  Query Next();
+
+  /// Generates `n` queries.
+  std::vector<Query> Generate(int64_t n);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace query
+}  // namespace qreg
+
+#endif  // QREG_QUERY_WORKLOAD_H_

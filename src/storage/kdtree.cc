@@ -1,0 +1,176 @@
+#include "storage/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace qreg {
+namespace storage {
+
+KdTree::KdTree(const Table& table, int leaf_size)
+    : table_(table), leaf_size_(std::max(1, leaf_size)) {
+  const int64_t n = table_.num_rows();
+  ids_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ids_[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  if (n > 0) {
+    nodes_.reserve(static_cast<size_t>(2 * n / leaf_size_ + 2));
+    root_ = Build(0, static_cast<int32_t>(n));
+  }
+}
+
+void KdTree::ComputeBox(Node* node) const {
+  const size_t d = table_.dimension();
+  node->box_lo.assign(d, 0.0);
+  node->box_hi.assign(d, 0.0);
+  const double* first = table_.x(ids_[static_cast<size_t>(node->begin)]);
+  for (size_t j = 0; j < d; ++j) {
+    node->box_lo[j] = first[j];
+    node->box_hi[j] = first[j];
+  }
+  for (int32_t i = node->begin + 1; i < node->end; ++i) {
+    const double* row = table_.x(ids_[static_cast<size_t>(i)]);
+    for (size_t j = 0; j < d; ++j) {
+      if (row[j] < node->box_lo[j]) node->box_lo[j] = row[j];
+      if (row[j] > node->box_hi[j]) node->box_hi[j] = row[j];
+    }
+  }
+}
+
+int32_t KdTree::Build(int32_t begin, int32_t end) {
+  const int32_t node_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+  }
+  // ComputeBox reads through ids_; safe to call with the node in place.
+  ComputeBox(&nodes_[static_cast<size_t>(node_idx)]);
+
+  if (end - begin <= leaf_size_) return node_idx;
+
+  // Split on the widest box dimension at the median.
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  const size_t d = table_.dimension();
+  size_t split_dim = 0;
+  double widest = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double w = node.box_hi[j] - node.box_lo[j];
+    if (w > widest) {
+      widest = w;
+      split_dim = j;
+    }
+  }
+  if (widest <= 0.0) return node_idx;  // All points identical: stay a leaf.
+
+  const int32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid, ids_.begin() + end,
+                   [this, split_dim](int32_t a, int32_t b) {
+                     return table_.x(a)[split_dim] < table_.x(b)[split_dim];
+                   });
+
+  const int32_t left = Build(begin, mid);
+  const int32_t right = Build(mid, end);
+  nodes_[static_cast<size_t>(node_idx)].left = left;
+  nodes_[static_cast<size_t>(node_idx)].right = right;
+  return node_idx;
+}
+
+void KdTree::RadiusVisitNode(int32_t node_idx, const double* center, double radius,
+                             const LpNorm& norm, const RowVisitor& visit,
+                             int64_t* examined, int64_t* matched) const {
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  const size_t d = table_.dimension();
+  if (norm.MinDistanceToBox(center, node.box_lo.data(), node.box_hi.data(), d) >
+      radius) {
+    return;  // Ball cannot intersect this subtree.
+  }
+  if (node.left < 0) {  // Leaf: test every row.
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      const int32_t id = ids_[static_cast<size_t>(i)];
+      const double* row = table_.x(id);
+      ++*examined;
+      if (norm.Within(row, center, d, radius)) {
+        ++*matched;
+        visit(id, row, table_.u(id));
+      }
+    }
+    return;
+  }
+  RadiusVisitNode(node.left, center, radius, norm, visit, examined, matched);
+  RadiusVisitNode(node.right, center, radius, norm, visit, examined, matched);
+}
+
+void KdTree::RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                         const RowVisitor& visit, SelectionStats* stats) const {
+  if (root_ < 0) return;
+  int64_t examined = 0;
+  int64_t matched = 0;
+  RadiusVisitNode(root_, center, radius, norm, visit, &examined, &matched);
+  if (stats != nullptr) {
+    stats->tuples_examined += examined;
+    stats->tuples_matched += matched;
+  }
+}
+
+std::vector<Neighbor> KdTree::NearestNeighbors(const double* center, int k,
+                                               const LpNorm& norm) const {
+  std::vector<Neighbor> result;
+  if (root_ < 0 || k <= 0) return result;
+
+  // Max-heap of the best k found so far.
+  auto cmp = [](const Neighbor& a, const Neighbor& b) { return a.distance < b.distance; };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
+  const size_t d = table_.dimension();
+
+  // Depth-first with box pruning against the current kth distance.
+  std::vector<int32_t> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const int32_t node_idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(node_idx)];
+    const double bound =
+        (heap.size() == static_cast<size_t>(k)) ? heap.top().distance
+                                                : LpNorm::kInf;
+    if (norm.MinDistanceToBox(center, node.box_lo.data(), node.box_hi.data(), d) >
+        bound) {
+      continue;
+    }
+    if (node.left < 0) {
+      for (int32_t i = node.begin; i < node.end; ++i) {
+        const int32_t id = ids_[static_cast<size_t>(i)];
+        const double dist = norm.Distance(table_.x(id), center, d);
+        if (heap.size() < static_cast<size_t>(k)) {
+          heap.push({dist, id});
+        } else if (dist < heap.top().distance) {
+          heap.pop();
+          heap.push({dist, id});
+        }
+      }
+      continue;
+    }
+    // Descend nearer child first so the bound shrinks early.
+    const Node& ln = nodes_[static_cast<size_t>(node.left)];
+    const Node& rn = nodes_[static_cast<size_t>(node.right)];
+    const double dl = norm.MinDistanceToBox(center, ln.box_lo.data(), ln.box_hi.data(), d);
+    const double dr = norm.MinDistanceToBox(center, rn.box_lo.data(), rn.box_hi.data(), d);
+    if (dl <= dr) {
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+
+  result.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    result[i] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace storage
+}  // namespace qreg

@@ -1,0 +1,74 @@
+// Bulk-loaded k-d tree over a Table's feature vectors.
+//
+// Supports radius (dNN) selection under any Lp norm — the paper's selection
+// operator — plus k-nearest-neighbour search used by tests and examples.
+// Nodes own contiguous index ranges; leaves hold up to `leaf_size` rows and
+// interior nodes keep their bounding boxes for Lp pruning.
+
+#ifndef QREG_STORAGE_KDTREE_H_
+#define QREG_STORAGE_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/spatial_index.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace storage {
+
+/// \brief One (distance, row id) hit of a k-NN query, sorted ascending.
+struct Neighbor {
+  double distance = 0.0;
+  int64_t id = -1;
+};
+
+/// \brief k-d tree access path (median splits on the widest dimension).
+class KdTree : public SpatialIndex {
+ public:
+  /// Builds over all current rows of `table` (which must outlive the tree).
+  /// leaf_size trades pruning power for per-leaf scan cost; 32 is a good
+  /// default for d <= 8.
+  explicit KdTree(const Table& table, int leaf_size = 32);
+
+  void RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                   const RowVisitor& visit, SelectionStats* stats) const override;
+
+  /// The k nearest rows to `center` under `norm`, ascending by distance.
+  /// Returns fewer than k if the table is smaller.
+  std::vector<Neighbor> NearestNeighbors(const double* center, int k,
+                                         const LpNorm& norm = LpNorm::L2()) const;
+
+  std::string name() const override { return "kdtree"; }
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_rows() const { return static_cast<int64_t>(ids_.size()); }
+
+ private:
+  struct Node {
+    int32_t left = -1;    // child node index, -1 for leaf
+    int32_t right = -1;
+    int32_t begin = 0;    // range in ids_
+    int32_t end = 0;
+    std::vector<double> box_lo;
+    std::vector<double> box_hi;
+  };
+
+  int32_t Build(int32_t begin, int32_t end);
+  void ComputeBox(Node* node) const;
+
+  void RadiusVisitNode(int32_t node_idx, const double* center, double radius,
+                       const LpNorm& norm, const RowVisitor& visit,
+                       int64_t* examined, int64_t* matched) const;
+
+  const Table& table_;
+  int leaf_size_;
+  std::vector<int32_t> ids_;   // permutation of row ids
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace storage
+}  // namespace qreg
+
+#endif  // QREG_STORAGE_KDTREE_H_

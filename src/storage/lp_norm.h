@@ -1,0 +1,109 @@
+// Lp distance (Definition 2 in the paper) with fast paths for p=1,2,inf.
+//
+// The selection operator D(x, θ) admits any p >= 1; the query-space
+// similarity measure is always L2 (Definition 5).
+
+#ifndef QREG_STORAGE_LP_NORM_H_
+#define QREG_STORAGE_LP_NORM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace qreg {
+namespace storage {
+
+/// \brief p-norm selector; kInf encodes the Chebyshev norm.
+class LpNorm {
+ public:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// p must be >= 1 (or kInf); p defaults to Euclidean.
+  explicit LpNorm(double p = 2.0) : p_(p) {}
+
+  static LpNorm L1() { return LpNorm(1.0); }
+  static LpNorm L2() { return LpNorm(2.0); }
+  static LpNorm LInf() { return LpNorm(kInf); }
+
+  double p() const { return p_; }
+
+  /// ||a - b||_p over d coordinates.
+  double Distance(const double* a, const double* b, size_t d) const {
+    if (p_ == 2.0) {
+      double s = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        const double t = a[i] - b[i];
+        s += t * t;
+      }
+      return std::sqrt(s);
+    }
+    if (p_ == 1.0) {
+      double s = 0.0;
+      for (size_t i = 0; i < d; ++i) s += std::fabs(a[i] - b[i]);
+      return s;
+    }
+    if (p_ == kInf) {
+      double s = 0.0;
+      for (size_t i = 0; i < d; ++i) s = std::max(s, std::fabs(a[i] - b[i]));
+      return s;
+    }
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) s += std::pow(std::fabs(a[i] - b[i]), p_);
+    return std::pow(s, 1.0 / p_);
+  }
+
+  /// True iff ||a - b||_p <= radius; avoids the final root where possible.
+  bool Within(const double* a, const double* b, size_t d, double radius) const {
+    if (p_ == 2.0) {
+      double s = 0.0;
+      const double r2 = radius * radius;
+      for (size_t i = 0; i < d; ++i) {
+        const double t = a[i] - b[i];
+        s += t * t;
+        if (s > r2) return false;
+      }
+      return true;
+    }
+    if (p_ == kInf) {
+      for (size_t i = 0; i < d; ++i) {
+        if (std::fabs(a[i] - b[i]) > radius) return false;
+      }
+      return true;
+    }
+    return Distance(a, b, d) <= radius;
+  }
+
+  /// Minimum ||q - y||_p over points y inside the axis-aligned box
+  /// [lo, hi]^d. Used by the k-d tree to prune subtrees.
+  double MinDistanceToBox(const double* q, const double* lo, const double* hi,
+                          size_t d) const {
+    if (p_ == kInf) {
+      double m = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        double gap = 0.0;
+        if (q[i] < lo[i]) gap = lo[i] - q[i];
+        else if (q[i] > hi[i]) gap = q[i] - hi[i];
+        m = std::max(m, gap);
+      }
+      return m;
+    }
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      double gap = 0.0;
+      if (q[i] < lo[i]) gap = lo[i] - q[i];
+      else if (q[i] > hi[i]) gap = q[i] - hi[i];
+      s += (p_ == 2.0) ? gap * gap : ((p_ == 1.0) ? gap : std::pow(gap, p_));
+    }
+    if (p_ == 2.0) return std::sqrt(s);
+    if (p_ == 1.0) return s;
+    return std::pow(s, 1.0 / p_);
+  }
+
+ private:
+  double p_;
+};
+
+}  // namespace storage
+}  // namespace qreg
+
+#endif  // QREG_STORAGE_LP_NORM_H_

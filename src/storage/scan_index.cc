@@ -1,0 +1,25 @@
+#include "storage/scan_index.h"
+
+namespace qreg {
+namespace storage {
+
+void ScanIndex::RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                            const RowVisitor& visit, SelectionStats* stats) const {
+  const int64_t n = table_.num_rows();
+  const size_t d = table_.dimension();
+  int64_t matched = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = table_.x(i);
+    if (norm.Within(row, center, d, radius)) {
+      ++matched;
+      visit(i, row, table_.u(i));
+    }
+  }
+  if (stats != nullptr) {
+    stats->tuples_examined += n;
+    stats->tuples_matched += matched;
+  }
+}
+
+}  // namespace storage
+}  // namespace qreg

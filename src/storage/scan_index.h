@@ -1,0 +1,31 @@
+// Full-table-scan access path: what a DBMS without a spatial index does for
+// a dNN selection (sequential filter). Baseline for Figure 12 and the
+// correctness oracle for the k-d tree.
+
+#ifndef QREG_STORAGE_SCAN_INDEX_H_
+#define QREG_STORAGE_SCAN_INDEX_H_
+
+#include "storage/spatial_index.h"
+
+namespace qreg {
+namespace storage {
+
+/// \brief Sequential-scan selection over a Table.
+class ScanIndex : public SpatialIndex {
+ public:
+  /// The table must outlive the index.
+  explicit ScanIndex(const Table& table) : table_(table) {}
+
+  void RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                   const RowVisitor& visit, SelectionStats* stats) const override;
+
+  std::string name() const override { return "scan"; }
+
+ private:
+  const Table& table_;
+};
+
+}  // namespace storage
+}  // namespace qreg
+
+#endif  // QREG_STORAGE_SCAN_INDEX_H_

@@ -1,0 +1,17 @@
+#include "storage/spatial_index.h"
+
+namespace qreg {
+namespace storage {
+
+std::vector<int64_t> SpatialIndex::RadiusSearch(const double* center, double radius,
+                                                const LpNorm& norm,
+                                                SelectionStats* stats) const {
+  std::vector<int64_t> ids;
+  RadiusVisit(
+      center, radius, norm,
+      [&ids](int64_t id, const double*, double) { ids.push_back(id); }, stats);
+  return ids;
+}
+
+}  // namespace storage
+}  // namespace qreg

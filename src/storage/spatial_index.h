@@ -1,0 +1,49 @@
+// Selection-operator interface: visit every row of a Table whose feature
+// vector lies within an Lp ball (Definition 3's data subspace D(x, θ)).
+
+#ifndef QREG_STORAGE_SPATIAL_INDEX_H_
+#define QREG_STORAGE_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/lp_norm.h"
+#include "storage/table.h"
+
+namespace qreg {
+namespace storage {
+
+/// \brief Callback receiving (row id, features pointer, output value).
+using RowVisitor = std::function<void(int64_t id, const double* x, double u)>;
+
+/// \brief Statistics of one selection execution.
+struct SelectionStats {
+  int64_t tuples_examined = 0;  ///< Rows whose distance was evaluated.
+  int64_t tuples_matched = 0;   ///< Rows inside the ball.
+};
+
+/// \brief Abstract radius-selection access path over a Table.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Invokes `visit` for every row within `radius` of `center` under `norm`.
+  /// `stats` may be null.
+  virtual void RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                           const RowVisitor& visit, SelectionStats* stats) const = 0;
+
+  /// Collects matching row ids (convenience wrapper over RadiusVisit).
+  std::vector<int64_t> RadiusSearch(const double* center, double radius,
+                                    const LpNorm& norm,
+                                    SelectionStats* stats = nullptr) const;
+
+  /// Access-path name for logs and bench tables ("kdtree", "scan").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace storage
+}  // namespace qreg
+
+#endif  // QREG_STORAGE_SPATIAL_INDEX_H_

@@ -1,0 +1,48 @@
+#include "storage/table.h"
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace storage {
+
+Schema Schema::Default(size_t d) {
+  Schema s;
+  s.feature_names.reserve(d);
+  for (size_t i = 0; i < d; ++i) {
+    s.feature_names.push_back(util::Format("x%zu", i + 1));
+  }
+  s.output_name = "u";
+  return s;
+}
+
+util::Status Table::Append(const std::vector<double>& x, double u) {
+  if (x.size() != d_) {
+    return util::Status::InvalidArgument(
+        util::Format("row has %zu features, table expects %zu", x.size(), d_));
+  }
+  AppendUnchecked(x.data(), u);
+  return util::Status::OK();
+}
+
+void Table::FeatureRanges(std::vector<double>* mins, std::vector<double>* maxs) const {
+  mins->clear();
+  maxs->clear();
+  if (num_rows() == 0) return;
+  mins->assign(d_, 0.0);
+  maxs->assign(d_, 0.0);
+  for (size_t j = 0; j < d_; ++j) {
+    (*mins)[j] = xs_[j];
+    (*maxs)[j] = xs_[j];
+  }
+  const int64_t n = num_rows();
+  for (int64_t i = 1; i < n; ++i) {
+    const double* row = x(i);
+    for (size_t j = 0; j < d_; ++j) {
+      if (row[j] < (*mins)[j]) (*mins)[j] = row[j];
+      if (row[j] > (*maxs)[j]) (*maxs)[j] = row[j];
+    }
+  }
+}
+
+}  // namespace storage
+}  // namespace qreg

@@ -1,0 +1,86 @@
+// In-memory table of (x, u) pairs: the dataset relation B that the exact
+// query engine (the "DBMS" of the paper's Figure 2) scans or indexes.
+//
+// Features are stored row-major and contiguous so radius scans stream
+// sequentially; the output attribute u is a separate column.
+
+#ifndef QREG_STORAGE_TABLE_H_
+#define QREG_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qreg {
+namespace storage {
+
+/// \brief Attribute names for a (x_1..x_d, u) relation.
+struct Schema {
+  std::vector<std::string> feature_names;
+  std::string output_name = "u";
+
+  /// Default schema x1..xd / u.
+  static Schema Default(size_t d);
+
+  size_t dimension() const { return feature_names.size(); }
+};
+
+/// \brief Append-only in-memory relation of d input features and one output.
+class Table {
+ public:
+  /// Creates an empty table with the default schema for dimension d.
+  explicit Table(size_t d) : schema_(Schema::Default(d)), d_(d) {}
+  explicit Table(Schema schema) : schema_(std::move(schema)), d_(schema_.dimension()) {}
+
+  size_t dimension() const { return d_; }
+  int64_t num_rows() const { return static_cast<int64_t>(us_.size()); }
+  const Schema& schema() const { return schema_; }
+
+  void Reserve(int64_t rows) {
+    xs_.reserve(static_cast<size_t>(rows) * d_);
+    us_.reserve(static_cast<size_t>(rows));
+  }
+
+  /// Appends one row; x.size() must equal dimension().
+  util::Status Append(const std::vector<double>& x, double u);
+
+  /// Appends from a raw pointer (d doubles), no validation.
+  void AppendUnchecked(const double* x, double u) {
+    xs_.insert(xs_.end(), x, x + d_);
+    us_.push_back(u);
+  }
+
+  /// Pointer to the d features of row id.
+  const double* x(int64_t id) const { return &xs_[static_cast<size_t>(id) * d_]; }
+
+  /// Copy of the feature vector of row id.
+  std::vector<double> XRow(int64_t id) const {
+    const double* p = x(id);
+    return std::vector<double>(p, p + d_);
+  }
+
+  double u(int64_t id) const { return us_[static_cast<size_t>(id)]; }
+
+  const std::vector<double>& u_column() const { return us_; }
+
+  /// Per-dimension [min,max] over all rows; empty vectors for empty table.
+  void FeatureRanges(std::vector<double>* mins, std::vector<double>* maxs) const;
+
+  /// Approximate resident bytes (features + output).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>((xs_.capacity() + us_.capacity()) * sizeof(double));
+  }
+
+ private:
+  Schema schema_;
+  size_t d_;
+  std::vector<double> xs_;  // row-major, n * d
+  std::vector<double> us_;  // n
+};
+
+}  // namespace storage
+}  // namespace qreg
+
+#endif  // QREG_STORAGE_TABLE_H_

@@ -1,0 +1,116 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace util {
+
+Status CsvReader::Open(const std::string& path) {
+  if (in_.is_open()) return Status::FailedPrecondition("CsvReader already open");
+  in_.open(path, std::ios::in);
+  if (!in_.is_open()) return Status::IoError("cannot open for reading: " + path);
+  path_ = path;
+  line_ = 0;
+  return Status::OK();
+}
+
+std::vector<std::string> CsvReader::ParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>* fields) {
+  fields->clear();
+  if (!in_.is_open()) return false;
+  std::string record;
+  std::string line;
+  // Accumulate physical lines until quotes are balanced (embedded newlines).
+  bool have_any = false;
+  while (std::getline(in_, line)) {
+    ++line_;
+    have_any = true;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    record += record.empty() ? line : "\n" + line;
+    int quotes = 0;
+    for (char c : record) quotes += (c == '"');
+    if (quotes % 2 == 0) break;
+  }
+  if (!have_any) return false;
+  *fields = ParseLine(record);
+  return true;
+}
+
+Status CsvWriter::Open(const std::string& path) {
+  if (out_.is_open()) return Status::FailedPrecondition("CsvWriter already open");
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) return Status::FailedPrecondition("CsvWriter not open");
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IoError("write failed: " + path_);
+  return Status::OK();
+}
+
+Status CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(Format("%.10g", v));
+  return WriteRow(fields);
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.close();
+  if (out_.fail()) return Status::IoError("close failed: " + path_);
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace qreg

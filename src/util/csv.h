@@ -1,0 +1,73 @@
+// Minimal CSV writer for experiment outputs (bench/out/*.csv).
+
+#ifndef QREG_UTIL_CSV_H_
+#define QREG_UTIL_CSV_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qreg {
+namespace util {
+
+/// \brief Reads a CSV file row by row (RFC-4180-style quoting).
+class CsvReader {
+ public:
+  CsvReader() = default;
+
+  /// Opens `path` for reading.
+  Status Open(const std::string& path);
+
+  /// Reads the next record into `fields` (cleared first). Returns true if a
+  /// record was read, false at end of file. Handles quoted fields containing
+  /// commas, escaped quotes (""), and embedded newlines.
+  bool ReadRow(std::vector<std::string>* fields);
+
+  /// 1-based line number of the record most recently returned.
+  int64_t line_number() const { return line_; }
+
+  bool is_open() const { return in_.is_open(); }
+
+  /// Parses one CSV record from a string (exposed for testing).
+  static std::vector<std::string> ParseLine(const std::string& line);
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  int64_t line_ = 0;
+};
+
+/// \brief Streams rows to a CSV file; fields containing separators are quoted.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens `path` for writing (truncates). Creates parent dirs is NOT done;
+  /// callers pass paths in existing directories.
+  Status Open(const std::string& path);
+
+  /// Writes a header or data row. No-op with error status if not open.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with "%.10g".
+  Status WriteNumericRow(const std::vector<double>& values);
+
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// Escapes one CSV field (quotes if it contains comma/quote/newline).
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace util
+}  // namespace qreg
+
+#endif  // QREG_UTIL_CSV_H_

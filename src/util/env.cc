@@ -1,0 +1,39 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace qreg {
+namespace util {
+
+int64_t GetEnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return (v == nullptr) ? def : std::string(v);
+}
+
+bool GetEnvBool(const char* name, bool def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "TRUE" || s == "on" || s == "ON";
+}
+
+}  // namespace util
+}  // namespace qreg

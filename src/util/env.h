@@ -1,0 +1,31 @@
+// Environment-variable configuration knobs for benches and examples.
+//
+// The paper's evaluation uses dataset sizes up to 10^10 rows; inside a
+// container we default to laptop-scale sizes and let the operator raise them
+// with QREG_* environment variables (see DESIGN.md section 3).
+
+#ifndef QREG_UTIL_ENV_H_
+#define QREG_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qreg {
+namespace util {
+
+/// \brief Reads an integer env var, returning `def` if unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t def);
+
+/// \brief Reads a double env var, returning `def` if unset or unparsable.
+double GetEnvDouble(const char* name, double def);
+
+/// \brief Reads a string env var, returning `def` if unset.
+std::string GetEnvString(const char* name, const std::string& def);
+
+/// \brief True if the env var is set to a truthy value ("1", "true", "on").
+bool GetEnvBool(const char* name, bool def);
+
+}  // namespace util
+}  // namespace qreg
+
+#endif  // QREG_UTIL_ENV_H_

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr. Benches and the trainer use INFO-level
+// progress lines; set QREG_LOG_LEVEL=warn (or error/off) to quieten.
+
+#ifndef QREG_UTIL_LOGGING_H_
+#define QREG_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qreg {
+namespace util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Returns the process-wide minimum level (from QREG_LOG_LEVEL, default
+/// info).
+LogLevel MinLogLevel();
+
+/// \brief Overrides the minimum level programmatically (tests use this).
+void SetMinLogLevel(LogLevel level);
+
+/// \brief Emits one log line "[LEVEL] message" to stderr if enabled.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace qreg
+
+#define QREG_LOG_DEBUG ::qreg::util::internal::LogStream(::qreg::util::LogLevel::kDebug)
+#define QREG_LOG_INFO ::qreg::util::internal::LogStream(::qreg::util::LogLevel::kInfo)
+#define QREG_LOG_WARN ::qreg::util::internal::LogStream(::qreg::util::LogLevel::kWarn)
+#define QREG_LOG_ERROR ::qreg::util::internal::LogStream(::qreg::util::LogLevel::kError)
+
+#endif  // QREG_UTIL_LOGGING_H_

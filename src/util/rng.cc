@@ -1,0 +1,15 @@
+#include "util/rng.h"
+
+namespace qreg {
+namespace util {
+
+std::vector<uint64_t> DeriveSeeds(uint64_t master_seed, size_t n) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(n);
+  uint64_t sm = master_seed ^ 0xA5A5A5A55A5A5A5AULL;
+  for (size_t i = 0; i < n; ++i) seeds.push_back(SplitMix64(&sm));
+  return seeds;
+}
+
+}  // namespace util
+}  // namespace qreg

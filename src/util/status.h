@@ -1,0 +1,160 @@
+// Status / Result error model, in the style of Apache Arrow and RocksDB.
+//
+// Library code returns Status (or Result<T>) instead of throwing on expected
+// failure modes (bad arguments, singular systems, I/O errors). Logic errors
+// in release builds surface as StatusCode::kInternal.
+
+#ifndef QREG_UTIL_STATUS_H_
+#define QREG_UTIL_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qreg {
+namespace util {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Human-readable name for a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a value payload.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts in debug builds; callers
+/// must check ok() (or use QREG_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common success path).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; `status` must not be OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace util
+}  // namespace qreg
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define QREG_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::qreg::util::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define QREG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define QREG_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define QREG_ASSIGN_OR_RETURN_NAME(x, y) QREG_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define QREG_ASSIGN_OR_RETURN(lhs, rexpr) \
+  QREG_ASSIGN_OR_RETURN_IMPL(QREG_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, rexpr)
+
+#endif  // QREG_UTIL_STATUS_H_

@@ -1,0 +1,53 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(Format("%.*g", precision, v));
+  AddRow(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell;
+      if (c + 1 < ncols) {
+        for (size_t pad = cell.size(); pad < widths[c] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < ncols; ++c) total += widths[c] + (c + 1 < ncols ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace util
+}  // namespace qreg

@@ -1,0 +1,40 @@
+// Aligned console tables for bench output, mirroring the paper's figures as
+// printable series (column per curve, row per x-axis point).
+
+#ifndef QREG_UTIL_TABLE_PRINTER_H_
+#define QREG_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qreg {
+namespace util {
+
+/// \brief Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; missing cells render empty, extra cells widen the table.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for numeric rows; uses "%.*g" with `precision`.
+  void AddNumericRow(const std::vector<double>& values, int precision = 5);
+
+  /// Renders with a rule under the header, two-space gutters.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace qreg
+
+#endif  // QREG_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,65 @@
+// Wall-clock timing helpers used by the exact query engine and benches.
+
+#ifndef QREG_UTIL_TIMER_H_
+#define QREG_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qreg {
+namespace util {
+
+/// \brief Monotonic nanoseconds since an arbitrary epoch.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Simple restartable stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+
+  void Restart() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  int64_t start_;
+};
+
+/// \brief Accumulates durations across repeated timed sections.
+class TimeAccumulator {
+ public:
+  void Add(int64_t nanos) {
+    total_nanos_ += nanos;
+    ++count_;
+  }
+
+  int64_t total_nanos() const { return total_nanos_; }
+  int64_t count() const { return count_; }
+
+  double MeanMillis() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_nanos_) / 1e6 /
+                                   static_cast<double>(count_);
+  }
+  double TotalMillis() const { return static_cast<double>(total_nanos_) / 1e6; }
+
+  void Reset() {
+    total_nanos_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  int64_t total_nanos_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace util
+}  // namespace qreg
+
+#endif  // QREG_UTIL_TIMER_H_

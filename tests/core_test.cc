@@ -1,0 +1,520 @@
+// Unit + property tests for src/core: vigilance AVQ growth, Theorem-4 SGD
+// updates, Γ convergence, Algorithms 2 & 3 prediction paths, model
+// serialization, trainer behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/llm_model.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "storage/kdtree.h"
+#include "storage/scan_index.h"
+#include "util/rng.h"
+
+namespace qreg {
+namespace core {
+namespace {
+
+using query::Query;
+
+// ---------- Vigilance / config ----------
+
+TEST(VigilanceTest, FormulaMatchesPaper) {
+  // ρ = a (√d + 1)
+  EXPECT_DOUBLE_EQ(VigilanceFromCoefficient(0.25, 4), 0.25 * 3.0);
+  EXPECT_DOUBLE_EQ(VigilanceFromCoefficient(1.0, 1), 2.0);
+}
+
+TEST(LlmConfigTest, ForDimensionDerivesRho) {
+  LlmConfig c = LlmConfig::ForDimension(2, 0.25);
+  EXPECT_NEAR(c.vigilance, 0.25 * (std::sqrt(2.0) + 1.0), 1e-12);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(LlmConfigTest, ValidationRejectsBadValues) {
+  LlmConfig c = LlmConfig::ForDimension(2);
+  c.gamma = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = LlmConfig::ForDimension(0);
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = LlmConfig::ForDimension(2);
+  c.schedule = LearningRateSchedule::kConstant;
+  c.constant_eta = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = LlmConfig::ForDimension(2);
+  c.convergence_window = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = LlmConfig::ForDimension(2);
+  c.coef_power = 0.3;  // violates Robbins-Monro square-summability guard
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+// ---------- Growth / vigilance test ----------
+
+TEST(LlmModelTest, FirstObservationSpawnsPrototypeAtQuery) {
+  LlmConfig cfg = LlmConfig::ForDimension(2, 0.25);
+  cfg.seed_y_with_answer = false;  // the paper's literal 0-init
+  LlmModel model(cfg);
+  Query q({0.5, 0.5}, 0.1);
+  auto step = model.Observe(q, 3.0);
+  ASSERT_TRUE(step.ok());
+  EXPECT_TRUE(step->spawned);
+  EXPECT_EQ(step->winner, 0);
+  ASSERT_EQ(model.num_prototypes(), 1);
+  EXPECT_EQ(model.prototypes()[0].w.center, q.center);
+  EXPECT_DOUBLE_EQ(model.prototypes()[0].w.theta, q.theta);
+  EXPECT_DOUBLE_EQ(model.prototypes()[0].y, 0.0);
+}
+
+TEST(LlmModelTest, SeedYWithAnswerIsDefault) {
+  LlmModel model(LlmConfig::ForDimension(2, 0.25));
+  ASSERT_TRUE(model.Observe(Query({0.5, 0.5}, 0.1), 3.0).ok());
+  EXPECT_DOUBLE_EQ(model.prototypes()[0].y, 3.0);
+}
+
+TEST(LlmModelTest, NearbyQueryUpdatesFarQuerySpawns) {
+  LlmModel model(LlmConfig::ForDimension(1, 0.25));  // rho = 0.5
+  ASSERT_TRUE(model.Observe(Query({0.0}, 0.1), 1.0).ok());
+
+  // Distance sqrt(0.2^2 + 0^2) = 0.2 < 0.5: update, not spawn.
+  auto near = model.Observe(Query({0.2}, 0.1), 1.0);
+  ASSERT_TRUE(near.ok());
+  EXPECT_FALSE(near->spawned);
+  EXPECT_EQ(model.num_prototypes(), 1);
+
+  // Distance 5 > 0.5: spawn.
+  auto far = model.Observe(Query({5.0}, 0.1), 1.0);
+  ASSERT_TRUE(far.ok());
+  EXPECT_TRUE(far->spawned);
+  EXPECT_EQ(model.num_prototypes(), 2);
+}
+
+TEST(LlmModelTest, Theorem4UpdateArithmetic) {
+  LlmConfig c = LlmConfig::ForDimension(1, /*a=*/2.0);  // rho = 4: no spawning
+  c.schedule = LearningRateSchedule::kConstant;
+  c.constant_eta = 0.5;
+  c.normalize_coef_step = false;  // test the literal Theorem-4 arithmetic
+  c.seed_y_with_answer = false;   // the paper's 0-init, so y starts at 0
+  LlmModel model(c);
+  ASSERT_TRUE(model.Observe(Query({0.0}, 1.0), 1.0).ok());  // spawn at q1
+
+  auto step = model.Observe(Query({0.4}, 1.0), 2.0);
+  ASSERT_TRUE(step.ok());
+  EXPECT_FALSE(step->spawned);
+  const Prototype& p = model.prototypes()[0];
+  // residual e = 2 - (0 + 0) = 2
+  // Δb_x = 0.5 * 2 * 0.4 = 0.4 ; Δb_θ = 0 ; Δy = 1 ; Δw = 0.5*0.4 = 0.2
+  EXPECT_NEAR(p.b_x[0], 0.4, 1e-12);
+  EXPECT_NEAR(p.b_theta, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+  EXPECT_NEAR(p.w.center[0], 0.2, 1e-12);
+  EXPECT_NEAR(p.w.theta, 1.0, 1e-12);
+  EXPECT_NEAR(step->gamma_j, 0.2, 1e-12);
+  EXPECT_NEAR(step->gamma_h, 0.4 + 1.0, 1e-12);
+}
+
+TEST(LlmModelTest, DimensionMismatchRejected) {
+  LlmModel model(LlmConfig::ForDimension(2));
+  EXPECT_EQ(model.Observe(Query({0.1}, 0.1), 1.0).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(LlmModelTest, FrozenModelRejectsObserve) {
+  LlmModel model(LlmConfig::ForDimension(2));
+  ASSERT_TRUE(model.Observe(Query({0.1, 0.1}, 0.1), 1.0).ok());
+  model.Freeze();
+  EXPECT_EQ(model.Observe(Query({0.1, 0.1}, 0.1), 1.0).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+// Property: smaller a (finer quantization) gives at least as many prototypes.
+class GrowthMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrowthMonotonicityTest, FinerVigilanceMoreProtos) {
+  const int d = GetParam();
+  auto run = [d](double a) {
+    LlmModel model(LlmConfig::ForDimension(static_cast<size_t>(d), a));
+    auto cfg = query::WorkloadConfig::Cube(static_cast<size_t>(d), 0.0, 1.0, 0.1,
+                                           0.02, 77);
+    query::WorkloadGenerator gen(cfg);
+    util::Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_TRUE(model.Observe(gen.Next(), rng.Uniform()).ok());
+    }
+    return model.num_prototypes();
+  };
+  const int k_coarse = run(0.8);
+  const int k_mid = run(0.4);
+  const int k_fine = run(0.1);
+  EXPECT_LE(k_coarse, k_mid);
+  EXPECT_LE(k_mid, k_fine);
+  EXPECT_GE(k_fine, 4);  // fine quantization must produce several cells
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GrowthMonotonicityTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(LlmModelTest, FixedKModeCapsPrototypes) {
+  LlmConfig c = LlmConfig::ForDimension(2, 0.05);  // would grow many
+  c.fixed_k = 7;
+  LlmModel model(c);
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.02, 3);
+  query::WorkloadGenerator gen(cfg);
+  util::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(model.Observe(gen.Next(), rng.Uniform()).ok());
+  }
+  EXPECT_EQ(model.num_prototypes(), 7);
+}
+
+// ---------- Convergence on a globally linear f ----------
+
+TEST(LlmModelTest, ConvergesToLinearFunction) {
+  // f(x, θ) = 2 + 3 x1 − x2 + 0.5 θ is globally linear: a handful of LLMs
+  // should reproduce it almost exactly.
+  LlmModel model(LlmConfig::ForDimension(2, 0.5));
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.15, 0.05, 11);
+  query::WorkloadGenerator gen(cfg);
+  auto f = [](const Query& q) {
+    return 2.0 + 3.0 * q.center[0] - q.center[1] + 0.5 * q.theta;
+  };
+  for (int i = 0; i < 30000; ++i) {
+    const Query q = gen.Next();
+    ASSERT_TRUE(model.Observe(q, f(q)).ok());
+  }
+  // Unseen queries.
+  query::WorkloadGenerator test(
+      query::WorkloadConfig::Cube(2, 0.05, 0.95, 0.15, 0.05, 999));
+  double sse = 0.0;
+  const int m = 500;
+  for (int i = 0; i < m; ++i) {
+    const Query q = test.Next();
+    auto pred = model.PredictMean(q);
+    ASSERT_TRUE(pred.ok());
+    sse += (pred.value() - f(q)) * (pred.value() - f(q));
+  }
+  const double rmse = std::sqrt(sse / m);
+  EXPECT_LT(rmse, 0.05) << "K=" << model.num_prototypes();
+}
+
+TEST(LlmModelTest, GammaDecreasesOverTraining) {
+  LlmModel model(LlmConfig::ForDimension(2, 0.4));
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.02, 21);
+  query::WorkloadGenerator gen(cfg);
+  util::Rng rng(8);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const Query q = gen.Next();
+    ASSERT_TRUE(model.Observe(q, 0.3 * q.center[0] + rng.Gaussian(0, 0.01)).ok());
+    if (i == 100) early = model.CurrentGamma();
+  }
+  late = model.CurrentGamma();
+  EXPECT_LT(late, early);
+}
+
+// ---------- Prediction paths (Algorithms 2 & 3) ----------
+
+class PredictionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LlmConfig c = LlmConfig::ForDimension(1, 0.3);
+    model_ = std::make_unique<LlmModel>(c);
+    // Train two well-separated prototypes on two different local lines:
+    //   left  (x≈0.2): y = 1 + 2 (x − 0.2)
+    //   right (x≈2.0): y = 5 − 1 (x − 2.0)
+    util::Rng rng(31);
+    for (int i = 0; i < 8000; ++i) {
+      const double xl = 0.2 + rng.Uniform(-0.1, 0.1);
+      ASSERT_TRUE(
+          model_->Observe(Query({xl}, 0.1 + rng.Uniform(-0.02, 0.02)),
+                          1.0 + 2.0 * (xl - 0.2))
+              .ok());
+      const double xr = 2.0 + rng.Uniform(-0.1, 0.1);
+      ASSERT_TRUE(
+          model_->Observe(Query({xr}, 0.1 + rng.Uniform(-0.02, 0.02)),
+                          5.0 - 1.0 * (xr - 2.0))
+              .ok());
+    }
+    ASSERT_EQ(model_->num_prototypes(), 2);
+  }
+
+  std::unique_ptr<LlmModel> model_;
+};
+
+TEST_F(PredictionTest, OverlapSetFindsNearbyPrototype) {
+  auto w = model_->OverlapSet(Query({0.2}, 0.1));
+  ASSERT_EQ(w.size(), 1u);
+  // Far query overlapping nothing.
+  EXPECT_TRUE(model_->OverlapSet(Query({10.0}, 0.1)).empty());
+  // Huge ball overlaps both.
+  EXPECT_EQ(model_->OverlapSet(Query({1.0}, 5.0)).size(), 2u);
+}
+
+TEST_F(PredictionTest, PredictMeanNearPrototypeIsLocalValue) {
+  auto y = model_->PredictMean(Query({0.25}, 0.1));
+  ASSERT_TRUE(y.ok());
+  EXPECT_NEAR(*y, 1.0 + 2.0 * 0.05, 0.05);
+}
+
+TEST_F(PredictionTest, PredictMeanFallsBackToNearestWhenNoOverlap) {
+  // x = 3.0 overlaps nothing (prototypes near 0.2 and 2.0 with θ≈0.1);
+  // nearest is the right prototype: extrapolate its line.
+  auto y = model_->PredictMean(Query({3.0}, 0.05));
+  ASSERT_TRUE(y.ok());
+  EXPECT_NEAR(*y, 5.0 - 1.0 * 1.0, 0.25);
+}
+
+TEST_F(PredictionTest, RegressionQueryReturnsLocalLines) {
+  auto s = model_->RegressionQuery(Query({0.2}, 0.1));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 1u);
+  const LocalLinearModel& m = (*s)[0];
+  // Local line: slope 2, intercept 1 − 2*0.2 = 0.6 (in absolute coords).
+  EXPECT_NEAR(m.slope[0], 2.0, 0.15);
+  EXPECT_NEAR(m.intercept, 0.6, 0.1);
+  EXPECT_NEAR(m.weight, 1.0, 1e-9);  // single member => δ̃ = 1
+}
+
+TEST_F(PredictionTest, RegressionQueryBigBallReturnsBothPieces) {
+  auto s = model_->RegressionQuery(Query({1.0}, 5.0));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 2u);
+  double wsum = 0.0;
+  for (const auto& m : *s) wsum += m.weight;
+  EXPECT_NEAR(wsum, 1.0, 1e-9);
+  // One piece has slope ≈ 2, the other ≈ −1.
+  const double s0 = (*s)[0].slope[0];
+  const double s1 = (*s)[1].slope[0];
+  EXPECT_NEAR(std::max(s0, s1), 2.0, 0.2);
+  EXPECT_NEAR(std::min(s0, s1), -1.0, 0.2);
+}
+
+TEST_F(PredictionTest, RegressionQueryCase3Extrapolates) {
+  auto s = model_->RegressionQuery(Query({10.0}, 0.01));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 1u);
+  EXPECT_DOUBLE_EQ((*s)[0].weight, 0.0);  // extrapolation marker
+  EXPECT_NEAR((*s)[0].slope[0], -1.0, 0.15);
+}
+
+TEST_F(PredictionTest, PredictValueMatchesLocalLine) {
+  auto u = model_->PredictValue(Query({0.2}, 0.1), {0.3});
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(*u, 1.0 + 2.0 * 0.1, 0.06);
+}
+
+TEST_F(PredictionTest, NearestOnlyModeUsesSinglePrototype) {
+  // Same trained prototypes, different prediction policy via a round trip
+  // through the serializer (configs are immutable on the model).
+  std::ostringstream ss;
+  ASSERT_TRUE(ModelSerializer::Save(*model_, &ss).ok());
+  std::istringstream in(ss.str());
+  auto loaded = ModelSerializer::Load(&in);
+  ASSERT_TRUE(loaded.ok());
+  auto y = loaded->PredictMean(Query({0.25}, 0.1));
+  ASSERT_TRUE(y.ok());
+  EXPECT_NEAR(*y, 1.0 + 2.0 * 0.05, 0.05);
+}
+
+TEST(LlmModelTest, EmptyModelPredictionFails) {
+  LlmModel model(LlmConfig::ForDimension(2));
+  EXPECT_EQ(model.PredictMean(Query({0.1, 0.1}, 0.1)).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(model.RegressionQuery(Query({0.1, 0.1}, 0.1)).ok());
+  EXPECT_FALSE(model.PredictValue(Query({0.1, 0.1}, 0.1), {0.1, 0.1}).ok());
+}
+
+TEST(LlmModelTest, ParameterBytesScaleWithK) {
+  LlmModel model(LlmConfig::ForDimension(2, 0.1));
+  EXPECT_EQ(model.ParameterBytes(), 0);
+  ASSERT_TRUE(model.Observe(Query({0.1, 0.1}, 0.1), 1.0).ok());
+  const int64_t one = model.ParameterBytes();
+  ASSERT_TRUE(model.Observe(Query({5.0, 5.0}, 0.1), 1.0).ok());
+  EXPECT_EQ(model.ParameterBytes(), 2 * one);
+}
+
+// ---------- Serialization ----------
+
+TEST(ModelIoTest, RoundTripPreservesEverything) {
+  LlmConfig c = LlmConfig::ForDimension(3, 0.3, 0.02);
+  c.seed_y_with_answer = true;
+  LlmModel model(c);
+  auto cfg = query::WorkloadConfig::Cube(3, -1.0, 1.0, 0.2, 0.05, 55);
+  query::WorkloadGenerator gen(cfg);
+  util::Rng rng(56);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(model.Observe(gen.Next(), rng.Gaussian()).ok());
+  }
+  model.Freeze();
+
+  std::ostringstream ss;
+  ASSERT_TRUE(ModelSerializer::Save(model, &ss).ok());
+  std::istringstream in(ss.str());
+  auto loaded = ModelSerializer::Load(&in);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->num_prototypes(), model.num_prototypes());
+  EXPECT_EQ(loaded->observations(), model.observations());
+  EXPECT_TRUE(loaded->frozen());
+  EXPECT_EQ(loaded->config().d, model.config().d);
+  EXPECT_DOUBLE_EQ(loaded->config().vigilance, model.config().vigilance);
+
+  // Bit-exact prototypes and identical predictions.
+  for (int k = 0; k < model.num_prototypes(); ++k) {
+    const auto& a = model.prototypes()[static_cast<size_t>(k)];
+    const auto& b = loaded->prototypes()[static_cast<size_t>(k)];
+    EXPECT_EQ(a.w.center, b.w.center);
+    EXPECT_EQ(a.w.theta, b.w.theta);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.b_x, b.b_x);
+    EXPECT_EQ(a.b_theta, b.b_theta);
+    EXPECT_EQ(a.wins, b.wins);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const Query q = gen.Next();
+    EXPECT_DOUBLE_EQ(*model.PredictMean(q), *loaded->PredictMean(q));
+  }
+}
+
+TEST(ModelIoTest, GarbageStreamRejected) {
+  std::istringstream in("definitely not a model");
+  EXPECT_FALSE(ModelSerializer::Load(&in).ok());
+}
+
+TEST(ModelIoTest, WrongVersionRejected) {
+  std::istringstream in("qreg-llm-model 999\n");
+  EXPECT_EQ(ModelSerializer::Load(&in).status().code(),
+            util::StatusCode::kNotImplemented);
+}
+
+TEST(ModelIoTest, TruncatedStreamRejected) {
+  LlmModel model(LlmConfig::ForDimension(2));
+  ASSERT_TRUE(model.Observe(Query({0.1, 0.1}, 0.1), 1.0).ok());
+  std::ostringstream ss;
+  ASSERT_TRUE(ModelSerializer::Save(model, &ss).ok());
+  const std::string full = ss.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(ModelSerializer::Load(&in).ok());
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  LlmModel model(LlmConfig::ForDimension(2));
+  ASSERT_TRUE(model.Observe(Query({0.1, 0.1}, 0.1), 1.0).ok());
+  const std::string path = testing::TempDir() + "/qreg_model_test.txt";
+  ASSERT_TRUE(ModelSerializer::SaveToFile(model, path).ok());
+  auto loaded = ModelSerializer::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_prototypes(), 1);
+  EXPECT_FALSE(ModelSerializer::LoadFromFile("/no/such/file.txt").ok());
+}
+
+// ---------- Trainer ----------
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<storage::Table>(2);
+    util::Rng rng(61);
+    for (int i = 0; i < 20000; ++i) {
+      std::vector<double> x{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      ASSERT_TRUE(table_->Append(x, 0.5 + 0.3 * x[0] - 0.2 * x[1]).ok());
+    }
+    index_ = std::make_unique<storage::KdTree>(*table_);
+    engine_ = std::make_unique<query::ExactEngine>(*table_, *index_);
+  }
+
+  std::unique_ptr<storage::Table> table_;
+  std::unique_ptr<storage::KdTree> index_;
+  std::unique_ptr<query::ExactEngine> engine_;
+};
+
+TEST_F(TrainerTest, ConvergesAndFreezes) {
+  LlmModel model(LlmConfig::ForDimension(2, 0.25));
+  TrainerConfig tc;
+  tc.max_pairs = 50000;
+  tc.min_pairs = 200;
+  Trainer trainer(*engine_, tc);
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.15, 0.03, 71);
+  query::WorkloadGenerator gen(cfg);
+  auto report = trainer.Train(&gen, &model);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_LE(report->final_gamma, model.config().gamma);
+  EXPECT_GT(report->pairs_used, 0);
+  EXPECT_GT(report->num_prototypes, 0);
+  EXPECT_TRUE(model.frozen());
+  // Most of the training time goes to exact query execution (paper: 99.62%).
+  EXPECT_GT(report->QueryExecFraction(), 0.5);
+}
+
+TEST_F(TrainerTest, SkipsEmptySubspaces) {
+  LlmModel model(LlmConfig::ForDimension(2, 0.25));
+  TrainerConfig tc;
+  tc.max_pairs = 100;
+  tc.min_pairs = 100000;  // never converge
+  Trainer trainer(*engine_, tc);
+  // Half the query volume lies far outside the data cube.
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 3.0, 0.05, 0.001, 73);
+  query::WorkloadGenerator gen(cfg);
+  auto report = trainer.Train(&gen, &model);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->pairs_skipped, 0);
+  EXPECT_EQ(report->pairs_used, 100);
+}
+
+TEST_F(TrainerTest, GammaTraceRecorded) {
+  LlmModel model(LlmConfig::ForDimension(2, 0.25));
+  TrainerConfig tc;
+  tc.max_pairs = 500;
+  tc.min_pairs = 1000;  // don't converge; exercise tracing
+  tc.trace_every = 100;
+  Trainer trainer(*engine_, tc);
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.15, 0.03, 79);
+  query::WorkloadGenerator gen(cfg);
+  auto report = trainer.Train(&gen, &model);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->gamma_trace.size(), 5u);
+  EXPECT_EQ(report->gamma_trace[0].first, 100);
+  EXPECT_EQ(report->gamma_trace[4].first, 500);
+}
+
+TEST_F(TrainerTest, TrainFromPairsMatchesOnlineTraining) {
+  auto cfg = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.15, 0.03, 83);
+  query::WorkloadGenerator gen(cfg);
+  std::vector<query::QueryAnswer> pairs;
+  for (int i = 0; i < 2000; ++i) {
+    const Query q = gen.Next();
+    auto mean = engine_->MeanValue(q);
+    if (mean.ok()) pairs.push_back({q, mean->mean});
+  }
+
+  TrainerConfig tc;
+  tc.max_pairs = 100000;
+  tc.min_pairs = static_cast<int64_t>(pairs.size()) + 1;  // no early stop
+  Trainer trainer(*engine_, tc);
+
+  LlmModel m1(LlmConfig::ForDimension(2, 0.25));
+  auto r1 = trainer.TrainFromPairs(pairs, &m1);
+  ASSERT_TRUE(r1.ok());
+
+  LlmModel m2(LlmConfig::ForDimension(2, 0.25));
+  for (const auto& p : pairs) ASSERT_TRUE(m2.Observe(p.q, p.y).ok());
+
+  ASSERT_EQ(m1.num_prototypes(), m2.num_prototypes());
+  for (int k = 0; k < m1.num_prototypes(); ++k) {
+    EXPECT_EQ(m1.prototypes()[static_cast<size_t>(k)].y,
+              m2.prototypes()[static_cast<size_t>(k)].y);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qreg

@@ -1,0 +1,248 @@
+// Unit tests for src/data: function values, dataset generation, scaling,
+// and the non-linearity property the paper requires of R1/R2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/functions.h"
+#include "data/generator.h"
+#include "linalg/ols.h"
+#include "util/rng.h"
+
+namespace qreg {
+namespace data {
+namespace {
+
+// ---------- functions ----------
+
+TEST(RosenbrockTest, KnownValues) {
+  RosenbrockFunction f2(2);
+  const double min2[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(f2.Eval(min2), 0.0);
+  const double origin[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(f2.Eval(origin), 1.0);
+
+  RosenbrockFunction f5(5);
+  const double min5[] = {1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(f5.Eval(min5), 0.0);
+  const double x5[] = {0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(f5.Eval(x5), 4.0);  // four (1-0)^2 terms
+}
+
+TEST(RosenbrockTest, GlobalMinimumIsMinimal) {
+  RosenbrockFunction f(3);
+  util::Rng rng(5);
+  const double min3[] = {1.0, 1.0, 1.0};
+  const double fmin = f.Eval(min3);
+  for (int i = 0; i < 500; ++i) {
+    double x[3];
+    for (double& v : x) v = rng.Uniform(-10, 10);
+    EXPECT_GE(f.Eval(x), fmin);
+  }
+}
+
+TEST(GasSensorTest, DeterministicPerSeed) {
+  GasSensorFunction a(6, 7), b(6, 7), c(6, 8);
+  const double x[] = {0.1, 0.5, 0.9, 0.3, 0.7, 0.2};
+  EXPECT_DOUBLE_EQ(a.Eval(x), b.Eval(x));
+  EXPECT_NE(a.Eval(x), c.Eval(x));
+}
+
+TEST(GasSensorTest, GloballyNonLinear) {
+  // The property R1 is chosen for: a global linear fit leaves high FVU.
+  GasSensorFunction f(6);
+  util::Rng rng(9);
+  const size_t n = 4000;
+  linalg::Matrix x(n, 6);
+  std::vector<double> u(n);
+  std::vector<double> row(6);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      row[j] = rng.Uniform(0, 1);
+      x(i, j) = row[j];
+    }
+    u[i] = f.Eval(row.data());
+  }
+  auto fit = linalg::FitOls(x, u);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->FVU(), 0.3) << "substitute dataset must be strongly non-linear";
+}
+
+TEST(SaddleDemoTest, MatchesPaperExample) {
+  SaddleDemoFunction f;
+  const double x[] = {0.5, 1.0};
+  EXPECT_DOUBLE_EQ(f.Eval(x), 0.5 * 2.0);
+  EXPECT_EQ(f.dimension(), 2u);
+}
+
+TEST(Curve1DTest, StaysRoughlyInUnitRange) {
+  Curve1DFunction f;
+  for (double t = 0.0; t <= 1.0; t += 0.01) {
+    const double u = f.Eval(&t);
+    EXPECT_GT(u, -0.2);
+    EXPECT_LT(u, 1.2);
+  }
+}
+
+TEST(Friedman1Test, KnownValue) {
+  Friedman1Function f(5);
+  const double x[] = {0.5, 0.5, 0.5, 0.5, 0.5};
+  // 10 sin(π/4) + 0 + 5 + 2.5
+  EXPECT_NEAR(f.Eval(x), 10.0 * std::sin(M_PI * 0.25) + 7.5, 1e-12);
+  Friedman1Function f3(3);
+  EXPECT_EQ(f3.dimension(), 5u);  // clamped up to 5
+}
+
+TEST(FactoryTest, MakesAllKnownFunctions) {
+  for (const char* name :
+       {"rosenbrock", "gas_sensor", "saddle_demo", "curve1d", "friedman1"}) {
+    auto f = MakeFunction(name, 5);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->name(), name);
+  }
+  EXPECT_EQ(MakeFunction("nope", 2), nullptr);
+}
+
+// ---------- generator ----------
+
+TEST(GeneratorTest, ProducesRequestedRows) {
+  DatasetConfig cfg;
+  cfg.n = 1234;
+  cfg.seed = 1;
+  auto ds = GenerateDataset(std::make_shared<Curve1DFunction>(), cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.num_rows(), 1234);
+  EXPECT_EQ(ds->table.dimension(), 1u);
+}
+
+TEST(GeneratorTest, RejectsBadInput) {
+  DatasetConfig cfg;
+  cfg.n = 0;
+  EXPECT_FALSE(GenerateDataset(std::make_shared<Curve1DFunction>(), cfg).ok());
+  EXPECT_FALSE(GenerateDataset(nullptr, DatasetConfig()).ok());
+}
+
+TEST(GeneratorTest, OutputScaledToUnitInterval) {
+  DatasetConfig cfg;
+  cfg.n = 5000;
+  cfg.scale_output_unit = true;
+  cfg.seed = 3;
+  auto ds = GenerateDataset(std::make_shared<RosenbrockFunction>(2), cfg);
+  ASSERT_TRUE(ds.ok());
+  double lo = 1e300, hi = -1e300;
+  for (int64_t i = 0; i < ds->table.num_rows(); ++i) {
+    lo = std::min(lo, ds->table.u(i));
+    hi = std::max(hi, ds->table.u(i));
+  }
+  EXPECT_NEAR(lo, 0.0, 1e-12);
+  EXPECT_NEAR(hi, 1.0, 1e-12);
+}
+
+TEST(GeneratorTest, FeatureScalingMapsDomainToUnitCube) {
+  DatasetConfig cfg;
+  cfg.n = 2000;
+  cfg.scale_features_unit = true;
+  cfg.seed = 5;
+  auto ds = GenerateDataset(std::make_shared<RosenbrockFunction>(2), cfg);
+  ASSERT_TRUE(ds.ok());
+  std::vector<double> lo, hi;
+  ds->table.FeatureRanges(&lo, &hi);
+  for (double v : lo) EXPECT_GE(v, 0.0);
+  for (double v : hi) EXPECT_LE(v, 1.0);
+}
+
+TEST(GeneratorTest, GroundTruthConsistentWithTable) {
+  // Without noise, the stored u equals the scaled ground-truth function at
+  // the stored (scaled) x.
+  DatasetConfig cfg;
+  cfg.n = 500;
+  cfg.noise_stddev = 0.0;
+  cfg.scale_features_unit = true;
+  cfg.scale_output_unit = true;
+  cfg.seed = 7;
+  auto ds = GenerateDataset(std::make_shared<GasSensorFunction>(3), cfg);
+  ASSERT_TRUE(ds.ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(ds->GroundTruth(ds->table.XRow(i)), ds->table.u(i), 1e-9);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  DatasetConfig cfg;
+  cfg.n = 100;
+  cfg.seed = 11;
+  auto a = GenerateDataset(std::make_shared<Curve1DFunction>(), cfg);
+  auto b = GenerateDataset(std::make_shared<Curve1DFunction>(), cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->table.u(i), b->table.u(i));
+    EXPECT_DOUBLE_EQ(a->table.x(i)[0], b->table.x(i)[0]);
+  }
+}
+
+TEST(GeneratorTest, NoiseIncreasesVariance) {
+  DatasetConfig clean;
+  clean.n = 4000;
+  clean.seed = 13;
+  clean.scale_output_unit = false;
+  DatasetConfig noisy = clean;
+  noisy.noise_stddev = 0.5;
+  auto a = GenerateDataset(std::make_shared<Curve1DFunction>(), clean);
+  auto b = GenerateDataset(std::make_shared<Curve1DFunction>(), noisy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto variance = [](const storage::Table& t) {
+    double s = 0, sq = 0;
+    for (int64_t i = 0; i < t.num_rows(); ++i) {
+      s += t.u(i);
+      sq += t.u(i) * t.u(i);
+    }
+    const double m = s / static_cast<double>(t.num_rows());
+    return sq / static_cast<double>(t.num_rows()) - m * m;
+  };
+  EXPECT_GT(variance(b->table), variance(a->table) + 0.1);
+}
+
+TEST(GeneratorTest, MakeR1HasPaperProperties) {
+  auto ds = MakeR1(6, 20000, 17);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.dimension(), 6u);
+  EXPECT_EQ(ds->table.num_rows(), 20000);
+  std::vector<double> lo, hi;
+  ds->table.FeatureRanges(&lo, &hi);
+  for (double v : lo) EXPECT_GE(v, 0.0);
+  for (double v : hi) EXPECT_LE(v, 1.0);
+
+  // Global linear fit must be poor (the paper reports FVU=4.68 on R1).
+  linalg::OlsAccumulator acc(6);
+  for (int64_t i = 0; i < ds->table.num_rows(); ++i) {
+    acc.Add(ds->table.x(i), ds->table.u(i));
+  }
+  auto fit = acc.Solve();
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->FVU(), 0.3);
+}
+
+TEST(GeneratorTest, MakeR2IsRosenbrockShaped) {
+  auto ds = MakeR2(2, 10000, 19);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.dimension(), 2u);
+  std::vector<double> lo, hi;
+  ds->table.FeatureRanges(&lo, &hi);
+  EXPECT_LT(lo[0], -5.0);
+  EXPECT_GT(hi[0], 5.0);
+  // Output scaled to [0,1].
+  double umin = 1e300, umax = -1e300;
+  for (int64_t i = 0; i < ds->table.num_rows(); ++i) {
+    umin = std::min(umin, ds->table.u(i));
+    umax = std::max(umax, ds->table.u(i));
+  }
+  EXPECT_NEAR(umin, 0.0, 1e-9);
+  EXPECT_NEAR(umax, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace qreg

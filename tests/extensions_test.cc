@@ -1,0 +1,281 @@
+// Tests for the future-work extensions (paper Section VII): variance /
+// high-order moment queries and adaptation to data updates (drift).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/drift.h"
+#include "core/llm_model.h"
+#include "core/trainer.h"
+#include "core/variance_model.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "storage/kdtree.h"
+#include "util/rng.h"
+
+namespace qreg {
+namespace core {
+namespace {
+
+using query::Query;
+
+// ---------- Moments on the exact engine ----------
+
+TEST(MomentsTest, MatchesManualComputation) {
+  storage::Table table(1);
+  for (double u : {1.0, 2.0, 3.0, 4.0}) {
+    ASSERT_TRUE(table.Append({0.5}, u).ok());
+  }
+  storage::KdTree index(table);
+  query::ExactEngine engine(table, index);
+  auto m = engine.Moments(Query({0.5}, 0.1));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->count, 4);
+  EXPECT_DOUBLE_EQ(m->mean, 2.5);
+  EXPECT_DOUBLE_EQ(m->second_moment, (1.0 + 4.0 + 9.0 + 16.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m->variance, m->second_moment - 2.5 * 2.5);
+}
+
+TEST(MomentsTest, EmptySubspaceIsNotFound) {
+  storage::Table table(1);
+  ASSERT_TRUE(table.Append({0.5}, 1.0).ok());
+  storage::KdTree index(table);
+  query::ExactEngine engine(table, index);
+  EXPECT_EQ(engine.Moments(Query({9.0}, 0.1)).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(MomentsTest, ConstantDataHasZeroVariance) {
+  storage::Table table(1);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(table.Append({0.5}, 7.0).ok());
+  storage::KdTree index(table);
+  query::ExactEngine engine(table, index);
+  auto m = engine.Moments(Query({0.5}, 0.1));
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->variance, 0.0);
+}
+
+TEST(MomentsTest, AgreesWithMeanValue) {
+  storage::Table table(2);
+  util::Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        table.Append({rng.Uniform(), rng.Uniform()}, rng.Gaussian(1.0, 0.3)).ok());
+  }
+  storage::KdTree index(table);
+  query::ExactEngine engine(table, index);
+  Query q({0.5, 0.5}, 0.3);
+  auto mean = engine.MeanValue(q);
+  auto moments = engine.Moments(q);
+  ASSERT_TRUE(mean.ok());
+  ASSERT_TRUE(moments.ok());
+  EXPECT_DOUBLE_EQ(mean->mean, moments->mean);
+  EXPECT_EQ(mean->count, moments->count);
+}
+
+// ---------- VarianceModel ----------
+
+class VarianceModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // u has mean 2 + x and stddev 0.1 + 0.4 x: both moments vary with x.
+    table_ = std::make_unique<storage::Table>(1);
+    util::Rng rng(17);
+    for (int i = 0; i < 60000; ++i) {
+      const double x = rng.Uniform();
+      const double u = 2.0 + x + rng.Gaussian(0.0, 0.1 + 0.4 * x);
+      ASSERT_TRUE(table_->Append({x}, u).ok());
+    }
+    index_ = std::make_unique<storage::KdTree>(*table_);
+    engine_ = std::make_unique<query::ExactEngine>(*table_, *index_);
+
+    model_ = std::make_unique<VarianceModel>(LlmConfig::ForDimension(1, 0.08));
+    query::WorkloadGenerator gen(
+        query::WorkloadConfig::Cube(1, 0.0, 1.0, 0.1, 0.03, 19));
+    for (int i = 0; i < 15000; ++i) {
+      const Query q = gen.Next();
+      auto m = engine_->Moments(q);
+      if (!m.ok()) continue;
+      ASSERT_TRUE(model_->Observe(q, m->mean, m->second_moment).ok());
+    }
+  }
+
+  std::unique_ptr<storage::Table> table_;
+  std::unique_ptr<storage::KdTree> index_;
+  std::unique_ptr<query::ExactEngine> engine_;
+  std::unique_ptr<VarianceModel> model_;
+};
+
+TEST_F(VarianceModelTest, PredictsHeteroscedasticVariance) {
+  // At x = 0.2: stddev ≈ 0.18; at x = 0.85: stddev ≈ 0.44.
+  auto low = model_->Predict(Query({0.2}, 0.1));
+  auto high = model_->Predict(Query({0.85}, 0.1));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_NEAR(low->mean, 2.2, 0.15);
+  EXPECT_NEAR(high->mean, 2.85, 0.15);
+  EXPECT_GT(high->stddev, low->stddev)
+      << "variance model must track the heteroscedastic trend";
+  EXPECT_NEAR(low->stddev, 0.18, 0.12);
+  EXPECT_NEAR(high->stddev, 0.44, 0.15);
+}
+
+TEST_F(VarianceModelTest, VarianceIsNeverNegative) {
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(1, -0.5, 1.5, 0.1, 0.1, 23));
+  for (int i = 0; i < 500; ++i) {
+    auto p = model_->Predict(gen.Next());
+    ASSERT_TRUE(p.ok());
+    EXPECT_GE(p->variance, 0.0);
+    EXPECT_DOUBLE_EQ(p->stddev, std::sqrt(p->variance));
+  }
+}
+
+TEST_F(VarianceModelTest, SaveLoadRoundTrip) {
+  std::ostringstream ss;
+  ASSERT_TRUE(model_->Save(&ss).ok());
+  std::istringstream in(ss.str());
+  auto loaded = VarianceModel::Load(&in);
+  ASSERT_TRUE(loaded.ok());
+  const Query q({0.5}, 0.1);
+  auto a = model_->Predict(q);
+  auto b = loaded->Predict(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean, b->mean);
+  EXPECT_DOUBLE_EQ(a->variance, b->variance);
+}
+
+TEST_F(VarianceModelTest, FreezePropagatesToBothSubModels) {
+  model_->Freeze();
+  EXPECT_TRUE(model_->mean_model().frozen());
+  EXPECT_TRUE(model_->second_moment_model().frozen());
+  EXPECT_FALSE(model_->Observe(Query({0.5}, 0.1), 1.0, 2.0).ok());
+}
+
+TEST(VarianceModelEdgeTest, PredictOnEmptyModelFails) {
+  VarianceModel model(LlmConfig::ForDimension(1, 0.2));
+  EXPECT_FALSE(model.Predict(Query({0.5}, 0.1)).ok());
+}
+
+// ---------- Drift detection & retraining ----------
+
+class DriftTest : public ::testing::Test {
+ protected:
+  static storage::Table MakeTable(double level, uint64_t seed) {
+    storage::Table table(1);
+    util::Rng rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.Uniform();
+      table.Append({x}, level + 0.5 * x + rng.Gaussian(0.0, 0.02)).ok();
+    }
+    return table;
+  }
+};
+
+TEST_F(DriftTest, ProbeRequiresCalibration) {
+  storage::Table table = MakeTable(1.0, 5);
+  storage::KdTree index(table);
+  query::ExactEngine engine(table, index);
+  LlmModel model(LlmConfig::ForDimension(1, 0.2));
+  ASSERT_TRUE(model.Observe(Query({0.5}, 0.1), 1.0).ok());
+
+  DriftMonitor monitor(DriftConfig{});
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(1, 0.0, 1.0, 0.1, 0.03, 7));
+  EXPECT_EQ(monitor.Probe(model, engine, &gen).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DriftTest, DetectsRegimeShiftAndRecovers) {
+  // Train on the original regime.
+  storage::Table original = MakeTable(1.0, 11);
+  storage::KdTree original_index(original);
+  query::ExactEngine original_engine(original, original_index);
+
+  LlmModel model(LlmConfig::ForDimension(1, 0.15));
+  TrainerConfig tc;
+  tc.max_pairs = 10000;
+  tc.min_pairs = 1000;
+  Trainer trainer(original_engine, tc);
+  query::WorkloadGenerator train_gen(
+      query::WorkloadConfig::Cube(1, 0.0, 1.0, 0.1, 0.03, 13));
+  ASSERT_TRUE(trainer.Train(&train_gen, &model).ok());
+
+  DriftConfig dcfg;
+  dcfg.probe_queries = 150;
+  dcfg.degradation_factor = 3.0;
+  dcfg.absolute_threshold = 0.05;
+  DriftMonitor monitor(dcfg);
+  query::WorkloadGenerator probe_gen(
+      query::WorkloadConfig::Cube(1, 0.0, 1.0, 0.1, 0.03, 17));
+  ASSERT_TRUE(monitor.Calibrate(model, original_engine, &probe_gen).ok());
+
+  // No drift on the unchanged data.
+  auto steady = monitor.Probe(model, original_engine, &probe_gen);
+  ASSERT_TRUE(steady.ok());
+  EXPECT_FALSE(steady->drifted);
+
+  // The relation is replaced by a shifted regime (level 1.0 -> 3.0).
+  storage::Table shifted = MakeTable(3.0, 19);
+  storage::KdTree shifted_index(shifted);
+  query::ExactEngine shifted_engine(shifted, shifted_index);
+
+  auto drifted = monitor.Probe(model, shifted_engine, &probe_gen);
+  ASSERT_TRUE(drifted.ok());
+  EXPECT_TRUE(drifted->drifted);
+  EXPECT_GT(drifted->rmse, 10.0 * drifted->baseline_rmse);
+
+  // Retrain against the new engine; the probe goes quiet again.
+  auto retrain = monitor.Retrain(&model, shifted_engine, &train_gen, 15000);
+  ASSERT_TRUE(retrain.ok());
+  EXPECT_GT(retrain->pairs_used, 0);
+
+  auto recovered = monitor.Probe(model, shifted_engine, &probe_gen);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->drifted)
+      << "rmse=" << recovered->rmse << " baseline=" << recovered->baseline_rmse;
+}
+
+TEST_F(DriftTest, ResetPlasticityCapsWinsAndScalesMoments) {
+  LlmModel model(LlmConfig::ForDimension(1, 0.5));
+  util::Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        model.Observe(Query({rng.Uniform(0.4, 0.6)}, 0.1), rng.Uniform()).ok());
+  }
+  ASSERT_EQ(model.num_prototypes(), 1);
+  const Prototype& before = model.prototypes()[0];
+  ASSERT_GT(before.wins, 10);
+  const double moment_per_win =
+      before.input_sq_x[0] / static_cast<double>(before.wins);
+
+  model.ResetPlasticity(10);
+  const Prototype& after = model.prototypes()[0];
+  EXPECT_EQ(after.wins, 10);
+  // Moments scale with the win cap so the preconditioner's *mean* square
+  // stays consistent.
+  EXPECT_NEAR(after.input_sq_x[0] / 10.0, moment_per_win,
+              0.05 * moment_per_win);
+  // The model is plastic again: the next update moves y at rate ~1/11^0.6.
+  const double y_before = after.y;
+  ASSERT_TRUE(model.Observe(Query({0.5}, 0.1), y_before + 1.0).ok());
+  EXPECT_GT(std::fabs(model.prototypes()[0].y - y_before), 0.02);
+}
+
+TEST_F(DriftTest, UnfreezeClearsConvergenceEvidence) {
+  LlmModel model(LlmConfig::ForDimension(1, 0.2));
+  ASSERT_TRUE(model.Observe(Query({0.5}, 0.1), 1.0).ok());
+  model.Freeze();
+  ASSERT_TRUE(model.frozen());
+  model.Unfreeze();
+  EXPECT_FALSE(model.frozen());
+  EXPECT_FALSE(model.HasConverged());  // Γ history cleared
+  EXPECT_TRUE(model.Observe(Query({0.5}, 0.1), 1.0).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qreg

@@ -1,0 +1,290 @@
+// End-to-end integration tests across all modules: dataset synthesis ->
+// exact engine -> query-driven training -> prediction, checked against the
+// paper's qualitative claims on small deterministic instances:
+//
+//  1. Q1 predictions approximate exact answers after convergence.
+//  2. Q2 local models recover planted piecewise-linear structure.
+//  3. On non-linear data, LLM's per-query FVU beats the global REG fit.
+//  4. Data-value prediction (Eq. 14) tracks the underlying function.
+//  5. Trained models survive serialization with identical behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/llm_model.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "eval/fvu_eval.h"
+#include "eval/metrics.h"
+#include "plr/mars.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "storage/kdtree.h"
+#include "util/rng.h"
+
+namespace qreg {
+namespace {
+
+using core::LlmConfig;
+using core::LlmModel;
+using core::Trainer;
+using core::TrainerConfig;
+using query::Query;
+
+// Shared fixture: R1-style gas-sensor data, d=2, trained model.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto ds = data::MakeR1(2, 30000, 101);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = new data::Dataset(std::move(ds).value());
+    index_ = new storage::KdTree(dataset_->table);
+    engine_ = new query::ExactEngine(dataset_->table, *index_);
+
+    model_ = new LlmModel(LlmConfig::ForDimension(2, 0.1, /*gamma=*/0.005));
+    TrainerConfig tc;
+    tc.max_pairs = 20000;
+    tc.min_pairs = 4000;
+    Trainer trainer(*engine_, tc);
+    auto workload = query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.1, 211);
+    query::WorkloadGenerator gen(workload);
+    auto report = trainer.Train(&gen, model_);
+    ASSERT_TRUE(report.ok());
+    report_ = new core::TrainingReport(std::move(report).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete report_;
+    delete model_;
+    delete engine_;
+    delete index_;
+    delete dataset_;
+    report_ = nullptr;
+    model_ = nullptr;
+    engine_ = nullptr;
+    index_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static storage::KdTree* index_;
+  static query::ExactEngine* engine_;
+  static LlmModel* model_;
+  static core::TrainingReport* report_;
+};
+
+data::Dataset* PipelineTest::dataset_ = nullptr;
+storage::KdTree* PipelineTest::index_ = nullptr;
+query::ExactEngine* PipelineTest::engine_ = nullptr;
+LlmModel* PipelineTest::model_ = nullptr;
+core::TrainingReport* PipelineTest::report_ = nullptr;
+
+TEST_F(PipelineTest, TrainingConvergedWithReasonableK) {
+  EXPECT_TRUE(report_->converged);
+  EXPECT_GT(report_->num_prototypes, 3);
+  EXPECT_LT(report_->num_prototypes, 2000);
+  EXPECT_GT(report_->QueryExecFraction(), 0.5);
+}
+
+TEST_F(PipelineTest, Q1PredictionTracksExactAnswers) {
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.1, 999));
+  eval::RmseAccumulator rmse;
+  int evaluated = 0;
+  while (evaluated < 400) {
+    const Query q = gen.Next();
+    auto exact = engine_->MeanValue(q);
+    if (!exact.ok()) continue;
+    auto pred = model_->PredictMean(q);
+    ASSERT_TRUE(pred.ok());
+    rmse.Add(exact->mean, *pred);
+    ++evaluated;
+  }
+  // u is scaled to [0,1]; the paper reports RMSE ~0.02-0.06 in this setup.
+  EXPECT_LT(rmse.Rmse(), 0.12);
+}
+
+TEST(RosenbrockQ2Test, PiecewiseFvuBeatsGlobalRegOnCurvedData) {
+  // The paper's D2/D3 claim: over strongly non-linear subspaces the list of
+  // local linear models explains the data better than one global REG plane.
+  // Rosenbrock's valley provides the curvature; balls of radius ~4 on
+  // [-10,10]^2 are far from locally linear.
+  auto ds = data::MakeR2(2, 40000, 515);
+  ASSERT_TRUE(ds.ok());
+  storage::KdTree index(ds->table);
+  query::ExactEngine engine(ds->table, index);
+
+  LlmConfig cfg = LlmConfig::ForDomain(2, 0.05, /*gamma=*/0.05,
+                                       /*x_range=*/20.0, /*theta_range=*/2.0);
+  LlmModel model(cfg);
+  TrainerConfig tc;
+  tc.max_pairs = 40000;
+  tc.min_pairs = 15000;
+  Trainer trainer(engine, tc);
+  query::WorkloadGenerator train_gen(
+      query::WorkloadConfig::Cube(2, -10.0, 10.0, 1.0, 0.2, 516));
+  auto report = trainer.Train(&train_gen, &model);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(model.num_prototypes(), 3);
+
+  query::WorkloadGenerator eval_gen(
+      query::WorkloadConfig::Cube(2, -5.0, 5.0, 5.0, 0.5, 517));
+  double llm_fvu_sum = 0.0, reg_fvu_sum = 0.0;
+  int evaluated = 0;
+  while (evaluated < 25) {
+    const Query q = eval_gen.Next();
+    auto ids = engine.Select(q);
+    if (ids.size() < 500) continue;
+    auto reg = engine.Regression(q);
+    ASSERT_TRUE(reg.ok());
+    auto pw = eval::EvaluatePiecewiseFvu(model, q, ds->table, ids);
+    ASSERT_TRUE(pw.ok());
+    llm_fvu_sum += pw->mean_fvu;
+    reg_fvu_sum += reg->FVU();
+    ++evaluated;
+  }
+  const double llm_mean = llm_fvu_sum / evaluated;
+  const double reg_mean = reg_fvu_sum / evaluated;
+  // Piecewise local models must explain the curved subspaces better than
+  // the single exact plane (the paper's Figure 9 relationship).
+  EXPECT_LT(llm_mean, reg_mean) << "llm=" << llm_mean << " reg=" << reg_mean;
+}
+
+TEST_F(PipelineTest, DataValuePredictionBeatsMeanBaseline) {
+  // Predicting u(x) from the model should beat predicting the global mean.
+  util::Rng rng(77);
+  eval::FvuAccumulator fvu;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t id =
+        static_cast<int64_t>(rng.UniformInt(
+            static_cast<uint64_t>(dataset_->table.num_rows())));
+    const std::vector<double> x = dataset_->table.XRow(id);
+    const Query q(x, 0.1);
+    auto pred = model_->PredictValue(q, x);
+    ASSERT_TRUE(pred.ok());
+    fvu.Add(dataset_->table.u(id), *pred);
+  }
+  EXPECT_LT(fvu.Fvu(), 1.0);  // better than the mean predictor
+}
+
+TEST_F(PipelineTest, SerializedModelBehavesIdentically) {
+  std::ostringstream ss;
+  ASSERT_TRUE(core::ModelSerializer::Save(*model_, &ss).ok());
+  std::istringstream in(ss.str());
+  auto loaded = core::ModelSerializer::Load(&in);
+  ASSERT_TRUE(loaded.ok());
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.1, 31337));
+  for (int i = 0; i < 100; ++i) {
+    const Query q = gen.Next();
+    EXPECT_DOUBLE_EQ(*model_->PredictMean(q), *loaded->PredictMean(q));
+  }
+}
+
+// ---------- Planted piecewise-linear ground truth ----------
+
+TEST(PiecewiseIntegrationTest, LlmRecoversPlantedLocalSlopes) {
+  // u(x) = 2x for x < 0.5, u(x) = 1 - 3(x - 0.5) for x >= 0.5 on [0,1].
+  storage::Table table(1);
+  util::Rng rng(404);
+  for (int i = 0; i < 30000; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double u = x < 0.5 ? 2.0 * x : 1.0 - 3.0 * (x - 0.5);
+    ASSERT_TRUE(table.Append({x}, u).ok());
+  }
+  storage::KdTree index(table);
+  query::ExactEngine engine(table, index);
+
+  LlmConfig cfg = LlmConfig::ForDimension(1, 0.05);  // fine quantization
+  LlmModel model(cfg);
+  TrainerConfig tc;
+  tc.max_pairs = 25000;
+  tc.min_pairs = 2000;
+  Trainer trainer(engine, tc);
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(1, 0.0, 1.0, 0.05, 0.015, 405));
+  auto report = trainer.Train(&gen, &model);
+  ASSERT_TRUE(report.ok());
+
+  // Query deep inside each linear piece and check the local slope.
+  auto left = model.RegressionQuery(Query({0.2}, 0.05));
+  ASSERT_TRUE(left.ok());
+  double left_slope_best = 1e9;
+  for (const auto& m : *left) {
+    if (std::fabs(m.slope[0] - 2.0) < std::fabs(left_slope_best - 2.0)) {
+      left_slope_best = m.slope[0];
+    }
+  }
+  EXPECT_NEAR(left_slope_best, 2.0, 0.5);
+
+  auto right = model.RegressionQuery(Query({0.8}, 0.05));
+  ASSERT_TRUE(right.ok());
+  double right_slope_best = 1e9;
+  for (const auto& m : *right) {
+    if (std::fabs(m.slope[0] + 3.0) < std::fabs(right_slope_best + 3.0)) {
+      right_slope_best = m.slope[0];
+    }
+  }
+  EXPECT_NEAR(right_slope_best, -3.0, 0.6);
+}
+
+TEST(PiecewiseIntegrationTest, MarsAndLlmBothExplainPiecewiseData) {
+  storage::Table table(1);
+  util::Rng rng(505);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> us;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double u = std::fabs(x - 0.4) + 0.3 * x;
+    ASSERT_TRUE(table.Append({x}, u).ok());
+    rows.push_back({x});
+    us.push_back(u);
+  }
+  auto mars = plr::FitMars(rows, us);
+  ASSERT_TRUE(mars.ok());
+  EXPECT_LT(mars->Fvu(), 0.01);
+
+  // Global OLS on the same data is clearly worse.
+  linalg::OlsAccumulator acc(1);
+  for (size_t i = 0; i < rows.size(); ++i) acc.Add(rows[i], us[i]);
+  auto reg = acc.Solve();
+  ASSERT_TRUE(reg.ok());
+  EXPECT_GT(reg->FVU(), 5.0 * mars->Fvu());
+}
+
+// ---------- Scalability sanity: prediction cost independent of data size ----
+
+TEST(ScalabilityIntegrationTest, PredictionCostIndependentOfDataSize) {
+  // Train once on a small table; predicting must not touch data at all, so
+  // the model works even after the backing table is gone.
+  auto model_ptr = [] {
+    storage::Table table(2);
+    util::Rng rng(606);
+    for (int i = 0; i < 5000; ++i) {
+      std::vector<double> x{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      table.Append(x, x[0] + x[1]).ok();
+    }
+    storage::KdTree index(table);
+    query::ExactEngine engine(table, index);
+    auto model = std::make_unique<LlmModel>(LlmConfig::ForDimension(2, 0.3));
+    TrainerConfig tc;
+    tc.max_pairs = 8000;
+    tc.min_pairs = 500;
+    Trainer trainer(engine, tc);
+    query::WorkloadGenerator gen(
+        query::WorkloadConfig::Cube(2, 0.0, 1.0, 0.1, 0.03, 607));
+    trainer.Train(&gen, model.get()).ok();
+    return model;
+  }();
+  // Table and engine destroyed; the model answers queries standalone.
+  auto y = model_ptr->PredictMean(Query({0.5, 0.5}, 0.1));
+  ASSERT_TRUE(y.ok());
+  EXPECT_NEAR(*y, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace qreg

@@ -1,0 +1,305 @@
+// Unit + property tests for src/plr: hinge bases and the MARS fitter (the
+// PLR baseline).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/functions.h"
+#include "linalg/ols.h"
+#include "plr/mars.h"
+#include "util/rng.h"
+
+namespace qreg {
+namespace plr {
+namespace {
+
+// ---------- Basis ----------
+
+TEST(HingeTest, EvaluatesBothSigns) {
+  HingeTerm pos{0, 0.5, +1};
+  HingeTerm neg{0, 0.5, -1};
+  const double lo[] = {0.2};
+  const double hi[] = {0.8};
+  EXPECT_DOUBLE_EQ(pos.Eval(lo), 0.0);
+  EXPECT_NEAR(pos.Eval(hi), 0.3, 1e-15);
+  EXPECT_NEAR(neg.Eval(lo), 0.3, 1e-15);
+  EXPECT_DOUBLE_EQ(neg.Eval(hi), 0.0);
+}
+
+TEST(BasisTest, InterceptIsOne) {
+  BasisFunction b;
+  const double x[] = {123.0};
+  EXPECT_DOUBLE_EQ(b.Eval(x), 1.0);
+  EXPECT_TRUE(b.is_intercept());
+}
+
+TEST(BasisTest, ProductOfHinges) {
+  BasisFunction b;
+  b.terms.push_back({0, 0.0, +1});
+  b.terms.push_back({1, 1.0, -1});
+  const double x[] = {2.0, 0.25};
+  EXPECT_DOUBLE_EQ(b.Eval(x), 2.0 * 0.75);
+  const double y[] = {-1.0, 0.25};  // first hinge zero
+  EXPECT_DOUBLE_EQ(b.Eval(y), 0.0);
+}
+
+TEST(BasisTest, UsesDim) {
+  BasisFunction b;
+  b.terms.push_back({2, 0.5, +1});
+  EXPECT_TRUE(b.UsesDim(2));
+  EXPECT_FALSE(b.UsesDim(0));
+}
+
+TEST(BasisTest, ToStringReadable) {
+  BasisFunction b;
+  b.terms.push_back({0, 0.5, +1});
+  const std::string s = b.ToString({"x1"});
+  EXPECT_NE(s.find("max(0, x1 - 0.5)"), std::string::npos);
+  BasisFunction intercept;
+  EXPECT_EQ(intercept.ToString({}), "1");
+}
+
+// ---------- MARS config ----------
+
+TEST(MarsConfigTest, Validation) {
+  MarsConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.max_terms = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MarsConfig();
+  c.gcv_penalty = -1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MarsConfig();
+  c.max_knots_per_dim = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(MarsTest, RejectsDegenerateInput) {
+  linalg::Matrix x(1, 1);
+  EXPECT_FALSE(FitMars(x, {1.0}).ok());
+  linalg::Matrix x2(5, 1);
+  EXPECT_FALSE(FitMars(x2, {1.0, 2.0}).ok());  // size mismatch
+}
+
+// ---------- MARS fitting behaviour ----------
+
+TEST(MarsTest, LinearDataFitsExactly) {
+  // MARS must reproduce a purely linear trend (a single pair of hinges on
+  // any knot reconstructs a line).
+  util::Rng rng(3);
+  const size_t n = 400;
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(2.0 - 3.0 * x);
+  }
+  auto model = FitMars(rows, u);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->Fvu(), 1e-6);
+  for (double x : {0.1, 0.33, 0.77}) {
+    EXPECT_NEAR(model->Predict({x}), 2.0 - 3.0 * x, 1e-4);
+  }
+}
+
+TEST(MarsTest, RecoversSingleKneePiecewiseLine) {
+  // u = |x - 0.5| has one knee; MARS should drive FVU to ~0 with few terms.
+  util::Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(std::fabs(x - 0.5));
+  }
+  auto model = FitMars(rows, u);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->Fvu(), 0.01);
+  EXPECT_NEAR(model->Predict({0.1}), 0.4, 0.03);
+  EXPECT_NEAR(model->Predict({0.9}), 0.4, 0.03);
+  EXPECT_NEAR(model->Predict({0.5}), 0.0, 0.03);
+}
+
+TEST(MarsTest, PredictionIsContinuousAcrossKnots) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(std::sin(3.0 * x));
+  }
+  auto model = FitMars(rows, u);
+  ASSERT_TRUE(model.ok());
+  // Hinge models are continuous: left/right limits agree at every knot.
+  for (const BasisFunction& b : model->bases()) {
+    for (const HingeTerm& t : b.terms) {
+      const double eps = 1e-9;
+      const double left = model->Predict({t.knot - eps});
+      const double right = model->Predict({t.knot + eps});
+      EXPECT_NEAR(left, right, 1e-6);
+    }
+  }
+}
+
+TEST(MarsTest, BeatsGlobalOlsOnNonlinearData) {
+  // Friedman-1: the canonical MARS benchmark. Additive MARS must explain
+  // far more variance than a global linear fit.
+  data::Friedman1Function f(5);
+  util::Rng rng(11);
+  const size_t n = 1500;
+  linalg::Matrix x(n, 5);
+  std::vector<double> u(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(5);
+    for (size_t j = 0; j < 5; ++j) {
+      row[j] = rng.Uniform(0, 1);
+      x(i, j) = row[j];
+    }
+    u[i] = f.Eval(row.data());
+  }
+  auto ols = linalg::FitOls(x, u);
+  ASSERT_TRUE(ols.ok());
+  MarsConfig cfg;
+  cfg.max_terms = 21;
+  auto mars = FitMars(x, u, cfg);
+  ASSERT_TRUE(mars.ok());
+  EXPECT_LT(mars->Fvu(), 0.5 * ols->FVU());
+  EXPECT_LT(mars->Fvu(), 0.15);
+}
+
+TEST(MarsTest, MaxTermsRespected) {
+  util::Rng rng(13);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(std::sin(8.0 * x));
+  }
+  MarsConfig cfg;
+  cfg.max_terms = 5;
+  auto model = FitMars(rows, u, cfg);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->num_terms(), 5);
+}
+
+TEST(MarsTest, AdditiveModeKeepsInteractionOrderOne)
+{
+  util::Rng rng(17);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    u.push_back(x[0] * x[1]);  // pure interaction
+    rows.push_back(std::move(x));
+  }
+  MarsConfig cfg;
+  cfg.max_interaction = 1;
+  auto model = FitMars(rows, u, cfg);
+  ASSERT_TRUE(model.ok());
+  for (const BasisFunction& b : model->bases()) {
+    EXPECT_LE(b.interaction_order(), 1u);
+  }
+}
+
+TEST(MarsTest, InteractionModeCapturesProducts) {
+  util::Rng rng(19);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 800; ++i) {
+    std::vector<double> x{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    u.push_back(4.0 * x[0] * x[1]);
+    rows.push_back(std::move(x));
+  }
+  MarsConfig additive;
+  additive.max_interaction = 1;
+  MarsConfig inter;
+  inter.max_interaction = 2;
+  auto m1 = FitMars(rows, u, additive);
+  auto m2 = FitMars(rows, u, inter);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_LT(m2->Fvu(), m1->Fvu());
+  bool has_product = false;
+  for (const BasisFunction& b : m2->bases()) {
+    has_product |= b.interaction_order() == 2u;
+  }
+  EXPECT_TRUE(has_product);
+}
+
+TEST(MarsTest, SubsampleCapRespected) {
+  util::Rng rng(23);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(x * x);
+  }
+  MarsConfig cfg;
+  cfg.max_fit_rows = 500;
+  auto model = FitMars(rows, u, cfg);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->fit_rows(), 500);
+  EXPECT_LT(model->Fvu(), 0.01);  // subsample is plenty for x^2
+}
+
+TEST(MarsTest, GcvPenaltyControlsModelSize) {
+  // Heavier penalty must never give a larger model.
+  util::Rng rng(29);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(std::sin(6.0 * x) + rng.Gaussian(0, 0.05));
+  }
+  MarsConfig light;
+  light.gcv_penalty = 0.0;
+  MarsConfig heavy;
+  heavy.gcv_penalty = 20.0;
+  auto ml = FitMars(rows, u, light);
+  auto mh = FitMars(rows, u, heavy);
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(mh.ok());
+  EXPECT_LE(mh->num_terms(), ml->num_terms());
+}
+
+// Parameterized sweep: MARS FVU is low across several 1-D target shapes.
+class MarsShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarsShapeTest, LowFvuOnSmoothTargets) {
+  const int shape = GetParam();
+  auto target = [shape](double x) {
+    switch (shape) {
+      case 0:
+        return std::sin(4.0 * x);
+      case 1:
+        return std::exp(-3.0 * x);
+      case 2:
+        return std::fabs(x - 0.3) + 0.5 * std::fabs(x - 0.7);
+      default:
+        return x * x * x;
+    }
+  };
+  util::Rng rng(100 + static_cast<uint64_t>(shape));
+  std::vector<std::vector<double>> rows;
+  std::vector<double> u;
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    u.push_back(target(x));
+  }
+  auto model = FitMars(rows, u);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->Fvu(), 0.02) << "shape " << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MarsShapeTest, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace plr
+}  // namespace qreg

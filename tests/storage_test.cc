@@ -1,0 +1,295 @@
+// Unit + property tests for src/storage: Table, LpNorm, ScanIndex, KdTree.
+// The key property: the k-d tree returns exactly the same row sets as the
+// brute-force scan for random workloads across dimensions and norms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/kdtree.h"
+#include "storage/lp_norm.h"
+#include "storage/scan_index.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace qreg {
+namespace storage {
+namespace {
+
+Table MakeRandomTable(size_t d, int64_t n, uint64_t seed, double lo = 0.0,
+                      double hi = 1.0) {
+  util::Rng rng(seed);
+  Table t(d);
+  t.Reserve(n);
+  std::vector<double> x(d);
+  for (int64_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) x[j] = rng.Uniform(lo, hi);
+    t.AppendUnchecked(x.data(), rng.Uniform(-1, 1));
+  }
+  return t;
+}
+
+// ---------- Schema / Table ----------
+
+TEST(SchemaTest, DefaultNames) {
+  Schema s = Schema::Default(3);
+  ASSERT_EQ(s.dimension(), 3u);
+  EXPECT_EQ(s.feature_names[0], "x1");
+  EXPECT_EQ(s.feature_names[2], "x3");
+  EXPECT_EQ(s.output_name, "u");
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(2);
+  ASSERT_TRUE(t.Append({0.1, 0.2}, 5.0).ok());
+  ASSERT_TRUE(t.Append({0.3, 0.4}, 6.0).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(t.x(1)[0], 0.3);
+  EXPECT_DOUBLE_EQ(t.u(0), 5.0);
+  EXPECT_EQ(t.XRow(1), (std::vector<double>{0.3, 0.4}));
+}
+
+TEST(TableTest, AppendWrongDimensionRejected) {
+  Table t(2);
+  EXPECT_EQ(t.Append({0.1}, 5.0).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, FeatureRanges) {
+  Table t(2);
+  ASSERT_TRUE(t.Append({0.0, 5.0}, 0).ok());
+  ASSERT_TRUE(t.Append({2.0, -1.0}, 0).ok());
+  std::vector<double> lo, hi;
+  t.FeatureRanges(&lo, &hi);
+  EXPECT_EQ(lo, (std::vector<double>{0.0, -1.0}));
+  EXPECT_EQ(hi, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(TableTest, EmptyTableRangesEmpty) {
+  Table t(3);
+  std::vector<double> lo, hi;
+  t.FeatureRanges(&lo, &hi);
+  EXPECT_TRUE(lo.empty());
+  EXPECT_TRUE(hi.empty());
+}
+
+TEST(TableTest, MemoryBytesGrows) {
+  Table t(4);
+  const int64_t before = t.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) t.AppendUnchecked(std::vector<double>(4, 0.5).data(), 1.0);
+  EXPECT_GT(t.MemoryBytes(), before);
+}
+
+// ---------- LpNorm ----------
+
+TEST(LpNormTest, L2Distance) {
+  const double a[] = {0.0, 0.0};
+  const double b[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(LpNorm::L2().Distance(a, b, 2), 5.0);
+  EXPECT_TRUE(LpNorm::L2().Within(a, b, 2, 5.0));
+  EXPECT_FALSE(LpNorm::L2().Within(a, b, 2, 4.999));
+}
+
+TEST(LpNormTest, L1Distance) {
+  const double a[] = {0.0, 0.0};
+  const double b[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(LpNorm::L1().Distance(a, b, 2), 7.0);
+}
+
+TEST(LpNormTest, LInfDistance) {
+  const double a[] = {0.0, 0.0};
+  const double b[] = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(LpNorm::LInf().Distance(a, b, 2), 4.0);
+  EXPECT_TRUE(LpNorm::LInf().Within(a, b, 2, 4.0));
+}
+
+TEST(LpNormTest, GeneralPBetweenL1AndLInf) {
+  const double a[] = {0.0, 0.0, 0.0};
+  const double b[] = {1.0, 1.0, 1.0};
+  const double d1 = LpNorm::L1().Distance(a, b, 3);
+  const double d3 = LpNorm(3.0).Distance(a, b, 3);
+  const double dinf = LpNorm::LInf().Distance(a, b, 3);
+  EXPECT_GT(d1, d3);
+  EXPECT_GT(d3, dinf);
+  EXPECT_NEAR(d3, std::pow(3.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(LpNormTest, MinDistanceToBoxInsideIsZero) {
+  const double q[] = {0.5, 0.5};
+  const double lo[] = {0.0, 0.0};
+  const double hi[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(LpNorm::L2().MinDistanceToBox(q, lo, hi, 2), 0.0);
+}
+
+TEST(LpNormTest, MinDistanceToBoxOutside) {
+  const double q[] = {2.0, 0.5};
+  const double lo[] = {0.0, 0.0};
+  const double hi[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(LpNorm::L2().MinDistanceToBox(q, lo, hi, 2), 1.0);
+  const double q2[] = {2.0, 2.0};
+  EXPECT_DOUBLE_EQ(LpNorm::L2().MinDistanceToBox(q2, lo, hi, 2), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(LpNorm::LInf().MinDistanceToBox(q2, lo, hi, 2), 1.0);
+}
+
+// Lower bound property: box distance never exceeds distance to any point in
+// the box.
+TEST(LpNormTest, BoxDistanceIsLowerBound) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t d = 1 + rng.UniformInt(4);
+    std::vector<double> lo(d), hi(d), q(d), p(d);
+    for (size_t j = 0; j < d; ++j) {
+      const double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+      q[j] = rng.Uniform(-3, 3);
+      p[j] = rng.Uniform(lo[j], hi[j]);  // point inside the box
+    }
+    for (double pp : {1.0, 2.0, LpNorm::kInf}) {
+      LpNorm norm(pp);
+      EXPECT_LE(norm.MinDistanceToBox(q.data(), lo.data(), hi.data(), d),
+                norm.Distance(q.data(), p.data(), d) + 1e-12);
+    }
+  }
+}
+
+// ---------- ScanIndex ----------
+
+TEST(ScanIndexTest, FindsAllWithinRadius) {
+  Table t(1);
+  for (double v : {0.1, 0.2, 0.5, 0.9}) ASSERT_TRUE(t.Append({v}, v).ok());
+  ScanIndex scan(t);
+  const double c[] = {0.15};
+  SelectionStats stats;
+  auto ids = scan.RadiusSearch(c, 0.1, LpNorm::L2(), &stats);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(stats.tuples_examined, 4);
+  EXPECT_EQ(stats.tuples_matched, 2);
+}
+
+TEST(ScanIndexTest, EmptyResultForDistantQuery) {
+  Table t = MakeRandomTable(2, 100, 3);
+  ScanIndex scan(t);
+  const double c[] = {100.0, 100.0};
+  EXPECT_TRUE(scan.RadiusSearch(c, 0.5, LpNorm::L2()).empty());
+}
+
+// ---------- KdTree ----------
+
+TEST(KdTreeTest, EmptyTable) {
+  Table t(2);
+  KdTree tree(t);
+  const double c[] = {0.5, 0.5};
+  EXPECT_TRUE(tree.RadiusSearch(c, 10.0, LpNorm::L2()).empty());
+  EXPECT_TRUE(tree.NearestNeighbors(c, 3).empty());
+}
+
+TEST(KdTreeTest, SingleRow) {
+  Table t(2);
+  ASSERT_TRUE(t.Append({0.5, 0.5}, 1.0).ok());
+  KdTree tree(t);
+  const double c[] = {0.4, 0.5};
+  auto ids = tree.RadiusSearch(c, 0.2, LpNorm::L2());
+  EXPECT_EQ(ids, (std::vector<int64_t>{0}));
+  auto nn = tree.NearestNeighbors(c, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 0);
+  EXPECT_NEAR(nn[0].distance, 0.1, 1e-12);
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  Table t(2);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(t.Append({0.5, 0.5}, i).ok());
+  KdTree tree(t, 8);
+  const double c[] = {0.5, 0.5};
+  EXPECT_EQ(tree.RadiusSearch(c, 0.01, LpNorm::L2()).size(), 50u);
+}
+
+// Property: kd-tree selection == scan selection for random tables, queries,
+// dimensions, leaf sizes, and norms.
+class KdTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(KdTreeEquivalenceTest, MatchesScan) {
+  const int d = std::get<0>(GetParam());
+  const int leaf = std::get<1>(GetParam());
+  const double p = std::get<2>(GetParam());
+  Table t = MakeRandomTable(static_cast<size_t>(d), 2000,
+                            static_cast<uint64_t>(d * 100 + leaf));
+  ScanIndex scan(t);
+  KdTree tree(t, leaf);
+  LpNorm norm(p);
+  util::Rng rng(static_cast<uint64_t>(d * 7 + leaf));
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> c(static_cast<size_t>(d));
+    for (auto& v : c) v = rng.Uniform(-0.2, 1.2);
+    const double radius = rng.Uniform(0.01, 0.5);
+    auto a = scan.RadiusSearch(c.data(), radius, norm);
+    auto b = tree.RadiusSearch(c.data(), radius, norm);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "d=" << d << " leaf=" << leaf << " p=" << p
+                    << " radius=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(1, 8, 64),
+                       ::testing::Values(1.0, 2.0, LpNorm::kInf)));
+
+TEST(KdTreeTest, ExaminesFewerTuplesThanScan) {
+  Table t = MakeRandomTable(2, 20000, 11);
+  ScanIndex scan(t);
+  KdTree tree(t);
+  const double c[] = {0.5, 0.5};
+  SelectionStats ss, ts;
+  scan.RadiusSearch(c, 0.05, LpNorm::L2(), &ss);
+  tree.RadiusSearch(c, 0.05, LpNorm::L2(), &ts);
+  EXPECT_EQ(ss.tuples_matched, ts.tuples_matched);
+  EXPECT_LT(ts.tuples_examined, ss.tuples_examined / 4)
+      << "kd-tree should prune most of the table for a small ball";
+}
+
+TEST(KdTreeTest, KnnMatchesBruteForce) {
+  const size_t d = 3;
+  Table t = MakeRandomTable(d, 500, 21);
+  KdTree tree(t, 16);
+  util::Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> c(d);
+    for (auto& v : c) v = rng.Uniform(0, 1);
+    const int k = 1 + static_cast<int>(rng.UniformInt(10));
+
+    // Brute force.
+    std::vector<Neighbor> brute;
+    for (int64_t i = 0; i < t.num_rows(); ++i) {
+      brute.push_back({LpNorm::L2().Distance(t.x(i), c.data(), d), i});
+    }
+    std::sort(brute.begin(), brute.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance < b.distance;
+              });
+    brute.resize(static_cast<size_t>(k));
+
+    auto fast = tree.NearestNeighbors(c.data(), k);
+    ASSERT_EQ(fast.size(), static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(fast[static_cast<size_t>(i)].distance,
+                  brute[static_cast<size_t>(i)].distance, 1e-12);
+    }
+  }
+}
+
+TEST(KdTreeTest, KnnLargerKThanTable) {
+  Table t = MakeRandomTable(2, 5, 31);
+  KdTree tree(t);
+  const double c[] = {0.5, 0.5};
+  EXPECT_EQ(tree.NearestNeighbors(c, 50).size(), 5u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace qreg
