@@ -1,0 +1,178 @@
+// Service-layer throughput: batched QPS vs worker-thread count, and the
+// δ-overlap semantic cache's hit rate / speedup vs δ_min on a clustered
+// workload. This is the serving-side complement of the paper's Figure 12
+// scalability experiment: instead of scaling the *data*, we scale the
+// *query traffic* against a fixed dataset.
+//
+// Extra environment knobs (on top of bench_common's):
+//   QREG_SERVICE_QUERIES   batch size per measurement (default 2000)
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/workload.h"
+#include "service/model_catalog.h"
+#include "service/query_router.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace qreg {
+namespace bench {
+namespace {
+
+std::vector<service::Request> MakeRequests(const std::string& dataset,
+                                           query::WorkloadConfig wl, int64_t n) {
+  query::WorkloadGenerator gen(wl);
+  std::vector<service::Request> reqs;
+  reqs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    query::Query q = gen.Next();
+    reqs.push_back(i % 2 == 0 ? service::Request::Q1(dataset, std::move(q))
+                              : service::Request::Q2(dataset, std::move(q)));
+  }
+  return reqs;
+}
+
+double MeasureQps(service::QueryRouter* router,
+                  const std::vector<service::Request>& batch) {
+  util::Stopwatch watch;
+  const auto results = router->ExecuteBatch(batch);
+  const double secs = watch.ElapsedSeconds();
+  int64_t ok = 0;
+  for (const auto& r : results) ok += r.ok() ? 1 : 0;
+  (void)ok;
+  return secs > 0.0 ? static_cast<double>(batch.size()) / secs : 0.0;
+}
+
+int Run() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  const int64_t queries =
+      util::GetEnvInt64("QREG_SERVICE_QUERIES", std::max<int64_t>(2000, env.test_queries));
+  PrintHeader("bench_service_throughput",
+              "service layer: QPS vs threads, cache hit rate vs delta_min", env);
+
+  DataBundle bundle = MakeR1Bundle(/*d=*/2, env.rows_r1, env.seed);
+  const DatasetProfile& p = bundle.profile;
+
+  service::ModelCatalog catalog;
+  service::CatalogOptions opts = service::CatalogOptions::ForCube(
+      2, p.center_lo, p.center_hi, p.theta_mean, p.theta_stddev,
+      /*a=*/0.1, /*max_pairs=*/env.train_cap, env.seed + 1);
+  auto reg = catalog.Register("r1", &bundle.table(), bundle.kdtree.get(), opts);
+  if (!reg.ok()) {
+    std::cerr << "register: " << reg << "\n";
+    return 1;
+  }
+  util::Stopwatch train_watch;
+  auto trained = catalog.TrainAll();
+  if (!trained.ok()) {
+    std::cerr << "train: " << trained << "\n";
+    return 1;
+  }
+  auto snap = catalog.Get("r1");
+  std::cout << "trained model: K=" << snap->model->num_prototypes()
+            << " prototypes in " << util::Format("%.2f", train_watch.ElapsedSeconds())
+            << " s\n\n";
+
+  // --- Series A: QPS vs worker threads (cache off) ----------------------
+  // "exact" runs every query through the DBMS engine (heavy, embarrassingly
+  // parallel); "hybrid" answers in-region queries from the model.
+  const std::vector<service::Request> uniform = MakeRequests(
+      "r1", query::WorkloadConfig::Cube(2, p.center_lo, p.center_hi,
+                                        p.theta_mean, p.theta_stddev,
+                                        env.seed + 2),
+      queries);
+
+  util::TablePrinter scaling(
+      {"threads", "exact qps", "exact speedup", "hybrid qps", "hybrid speedup",
+       "hybrid p99 ms", "exact-fallback rate"});
+  double exact_base = 0.0, hybrid_base = 0.0;
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    service::RouterConfig exact_cfg;
+    exact_cfg.policy = service::RoutePolicy::kExactOnly;
+    exact_cfg.enable_cache = false;
+    exact_cfg.num_threads = threads;
+    service::QueryRouter exact_router(&catalog, exact_cfg);
+    const double exact_qps = MeasureQps(&exact_router, uniform);
+
+    service::RouterConfig hybrid_cfg;
+    hybrid_cfg.policy = service::RoutePolicy::kHybrid;
+    hybrid_cfg.enable_cache = false;
+    hybrid_cfg.num_threads = threads;
+    service::QueryRouter hybrid_router(&catalog, hybrid_cfg);
+    const double hybrid_qps = MeasureQps(&hybrid_router, uniform);
+    const service::ServiceSnapshot s = hybrid_router.Stats();
+
+    if (threads == 0) {
+      exact_base = exact_qps;
+      hybrid_base = hybrid_qps;
+    }
+    scaling.AddRow({threads == 0 ? "sync" : util::Format("%zu", threads),
+                    util::Format("%.0f", exact_qps),
+                    util::Format("%.2fx", exact_base > 0 ? exact_qps / exact_base : 0.0),
+                    util::Format("%.0f", hybrid_qps),
+                    util::Format("%.2fx", hybrid_base > 0 ? hybrid_qps / hybrid_base : 0.0),
+                    util::Format("%.3f", s.p99_ms),
+                    util::Format("%.3f", s.ExactFallbackRate())});
+  }
+  EmitTable("bench_service_throughput", "qps_vs_threads", scaling, env);
+
+  // --- Series B: semantic cache vs delta_min on a clustered workload ----
+  // Small σθ and a tight center cluster make consecutive queries overlap
+  // heavily, the regime where δ-admission pays off.
+  const double span = p.center_hi - p.center_lo;
+  const std::vector<service::Request> clustered = MakeRequests(
+      "r1", query::WorkloadConfig::Cube(2, p.center_lo + 0.45 * span,
+                                        p.center_lo + 0.55 * span, p.theta_mean,
+                                        0.1 * p.theta_stddev, env.seed + 3),
+      queries);
+
+  util::TablePrinter cache_table(
+      {"delta_min", "hit rate", "qps", "speedup vs nocache", "evictions"});
+  service::RouterConfig nocache_cfg;
+  nocache_cfg.policy = service::RoutePolicy::kHybrid;
+  nocache_cfg.enable_cache = false;
+  nocache_cfg.num_threads = 2;
+  service::QueryRouter nocache_router(&catalog, nocache_cfg);
+  const double nocache_qps = MeasureQps(&nocache_router, clustered);
+  cache_table.AddRow({"off", "0.000", util::Format("%.0f", nocache_qps), "1.00x", "0"});
+
+  for (double delta_min : {0.99, 0.95, 0.9, 0.8, 0.7, 0.5}) {
+    service::RouterConfig cfg;
+    cfg.policy = service::RoutePolicy::kHybrid;
+    cfg.enable_cache = true;
+    cfg.cache.delta_min = delta_min;
+    cfg.cache.capacity_per_shard = 4096;
+    cfg.num_threads = 2;
+    service::QueryRouter router(&catalog, cfg);
+    const double qps = MeasureQps(&router, clustered);
+    const service::AnswerCacheStats cs = router.CacheStats();
+    cache_table.AddRow({util::Format("%.2f", delta_min),
+                        util::Format("%.3f", cs.HitRate()),
+                        util::Format("%.0f", qps),
+                        util::Format("%.2fx", nocache_qps > 0 ? qps / nocache_qps : 0.0),
+                        util::Format("%lld", static_cast<long long>(cs.evictions))});
+  }
+  EmitTable("bench_service_throughput", "cache_vs_delta_min", cache_table, env);
+
+  // --- Final service snapshot (operator view) ---------------------------
+  service::RouterConfig final_cfg;
+  final_cfg.policy = service::RoutePolicy::kHybrid;
+  final_cfg.enable_cache = true;
+  final_cfg.cache.delta_min = 0.9;
+  final_cfg.num_threads = 2;
+  service::QueryRouter final_router(&catalog, final_cfg);
+  (void)final_router.ExecuteBatch(clustered);
+  std::cout << "\nservice snapshot (hybrid, delta_min=0.9, clustered traffic):\n";
+  final_router.Stats().PrintTo(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qreg
+
+int main() { return qreg::bench::Run(); }

@@ -109,6 +109,14 @@ int32_t LlmModel::NearestPrototype(const query::Query& q) const {
   return best;
 }
 
+double LlmModel::NearestPrototypeDistance(const query::Query& q) const {
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const Prototype& p : prototypes_) {
+    best_d2 = std::min(best_d2, query::QueryDistanceSquared(q, p.w));
+  }
+  return std::sqrt(best_d2);  // inf when there are no prototypes.
+}
+
 util::Result<TrainStep> LlmModel::Observe(const query::Query& q, double y) {
   if (frozen_) {
     return util::Status::FailedPrecondition("model is frozen after convergence");

@@ -194,6 +194,11 @@ class LlmModel {
   /// Index of the L2-nearest prototype in query space; -1 if none.
   int32_t NearestPrototype(const query::Query& q) const;
 
+  /// L2 query-space distance from q to its nearest prototype; +inf when the
+  /// model has no prototypes. The service router's accuracy policy compares
+  /// this against the vigilance ρ to decide model vs. exact execution.
+  double NearestPrototypeDistance(const query::Query& q) const;
+
   // --- Introspection ----------------------------------------------------
 
   int32_t num_prototypes() const { return static_cast<int32_t>(prototypes_.size()); }

@@ -33,7 +33,14 @@ struct Query {
   std::string ToString() const;
 };
 
-/// \brief Squared query-space distance ||q - q'||_2^2 = ||x - x'||^2 + (θ-θ')^2
+/// Exact equality of [x, θ] vectors — the fast path of the service layer's
+/// semantic answer cache (a repeated query is a trivially-admissible hit).
+inline bool operator==(const Query& a, const Query& b) {
+  return a.theta == b.theta && a.center == b.center;
+}
+inline bool operator!=(const Query& a, const Query& b) { return !(a == b); }
+
+/// \brief Squared query-space distance ||x - x'||^2 + (θ-θ')^2
 /// (Definition 5).
 double QueryDistanceSquared(const Query& a, const Query& b);
 

@@ -1,0 +1,95 @@
+#include "service/answer_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qreg {
+namespace service {
+
+AnswerCache::AnswerCache(AnswerCacheConfig config) : config_(config) {
+  config_.delta_min = std::min(1.0, std::max(0.0, config_.delta_min));
+  if (config_.capacity_per_shard == 0) config_.capacity_per_shard = 1;
+}
+
+bool AnswerCache::Lookup(const std::string& shard_key, const query::Query& q,
+                         CachedAnswer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = shards_.find(shard_key);
+  if (it == shards_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  Shard& shard = it->second;
+
+  auto best = shard.entries.end();
+  double best_delta = 0.0;
+  size_t probed = 0;
+  for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e) {
+    if (config_.max_probe > 0 && probed >= config_.max_probe) break;
+    ++probed;
+    if (e->q.dimension() != q.dimension()) continue;
+    if (e->q == q) {  // Exact repeat: δ = 1, nothing can beat it.
+      best = e;
+      best_delta = 1.0;
+      break;
+    }
+    if (!query::Overlaps(q, e->q)) continue;  // Predicate A (Definition 6).
+    const double delta = query::DegreeOfOverlap(q, e->q);  // Equation 9.
+    if (delta >= config_.delta_min && delta > best_delta) {
+      best = e;
+      best_delta = delta;
+    }
+  }
+  if (best == shard.entries.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (out != nullptr) {
+    *out = *best;
+    out->delta = best_delta;
+  }
+  shard.entries.splice(shard.entries.begin(), shard.entries, best);  // Touch.
+  return true;
+}
+
+void AnswerCache::Insert(const std::string& shard_key, CachedAnswer answer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = shards_[shard_key];
+  // Replace an exact-duplicate query in place (keeps the shard canonical).
+  for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e) {
+    if (e->q == answer.q) {
+      *e = std::move(answer);
+      shard.entries.splice(shard.entries.begin(), shard.entries, e);
+      return;
+    }
+  }
+  shard.entries.push_front(std::move(answer));
+  ++size_;
+  ++stats_.inserts;
+  if (shard.entries.size() > config_.capacity_per_shard) {
+    shard.entries.pop_back();
+    --size_;
+    ++stats_.evictions;
+  }
+}
+
+void AnswerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.clear();
+  size_ = 0;
+}
+
+AnswerCacheStats AnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace service
+}  // namespace qreg

@@ -1,0 +1,109 @@
+// δ-overlap semantic answer cache: the paper's degree-of-overlapping δ
+// (Equation 9) promoted from a prediction weight to a serving-layer
+// cache-admission predicate.
+//
+// A cached (query, answer) pair answers a new query q when the two query
+// balls overlap (Definition 6) AND their overlap degree δ(q, q') meets the
+// configured δ_min. δ = 1 only for identical balls and decays toward 0 as
+// the balls drift apart, so δ_min directly trades answer staleness-in-space
+// for hit rate: δ_min = 1 caches only exact repeats; δ_min → 0 admits any
+// overlapping neighbour.
+//
+// Entries are sharded by an opaque key (the router uses "dataset/kind") and
+// evicted LRU per shard. All operations are thread-safe.
+
+#ifndef QREG_SERVICE_ANSWER_CACHE_H_
+#define QREG_SERVICE_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prototype.h"
+#include "query/query.h"
+
+namespace qreg {
+namespace service {
+
+/// \brief Cache sizing and admission parameters.
+struct AnswerCacheConfig {
+  /// Max cached answers per shard (dataset × query kind). LRU beyond this.
+  size_t capacity_per_shard = 512;
+
+  /// Minimum degree of overlapping δ(q, q') (Eq. 9) for a cached answer to
+  /// be reused. In [0, 1].
+  double delta_min = 0.9;
+
+  /// Max entries probed per lookup, scanning from most- to least-recently
+  /// used; 0 probes the whole shard. Bounds worst-case lookup cost.
+  size_t max_probe = 0;
+};
+
+/// \brief The reusable payload of one cached answer (Q1 scalar and/or the
+/// Q2 list S of local linear models).
+struct CachedAnswer {
+  query::Query q;      ///< The query that produced this answer.
+  double mean = 0.0;   ///< Q1 payload.
+  std::vector<core::LocalLinearModel> pieces;  ///< Q2 payload.
+  double delta = 1.0;  ///< δ(probe, q) of the admitting lookup (output only).
+};
+
+/// \brief Monotonic hit/miss/evict counters.
+struct AnswerCacheStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;
+
+  double HitRate() const {
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                       : 0.0;
+  }
+};
+
+/// \brief Thread-safe sharded LRU cache with δ-overlap admission.
+class AnswerCache {
+ public:
+  explicit AnswerCache(AnswerCacheConfig config);
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// Probes the shard for the cached query with the highest δ(q, ·) ≥ δ_min
+  /// among overlapping entries. On a hit fills `*out` (with `out->delta` set
+  /// to the achieved overlap degree), touches the entry's LRU position, and
+  /// returns true.
+  bool Lookup(const std::string& shard, const query::Query& q,
+              CachedAnswer* out);
+
+  /// Caches an answer, evicting the shard's LRU entry beyond capacity. A
+  /// second insert with an identical query replaces the previous answer.
+  void Insert(const std::string& shard, CachedAnswer answer);
+
+  void Clear();
+
+  AnswerCacheStats stats() const;
+  size_t size() const;  ///< Total entries across shards.
+
+  const AnswerCacheConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    std::list<CachedAnswer> entries;  // Front = most recently used.
+  };
+
+  AnswerCacheConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Shard> shards_;
+  AnswerCacheStats stats_;
+  size_t size_ = 0;
+};
+
+}  // namespace service
+}  // namespace qreg
+
+#endif  // QREG_SERVICE_ANSWER_CACHE_H_

@@ -1,0 +1,217 @@
+#include "service/model_catalog.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "core/model_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qreg {
+namespace service {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return !path.empty() && ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+CatalogOptions CatalogOptions::ForCube(size_t d, double lo, double hi,
+                                       double theta_mean, double theta_stddev,
+                                       double a, int64_t max_pairs,
+                                       uint64_t seed) {
+  CatalogOptions opts;
+  const double x_range = hi - lo;
+  // θ spans roughly [0, µθ + 2σθ]; vigilance scales with that range.
+  const double theta_range = std::max(theta_mean + 2.0 * theta_stddev, 1e-6);
+  opts.llm = core::LlmConfig::ForDomain(d, a, /*gamma=*/0.01, x_range, theta_range);
+  opts.trainer.max_pairs = max_pairs;
+  opts.trainer.min_pairs = std::min<int64_t>(max_pairs, 500);
+  opts.workload = query::WorkloadConfig::Cube(d, lo, hi, theta_mean,
+                                              theta_stddev, seed);
+  return opts;
+}
+
+util::Status ModelCatalog::Register(const std::string& name,
+                                    const storage::Table* table,
+                                    const storage::SpatialIndex* index,
+                                    CatalogOptions opts, storage::LpNorm norm) {
+  if (name.empty()) {
+    return util::Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (table == nullptr || index == nullptr) {
+    return util::Status::InvalidArgument("table and index must be non-null");
+  }
+  if (table->dimension() != opts.workload.d) {
+    return util::Status::InvalidArgument(util::Format(
+        "workload dimension %zu does not match table dimension %zu",
+        opts.workload.d, table->dimension()));
+  }
+  if (opts.llm.d != table->dimension()) {
+    return util::Status::InvalidArgument(util::Format(
+        "model dimension %zu does not match table dimension %zu", opts.llm.d,
+        table->dimension()));
+  }
+  QREG_RETURN_NOT_OK(opts.llm.Validate());
+  QREG_RETURN_NOT_OK(query::WorkloadGenerator(opts.workload).Validate());
+
+  auto entry = std::make_shared<Entry>();
+  entry->name = name;
+  entry->table = table;
+  entry->index = index;
+  entry->opts = std::move(opts);
+  entry->engine = std::make_unique<query::ExactEngine>(*table, *index, norm);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(name) > 0) {
+    return util::Status::AlreadyExists(
+        util::Format("dataset '%s' is already registered", name.c_str()));
+  }
+  entries_.emplace(name, std::move(entry));
+  return util::Status::OK();
+}
+
+std::shared_ptr<ModelCatalog::Entry> ModelCatalog::FindEntry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+CatalogSnapshot ModelCatalog::MakeSnapshot(
+    const Entry& e, std::shared_ptr<const TrainedState> trained) const {
+  CatalogSnapshot snap;
+  snap.name = e.name;
+  snap.engine = e.engine.get();
+  if (trained) {
+    snap.model = trained->model;
+    snap.report = trained->report;
+    snap.warm_started = trained->warm_started;
+    if (snap.model) snap.vigilance = snap.model->config().vigilance;
+  }
+  return snap;
+}
+
+util::Result<CatalogSnapshot> ModelCatalog::GetOrTrain(const std::string& name) {
+  std::shared_ptr<Entry> e = FindEntry(name);
+  if (!e) {
+    return util::Status::NotFound(
+        util::Format("dataset '%s' is not registered", name.c_str()));
+  }
+  // Fast path: training state already published.
+  if (auto trained = std::atomic_load(&e->trained)) {
+    return MakeSnapshot(*e, std::move(trained));
+  }
+  std::lock_guard<std::mutex> train_lock(e->train_mu);
+  if (auto trained = std::atomic_load(&e->trained)) {  // Lost the race.
+    return MakeSnapshot(*e, std::move(trained));
+  }
+  QREG_RETURN_NOT_OK(TrainEntry(e.get()));
+  return MakeSnapshot(*e, std::atomic_load(&e->trained));
+}
+
+util::Status ModelCatalog::TrainEntry(Entry* e) {
+  // Warm start: a previously persisted parameter set α skips training
+  // entirely (Algorithm 1 freezes α, so the file is authoritative).
+  if (FileExists(e->opts.warm_start_path)) {
+    auto loaded = core::ModelSerializer::LoadFromFile(e->opts.warm_start_path);
+    if (loaded.ok() && loaded->config().d == e->table->dimension()) {
+      auto model = std::make_shared<core::LlmModel>(std::move(loaded).value());
+      model->Freeze();
+      auto state = std::make_shared<TrainedState>();
+      state->report.num_prototypes = model->num_prototypes();
+      state->report.converged = model->HasConverged();
+      state->warm_started = true;
+      state->model = std::move(model);
+      std::atomic_store(&e->trained,
+                        std::shared_ptr<const TrainedState>(std::move(state)));
+      return util::Status::OK();
+    }
+    QREG_LOG_WARN << "catalog: warm start from '" << e->opts.warm_start_path
+                  << "' failed ("
+                  << (loaded.ok() ? std::string("dimension mismatch")
+                                  : loaded.status().ToString())
+                  << "); retraining";
+  }
+
+  auto model = std::make_shared<core::LlmModel>(e->opts.llm);
+  query::WorkloadGenerator workload(e->opts.workload);
+  core::Trainer trainer(*e->engine, e->opts.trainer);
+  auto report = trainer.Train(&workload, model.get());
+  if (!report.ok()) return report.status();
+  if (!model->frozen()) model->Freeze();
+  auto state = std::make_shared<TrainedState>();
+  state->report = std::move(report).value();
+  state->warm_started = false;
+
+  if (!e->opts.warm_start_path.empty()) {
+    util::Status saved =
+        core::ModelSerializer::SaveToFile(*model, e->opts.warm_start_path);
+    if (!saved.ok()) {
+      QREG_LOG_WARN << "catalog: persisting model for '" << e->name << "' to '"
+                    << e->opts.warm_start_path << "' failed: " << saved;
+    }
+  }
+  state->model = std::move(model);
+  std::atomic_store(&e->trained,
+                    std::shared_ptr<const TrainedState>(std::move(state)));
+  return util::Status::OK();
+}
+
+util::Result<CatalogSnapshot> ModelCatalog::Get(const std::string& name) const {
+  std::shared_ptr<Entry> e = FindEntry(name);
+  if (!e) {
+    return util::Status::NotFound(
+        util::Format("dataset '%s' is not registered", name.c_str()));
+  }
+  return MakeSnapshot(*e, std::atomic_load(&e->trained));
+}
+
+util::Status ModelCatalog::TrainAll() {
+  for (const std::string& name : Names()) {
+    auto snap = GetOrTrain(name);
+    if (!snap.ok()) return snap.status();
+  }
+  return util::Status::OK();
+}
+
+util::Status ModelCatalog::SaveModel(const std::string& name,
+                                     const std::string& path) {
+  std::shared_ptr<Entry> e = FindEntry(name);
+  if (!e) {
+    return util::Status::NotFound(
+        util::Format("dataset '%s' is not registered", name.c_str()));
+  }
+  auto trained = std::atomic_load(&e->trained);
+  if (!trained || !trained->model) {
+    return util::Status::FailedPrecondition(
+        util::Format("dataset '%s' has no trained model", name.c_str()));
+  }
+  return core::ModelSerializer::SaveToFile(*trained->model, path);
+}
+
+bool ModelCatalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> ModelCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& kv : entries_) names.push_back(kv.first);
+  return names;
+}
+
+size_t ModelCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace service
+}  // namespace qreg

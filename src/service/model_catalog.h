@@ -1,0 +1,134 @@
+// Dataset → model registry: the service layer's source of truth for which
+// relations exist, how to answer queries against them exactly, and which
+// trained LLM model (if any) can answer them approximately.
+//
+// Each registered dataset carries a (Table, SpatialIndex) pair — both
+// non-owned, caller-managed, as with ExactEngine — plus the hyper-parameters
+// to train its model. Training is *lazy*: the first GetOrTrain() call (or an
+// explicit TrainAll()) drives core::Trainer against the exact engine, after
+// which the frozen model is shared immutably with any number of concurrent
+// readers. Models warm-start from a core::ModelSerializer file when
+// `warm_start_path` points at one, and persist back after a fresh train.
+
+#ifndef QREG_SERVICE_MODEL_CATALOG_H_
+#define QREG_SERVICE_MODEL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/llm_model.h"
+#include "core/trainer.h"
+#include "query/exact_engine.h"
+#include "query/workload.h"
+#include "storage/lp_norm.h"
+#include "storage/spatial_index.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace service {
+
+/// \brief Per-dataset training recipe.
+struct CatalogOptions {
+  core::LlmConfig llm;                ///< Model hyper-parameters (ρ, γ, ...).
+  core::TrainerConfig trainer;        ///< Pair budget / convergence policy.
+  query::WorkloadConfig workload;     ///< Training-query distribution.
+
+  /// When non-empty: load the model from this ModelSerializer file if it
+  /// exists (skipping training), and save a freshly trained model back to it.
+  std::string warm_start_path;
+
+  /// Convenience: a recipe for data in [lo, hi]^d with the given radius
+  /// distribution, ρ derived from coefficient `a` scaled to the domain.
+  static CatalogOptions ForCube(size_t d, double lo, double hi,
+                                double theta_mean, double theta_stddev,
+                                double a = 0.1, int64_t max_pairs = 20000,
+                                uint64_t seed = 1);
+};
+
+/// \brief Immutable per-dataset view handed out to executors. The engine
+/// pointer stays valid while the catalog (and the registered table/index)
+/// lives; the model is shared and frozen.
+struct CatalogSnapshot {
+  std::string name;
+  const query::ExactEngine* engine = nullptr;
+  std::shared_ptr<const core::LlmModel> model;  ///< Null until trained.
+  core::TrainingReport report;                  ///< Zero until trained.
+  double vigilance = 0.0;                       ///< ρ of the trained model.
+  bool warm_started = false;                    ///< Loaded, not trained.
+};
+
+/// \brief Thread-safe registry of datasets and their trained models.
+class ModelCatalog {
+ public:
+  ModelCatalog() = default;
+
+  ModelCatalog(const ModelCatalog&) = delete;
+  ModelCatalog& operator=(const ModelCatalog&) = delete;
+
+  /// Registers a dataset. `table` and `index` are borrowed and must outlive
+  /// the catalog. Fails with AlreadyExists on duplicate names and
+  /// InvalidArgument on dimension mismatches between table and workload.
+  util::Status Register(const std::string& name, const storage::Table* table,
+                        const storage::SpatialIndex* index, CatalogOptions opts,
+                        storage::LpNorm norm = storage::LpNorm::L2());
+
+  /// Snapshot of a registered dataset; trains (or warm-loads) the model on
+  /// first call. Concurrent callers for the same dataset serialize on a
+  /// per-entry mutex; only one trains. NotFound for unknown names.
+  util::Result<CatalogSnapshot> GetOrTrain(const std::string& name);
+
+  /// Snapshot without triggering training (model may be null). NotFound for
+  /// unknown names.
+  util::Result<CatalogSnapshot> Get(const std::string& name) const;
+
+  /// Eagerly trains every registered dataset (first error aborts).
+  util::Status TrainAll();
+
+  /// Persists a trained model with core::ModelSerializer. FailedPrecondition
+  /// if the dataset has not been trained yet.
+  util::Status SaveModel(const std::string& name, const std::string& path);
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  // Everything produced by training, published as one immutable block so
+  // concurrent readers never observe a half-written report.
+  struct TrainedState {
+    std::shared_ptr<const core::LlmModel> model;
+    core::TrainingReport report;
+    bool warm_started = false;
+  };
+
+  struct Entry {
+    std::string name;
+    const storage::Table* table = nullptr;
+    const storage::SpatialIndex* index = nullptr;
+    CatalogOptions opts;
+    std::unique_ptr<query::ExactEngine> engine;
+
+    std::mutex train_mu;  // Serializes the one-time training.
+    // Written once with atomic_store / read with atomic_load: readers never
+    // block on train_mu, and never see partial training state.
+    std::shared_ptr<const TrainedState> trained;
+  };
+
+  CatalogSnapshot MakeSnapshot(const Entry& e,
+                               std::shared_ptr<const TrainedState> trained) const;
+  util::Status TrainEntry(Entry* e);
+
+  std::shared_ptr<Entry> FindEntry(const std::string& name) const;
+
+  mutable std::mutex mu_;  // Guards the map itself, not entry training.
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace service
+}  // namespace qreg
+
+#endif  // QREG_SERVICE_MODEL_CATALOG_H_

@@ -1,0 +1,170 @@
+#include "service/query_router.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace qreg {
+namespace service {
+
+const char* QueryKindName(QueryKind kind) {
+  return kind == QueryKind::kQ1MeanValue ? "Q1" : "Q2";
+}
+
+QueryRouter::QueryRouter(ModelCatalog* catalog, RouterConfig config)
+    : catalog_(catalog),
+      config_(config),
+      cache_(config.cache),
+      stats_(config.latency_window),
+      pool_(config.num_threads, config.queue_capacity) {}
+
+std::string QueryRouter::ShardKey(const Request& request) {
+  return request.dataset + "/" + QueryKindName(request.kind);
+}
+
+util::Result<Answer> QueryRouter::Execute(const Request& request) {
+  util::Stopwatch watch;
+  util::Result<Answer> result = ExecuteUnrecorded(request);
+  const int64_t nanos = watch.ElapsedNanos();
+  if (result.ok()) {
+    result->exec.nanos = nanos;
+    stats_.Record(nanos, result->source == AnswerSource::kCache,
+                  result->source == AnswerSource::kExact, /*ok=*/true);
+  } else {
+    stats_.Record(nanos, /*cache_hit=*/false, /*used_exact=*/false, /*ok=*/false);
+  }
+  return result;
+}
+
+util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
+  // kExactOnly never consults the model: use Get() so an exact-only router
+  // neither blocks on lazy training nor fails when training is impossible.
+  CatalogSnapshot snap;
+  if (config_.policy == RoutePolicy::kExactOnly) {
+    QREG_ASSIGN_OR_RETURN(snap, catalog_->Get(request.dataset));
+  } else {
+    QREG_ASSIGN_OR_RETURN(snap, catalog_->GetOrTrain(request.dataset));
+  }
+  if (request.q.dimension() != snap.engine->table().dimension()) {
+    return util::Status::InvalidArgument(util::Format(
+        "query dimension %zu does not match dataset '%s' dimension %zu",
+        request.q.dimension(), request.dataset.c_str(),
+        snap.engine->table().dimension()));
+  }
+
+  const std::string shard = ShardKey(request);
+  if (config_.enable_cache) {
+    CachedAnswer cached;
+    if (cache_.Lookup(shard, request.q, &cached)) {
+      Answer a;
+      a.kind = request.kind;
+      a.source = AnswerSource::kCache;
+      a.mean = cached.mean;
+      a.pieces = std::move(cached.pieces);
+      a.cache_delta = cached.delta;
+      return a;
+    }
+  }
+
+  // Accuracy policy: pick the answering path.
+  bool use_model = false;
+  switch (config_.policy) {
+    case RoutePolicy::kModelOnly:
+      if (!snap.model) {
+        return util::Status::FailedPrecondition(
+            "policy is model-only but the dataset has no trained model");
+      }
+      use_model = true;
+      break;
+    case RoutePolicy::kExactOnly:
+      use_model = false;
+      break;
+    case RoutePolicy::kHybrid: {
+      // In-region test: the vigilance criterion of Algorithm 1 applied at
+      // serving time. ρ ≤ 0 (fixed-K ablation models) disables the test.
+      use_model = snap.model != nullptr && snap.model->num_prototypes() > 0;
+      if (use_model && snap.vigilance > 0.0) {
+        const double dist = snap.model->NearestPrototypeDistance(request.q);
+        use_model = dist <= config_.rho_scale * snap.vigilance;
+      }
+      break;
+    }
+  }
+
+  util::Result<Answer> result =
+      use_model ? ExecuteModel(request, *snap.model)
+                : ExecuteExact(request, *snap.engine);
+  if (!result.ok()) return result;
+
+  if (config_.enable_cache) {
+    CachedAnswer to_cache;
+    to_cache.q = request.q;
+    to_cache.mean = result->mean;
+    to_cache.pieces = result->pieces;
+    cache_.Insert(shard, std::move(to_cache));
+  }
+  return result;
+}
+
+util::Result<Answer> QueryRouter::ExecuteModel(
+    const Request& request, const core::LlmModel& model) const {
+  Answer a;
+  a.kind = request.kind;
+  a.source = AnswerSource::kModel;
+  if (request.kind == QueryKind::kQ1MeanValue) {
+    QREG_ASSIGN_OR_RETURN(a.mean, model.PredictMean(request.q));
+  } else {
+    QREG_ASSIGN_OR_RETURN(a.pieces, model.RegressionQuery(request.q));
+  }
+  return a;
+}
+
+util::Result<Answer> QueryRouter::ExecuteExact(
+    const Request& request, const query::ExactEngine& engine) const {
+  Answer a;
+  a.kind = request.kind;
+  a.source = AnswerSource::kExact;
+  if (request.kind == QueryKind::kQ1MeanValue) {
+    QREG_ASSIGN_OR_RETURN(query::MeanValueResult r,
+                          engine.MeanValue(request.q, &a.exec));
+    a.mean = r.mean;
+  } else {
+    QREG_ASSIGN_OR_RETURN(linalg::OlsFit fit,
+                          engine.Regression(request.q, &a.exec));
+    // The exact Q2 answer is a single global plane over D(x, θ): the REG
+    // baseline expressed in the same list-S shape as the model's answer.
+    core::LocalLinearModel m;
+    m.intercept = fit.intercept;
+    m.slope = std::move(fit.slope);
+    m.prototype_id = -1;
+    m.weight = 1.0;
+    a.pieces.push_back(std::move(m));
+  }
+  return a;
+}
+
+std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
+    const std::vector<Request>& batch) {
+  std::vector<util::Result<Answer>> results(
+      batch.size(),
+      util::Result<Answer>(util::Status::Internal("request not executed")));
+  if (pool_.num_threads() == 0) {
+    for (size_t i = 0; i < batch.size(); ++i) results[i] = Execute(batch[i]);
+    return results;
+  }
+  BlockingCounter done(static_cast<int64_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    pool_.Submit([this, &batch, &results, &done, i] {
+      results[i] = Execute(batch[i]);
+      done.DecrementCount();
+    });
+  }
+  done.Wait();
+  return results;
+}
+
+}  // namespace service
+}  // namespace qreg

@@ -1,0 +1,152 @@
+// The service front door: accepts single or batched Q1/Q2 requests, answers
+// each from (in order of preference) the δ-overlap semantic cache, the
+// trained LLM model, or the exact engine, and aggregates serving metrics.
+//
+// Routing follows a configurable accuracy policy. The default hybrid policy
+// uses the model's own quantization geometry: a query whose nearest
+// prototype lies farther than the vigilance ρ (scaled by `rho_scale`) is
+// outside the region the model was trained on — the vigilance test of
+// Algorithm 1, reused at serving time — and is routed to the exact engine
+// instead of extrapolating.
+//
+// Batches execute in parallel on a fixed ThreadPool. With 0 worker threads
+// the router is fully synchronous, which benches use as the single-threaded
+// baseline and tests use for bit-for-bit determinism checks.
+
+#ifndef QREG_SERVICE_QUERY_ROUTER_H_
+#define QREG_SERVICE_QUERY_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/prototype.h"
+#include "query/exact_engine.h"
+#include "query/query.h"
+#include "service/answer_cache.h"
+#include "service/model_catalog.h"
+#include "service/service_stats.h"
+#include "service/thread_pool.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace service {
+
+/// \brief The two regression-query types of the paper (Definition 4).
+enum class QueryKind : int {
+  kQ1MeanValue = 0,   ///< Average of u over D(x, θ).
+  kQ2Regression = 1,  ///< (Piecewise) linear model of u over D(x, θ).
+};
+
+const char* QueryKindName(QueryKind kind);  ///< "Q1" / "Q2".
+
+/// \brief Accuracy policy: which execution path answers a query.
+enum class RoutePolicy : int {
+  /// Model when the query is inside the trained region (nearest-prototype
+  /// distance ≤ rho_scale · ρ), exact engine otherwise.
+  kHybrid = 0,
+  /// Always the model (errors if the dataset's model failed to train).
+  kModelOnly = 1,
+  /// Always the exact engine (the cache still applies when enabled).
+  kExactOnly = 2,
+};
+
+/// \brief Router configuration.
+struct RouterConfig {
+  RoutePolicy policy = RoutePolicy::kHybrid;
+
+  /// Multiplier on the vigilance ρ for the hybrid in-region test. > 1 trusts
+  /// the model further from its prototypes; < 1 falls back to exact sooner.
+  double rho_scale = 1.0;
+
+  bool enable_cache = true;
+  AnswerCacheConfig cache;
+
+  /// Worker threads for ExecuteBatch; 0 executes batches synchronously on
+  /// the calling thread.
+  size_t num_threads = 0;
+  size_t queue_capacity = 256;
+
+  /// Latency samples retained for p50/p99 (see ServiceStats).
+  size_t latency_window = 1 << 16;
+};
+
+/// \brief One query against a registered dataset.
+struct Request {
+  std::string dataset;
+  QueryKind kind = QueryKind::kQ1MeanValue;
+  query::Query q;
+
+  static Request Q1(std::string dataset, query::Query q) {
+    return Request{std::move(dataset), QueryKind::kQ1MeanValue, std::move(q)};
+  }
+  static Request Q2(std::string dataset, query::Query q) {
+    return Request{std::move(dataset), QueryKind::kQ2Regression, std::move(q)};
+  }
+};
+
+/// \brief Which path produced an answer.
+enum class AnswerSource : int { kModel = 0, kExact = 1, kCache = 2 };
+
+/// \brief A served answer plus per-query execution statistics.
+struct Answer {
+  QueryKind kind = QueryKind::kQ1MeanValue;
+  AnswerSource source = AnswerSource::kModel;
+
+  double mean = 0.0;  ///< Q1 payload.
+  std::vector<core::LocalLinearModel> pieces;  ///< Q2 payload (the list S).
+
+  /// δ(q, q') of the admitting cache entry when source == kCache.
+  double cache_delta = 0.0;
+
+  /// Exact-path selection statistics (zero for model/cache answers) plus
+  /// total serving latency in `exec.nanos`.
+  query::ExecStats exec;
+};
+
+/// \brief Concurrent Q1/Q2 front door over a ModelCatalog.
+class QueryRouter {
+ public:
+  /// `catalog` is borrowed and must outlive the router.
+  explicit QueryRouter(ModelCatalog* catalog, RouterConfig config = RouterConfig());
+
+  QueryRouter(const QueryRouter&) = delete;
+  QueryRouter& operator=(const QueryRouter&) = delete;
+
+  /// Serves one request (lazily training the dataset's model on first touch).
+  util::Result<Answer> Execute(const Request& request);
+
+  /// Serves a batch in parallel on the worker pool; results are positionally
+  /// aligned with `batch`. Per-request failures (e.g. empty subspace on the
+  /// exact path) are returned in-slot, never thrown across the batch.
+  std::vector<util::Result<Answer>> ExecuteBatch(const std::vector<Request>& batch);
+
+  /// Aggregated serving metrics since construction or ResetStats().
+  ServiceSnapshot Stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  AnswerCacheStats CacheStats() const { return cache_.stats(); }
+
+  const RouterConfig& config() const { return config_; }
+  ModelCatalog* catalog() const { return catalog_; }
+
+ private:
+  util::Result<Answer> ExecuteUnrecorded(const Request& request);
+  util::Result<Answer> ExecuteModel(const Request& request,
+                                    const core::LlmModel& model) const;
+  util::Result<Answer> ExecuteExact(const Request& request,
+                                    const query::ExactEngine& engine) const;
+
+  static std::string ShardKey(const Request& request);
+
+  ModelCatalog* catalog_;
+  RouterConfig config_;
+  AnswerCache cache_;
+  ServiceStats stats_;
+  ThreadPool pool_;
+};
+
+}  // namespace service
+}  // namespace qreg
+
+#endif  // QREG_SERVICE_QUERY_ROUTER_H_

@@ -1,0 +1,87 @@
+#include "service/service_stats.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qreg {
+namespace service {
+
+ServiceStats::ServiceStats(size_t latency_window)
+    : window_(std::max<size_t>(latency_window, 1)) {
+  latencies_.reserve(std::min<size_t>(window_, 4096));
+}
+
+void ServiceStats::Record(int64_t latency_nanos, bool cache_hit,
+                          bool used_exact, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (!ok) ++errors_;
+  if (cache_hit) ++cache_hits_;
+  if (used_exact) ++exact_;
+  if (ok && !cache_hit && !used_exact) ++model_;
+  latency_sum_nanos_ += latency_nanos;
+  if (latencies_.size() < window_) {
+    latencies_.push_back(latency_nanos);
+  } else {
+    latencies_[next_] = latency_nanos;
+    next_ = (next_ + 1) % window_;
+  }
+}
+
+ServiceSnapshot ServiceStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceSnapshot s;
+  s.total_queries = total_;
+  s.errors = errors_;
+  s.cache_hits = cache_hits_;
+  s.exact_fallbacks = exact_;
+  s.model_answers = model_;
+  s.elapsed_seconds = clock_.ElapsedSeconds();
+  s.qps = s.elapsed_seconds > 0.0
+              ? static_cast<double>(total_) / s.elapsed_seconds
+              : 0.0;
+  s.mean_ms = total_ > 0 ? static_cast<double>(latency_sum_nanos_) / 1e6 /
+                               static_cast<double>(total_)
+                         : 0.0;
+  if (!latencies_.empty()) {
+    std::vector<double> ms;
+    ms.reserve(latencies_.size());
+    for (int64_t n : latencies_) ms.push_back(static_cast<double>(n) / 1e6);
+    s.p50_ms = eval::Percentile(ms, 50.0);
+    s.p99_ms = eval::Percentile(std::move(ms), 99.0);
+  }
+  return s;
+}
+
+void ServiceStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_.Restart();
+  latencies_.clear();
+  next_ = 0;
+  total_ = errors_ = cache_hits_ = exact_ = model_ = 0;
+  latency_sum_nanos_ = 0;
+}
+
+void ServiceSnapshot::PrintTo(std::ostream& os) const {
+  util::TablePrinter t({"metric", "value"});
+  t.AddRow({"queries", util::Format("%lld", static_cast<long long>(total_queries))});
+  t.AddRow({"errors", util::Format("%lld", static_cast<long long>(errors))});
+  t.AddRow({"qps", util::Format("%.1f", qps)});
+  t.AddRow({"mean latency (ms)", util::Format("%.4f", mean_ms)});
+  t.AddRow({"p50 latency (ms)", util::Format("%.4f", p50_ms)});
+  t.AddRow({"p99 latency (ms)", util::Format("%.4f", p99_ms)});
+  t.AddRow({"cache hit rate", util::Format("%.3f", CacheHitRate())});
+  t.AddRow({"exact fallback rate", util::Format("%.3f", ExactFallbackRate())});
+  t.AddRow({"model answer rate",
+            util::Format("%.3f", total_queries > 0
+                                     ? static_cast<double>(model_answers) /
+                                           static_cast<double>(total_queries)
+                                     : 0.0)});
+  t.Print(os);
+}
+
+}  // namespace service
+}  // namespace qreg

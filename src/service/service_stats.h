@@ -1,0 +1,82 @@
+// Aggregated serving metrics: QPS, latency percentiles, cache hit rate and
+// exact-fallback rate — the operator's view of the analytics service.
+
+#ifndef QREG_SERVICE_SERVICE_STATS_H_
+#define QREG_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace qreg {
+namespace service {
+
+/// \brief Point-in-time aggregate of the service counters.
+struct ServiceSnapshot {
+  int64_t total_queries = 0;
+  int64_t errors = 0;
+  int64_t cache_hits = 0;
+  int64_t exact_fallbacks = 0;  ///< Queries answered by the exact engine.
+  int64_t model_answers = 0;    ///< Queries answered by the LLM model.
+
+  double elapsed_seconds = 0.0;  ///< Since construction or Reset().
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double CacheHitRate() const {
+    return total_queries > 0
+               ? static_cast<double>(cache_hits) / static_cast<double>(total_queries)
+               : 0.0;
+  }
+  double ExactFallbackRate() const {
+    return total_queries > 0 ? static_cast<double>(exact_fallbacks) /
+                                   static_cast<double>(total_queries)
+                             : 0.0;
+  }
+
+  /// Renders the snapshot as an aligned util::TablePrinter table.
+  void PrintTo(std::ostream& os) const;
+};
+
+/// \brief Thread-safe collector behind the router. Latencies are kept in a
+/// fixed ring (most recent `latency_window` samples) so memory stays bounded
+/// under sustained traffic; percentiles are over that window.
+class ServiceStats {
+ public:
+  explicit ServiceStats(size_t latency_window = 1 << 16);
+
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
+
+  /// Records one served query. `used_exact`/`cache_hit` are mutually
+  /// exclusive classifications of the answering path.
+  void Record(int64_t latency_nanos, bool cache_hit, bool used_exact, bool ok);
+
+  ServiceSnapshot Snapshot() const;
+
+  /// Zeroes all counters and restarts the QPS clock.
+  void Reset();
+
+ private:
+  const size_t window_;
+  mutable std::mutex mu_;
+  util::Stopwatch clock_;
+  std::vector<int64_t> latencies_;  // Ring buffer.
+  size_t next_ = 0;                 // Ring cursor.
+  int64_t total_ = 0;
+  int64_t errors_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t exact_ = 0;
+  int64_t model_ = 0;
+  int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
+};
+
+}  // namespace service
+}  // namespace qreg
+
+#endif  // QREG_SERVICE_SERVICE_STATS_H_

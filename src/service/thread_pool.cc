@@ -1,0 +1,75 @@
+#include "service/thread_pool.h"
+
+#include <utility>
+
+namespace qreg {
+namespace service {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stop_; });
+    if (stop_) return;  // Shutting down: drop the task.
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) return;  // stop_ && drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+  }
+}
+
+}  // namespace service
+}  // namespace qreg

@@ -1,0 +1,585 @@
+// Tests for the service layer: thread pool, model catalog (lazy training +
+// warm start), δ-overlap answer cache (admission, LRU, accuracy bound), and
+// the query router (policy agreement with the standalone engines, batch
+// parallelism determinism).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "query/workload.h"
+#include "service/answer_cache.h"
+#include "service/model_catalog.h"
+#include "service/query_router.h"
+#include "service/service_stats.h"
+#include "service/thread_pool.h"
+#include "storage/kdtree.h"
+
+namespace qreg {
+namespace service {
+namespace {
+
+// ---------- Shared fixture data (built once per process) ----------
+
+struct TestData {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<storage::KdTree> index;
+  std::unique_ptr<query::ExactEngine> engine;
+};
+
+TestData* SharedData() {
+  static TestData* data = [] {
+    auto* d = new TestData();
+    auto ds = data::MakeR1(/*d=*/2, /*n=*/6000, /*seed=*/3);
+    EXPECT_TRUE(ds.ok());
+    d->dataset = std::make_unique<data::Dataset>(std::move(ds).value());
+    d->index = std::make_unique<storage::KdTree>(d->dataset->table);
+    d->engine =
+        std::make_unique<query::ExactEngine>(d->dataset->table, *d->index);
+    return d;
+  }();
+  return data;
+}
+
+CatalogOptions TestOptions() {
+  return CatalogOptions::ForCube(/*d=*/2, /*lo=*/0.0, /*hi=*/1.0,
+                                 /*theta_mean=*/0.12, /*theta_stddev=*/0.02,
+                                 /*a=*/0.15, /*max_pairs=*/2500, /*seed=*/7);
+}
+
+// A catalog with the shared dataset registered as "r1" and trained once.
+ModelCatalog* SharedCatalog() {
+  static ModelCatalog* catalog = [] {
+    auto* c = new ModelCatalog();
+    TestData* d = SharedData();
+    EXPECT_TRUE(
+        c->Register("r1", &d->dataset->table, d->index.get(), TestOptions()).ok());
+    EXPECT_TRUE(c->TrainAll().ok());
+    return c;
+  }();
+  return catalog;
+}
+
+std::vector<Request> MixedWorkload(int64_t n, uint64_t seed,
+                                   double lo = 0.1, double hi = 0.9) {
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(2, lo, hi, 0.12, 0.02, seed));
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    query::Query q = gen.Next();
+    reqs.push_back(i % 2 == 0 ? Request::Q1("r1", std::move(q))
+                              : Request::Q2("r1", std::move(q)));
+  }
+  return reqs;
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4, /*queue_capacity=*/16);
+  std::atomic<int> count{0};
+  BlockingCounter done(1000);
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count, &done] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      done.DecrementCount();
+    });
+  }
+  done.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::thread::id task_thread;
+  pool.Submit([&task_thread] { task_thread = std::this_thread::get_id(); });
+  EXPECT_EQ(task_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, TrySubmitAppliesBackpressure) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::mutex gate;
+  gate.lock();
+  pool.Submit([&gate] { gate.lock(); gate.unlock(); });  // Blocks the worker.
+  // Wait until the worker has dequeued the blocker.
+  while (pool.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(pool.TrySubmit([] {}));   // Fills the 1-slot queue.
+  EXPECT_FALSE(pool.TrySubmit([] {}));  // Queue full -> rejected.
+  gate.unlock();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2, 64);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // Destructor joins after draining.
+  EXPECT_EQ(count.load(), 50);
+}
+
+// ---------- ModelCatalog ----------
+
+TEST(ModelCatalogTest, RegistrationValidation) {
+  TestData* d = SharedData();
+  ModelCatalog catalog;
+  EXPECT_TRUE(
+      catalog.Register("a", &d->dataset->table, d->index.get(), TestOptions()).ok());
+  // Duplicate name.
+  auto dup = catalog.Register("a", &d->dataset->table, d->index.get(), TestOptions());
+  EXPECT_EQ(dup.code(), util::StatusCode::kAlreadyExists);
+  // Dimension mismatch between workload and table.
+  CatalogOptions bad = CatalogOptions::ForCube(3, 0.0, 1.0, 0.1, 0.02);
+  auto mismatch = catalog.Register("b", &d->dataset->table, d->index.get(), bad);
+  EXPECT_EQ(mismatch.code(), util::StatusCode::kInvalidArgument);
+  // Unknown dataset.
+  EXPECT_EQ(catalog.GetOrTrain("nope").status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_TRUE(catalog.Contains("a"));
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(ModelCatalogTest, LazyTrainingHappensExactlyOnce) {
+  TestData* d = SharedData();
+  ModelCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register("ds", &d->dataset->table, d->index.get(), TestOptions()).ok());
+
+  // Before training: snapshot has no model.
+  auto before = catalog.Get("ds");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->model, nullptr);
+
+  auto first = catalog.GetOrTrain("ds");
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first->model, nullptr);
+  EXPECT_GT(first->model->num_prototypes(), 0);
+  EXPECT_TRUE(first->model->frozen());
+  EXPECT_GT(first->report.pairs_used, 0);
+  EXPECT_GT(first->vigilance, 0.0);
+
+  auto second = catalog.GetOrTrain("ds");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->model.get(), second->model.get());  // Same trained model.
+}
+
+TEST(ModelCatalogTest, ConcurrentGetOrTrainYieldsOneModel) {
+  TestData* d = SharedData();
+  ModelCatalog catalog;
+  CatalogOptions opts = TestOptions();
+  opts.trainer.max_pairs = 600;  // Keep the race window short.
+  ASSERT_TRUE(
+      catalog.Register("ds", &d->dataset->table, d->index.get(), opts).ok());
+
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const core::LlmModel>> models(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&catalog, &models, i] {
+      auto snap = catalog.GetOrTrain("ds");
+      ASSERT_TRUE(snap.ok());
+      models[static_cast<size_t>(i)] = snap->model;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(models[0].get(), models[static_cast<size_t>(i)].get());
+  }
+}
+
+TEST(ModelCatalogTest, WarmStartSkipsTrainingAndMatchesPredictions) {
+  TestData* d = SharedData();
+  const std::string path = testing::TempDir() + "/qreg_warm_start_model.txt";
+  std::remove(path.c_str());
+
+  CatalogOptions opts = TestOptions();
+  opts.warm_start_path = path;
+
+  ModelCatalog cold;
+  ASSERT_TRUE(cold.Register("ds", &d->dataset->table, d->index.get(), opts).ok());
+  auto trained = cold.GetOrTrain("ds");
+  ASSERT_TRUE(trained.ok());
+  EXPECT_FALSE(trained->warm_started);
+  EXPECT_GT(trained->report.pairs_used, 0);
+
+  ModelCatalog warm;
+  ASSERT_TRUE(warm.Register("ds", &d->dataset->table, d->index.get(), opts).ok());
+  auto loaded = warm.GetOrTrain("ds");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->warm_started);
+  EXPECT_EQ(loaded->report.pairs_used, 0);
+  ASSERT_NE(loaded->model, nullptr);
+  EXPECT_EQ(loaded->model->num_prototypes(), trained->model->num_prototypes());
+
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(2, 0.1, 0.9, 0.12, 0.02, 11));
+  for (int i = 0; i < 20; ++i) {
+    query::Query q = gen.Next();
+    auto a = trained->model->PredictMean(q);
+    auto b = loaded->model->PredictMean(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(*a, *b);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------- AnswerCache ----------
+
+TEST(AnswerCacheTest, ExactRepeatAlwaysHits) {
+  AnswerCacheConfig cfg;
+  cfg.delta_min = 1.0;  // Only identical balls admissible.
+  AnswerCache cache(cfg);
+  CachedAnswer a;
+  a.q = query::Query({0.5, 0.5}, 0.1);
+  a.mean = 42.0;
+  cache.Insert("ds/Q1", a);
+
+  CachedAnswer out;
+  EXPECT_TRUE(cache.Lookup("ds/Q1", query::Query({0.5, 0.5}, 0.1), &out));
+  EXPECT_DOUBLE_EQ(out.mean, 42.0);
+  EXPECT_DOUBLE_EQ(out.delta, 1.0);
+  // Same query, different shard: miss.
+  EXPECT_FALSE(cache.Lookup("ds/Q2", query::Query({0.5, 0.5}, 0.1), nullptr));
+}
+
+TEST(AnswerCacheTest, DeltaAdmissionThreshold) {
+  // δ(q, q') = 1 - max(||x - x'||, |θ - θ'|) / (θ + θ')   (Eq. 9).
+  // With θ = θ' = 1: center offset e gives δ = 1 - e/2.
+  AnswerCacheConfig cfg;
+  cfg.delta_min = 0.9;
+  AnswerCache cache(cfg);
+  CachedAnswer a;
+  a.q = query::Query({0.0, 0.0}, 1.0);
+  a.mean = 7.0;
+  cache.Insert("ds/Q1", a);
+
+  CachedAnswer out;
+  // e = 0.1 -> δ = 0.95 ≥ 0.9: hit.
+  ASSERT_TRUE(cache.Lookup("ds/Q1", query::Query({0.1, 0.0}, 1.0), &out));
+  EXPECT_NEAR(out.delta, 0.95, 1e-12);
+  // e = 0.3 -> δ = 0.85 < 0.9: miss despite overlapping.
+  EXPECT_FALSE(cache.Lookup("ds/Q1", query::Query({0.3, 0.0}, 1.0), nullptr));
+  // Disjoint balls: miss regardless of δ_min.
+  EXPECT_FALSE(cache.Lookup("ds/Q1", query::Query({5.0, 0.0}, 1.0), nullptr));
+
+  AnswerCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 3);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+}
+
+TEST(AnswerCacheTest, PrefersHighestOverlapEntry) {
+  AnswerCacheConfig cfg;
+  cfg.delta_min = 0.5;
+  AnswerCache cache(cfg);
+  CachedAnswer far;
+  far.q = query::Query({0.4, 0.0}, 1.0);  // δ vs probe = 0.8
+  far.mean = 1.0;
+  CachedAnswer near;
+  near.q = query::Query({0.1, 0.0}, 1.0);  // δ vs probe = 0.95
+  near.mean = 2.0;
+  cache.Insert("s", far);
+  cache.Insert("s", near);
+
+  CachedAnswer out;
+  ASSERT_TRUE(cache.Lookup("s", query::Query({0.0, 0.0}, 1.0), &out));
+  EXPECT_DOUBLE_EQ(out.mean, 2.0);
+  EXPECT_NEAR(out.delta, 0.95, 1e-12);
+}
+
+TEST(AnswerCacheTest, LruEvictionAtCapacity) {
+  AnswerCacheConfig cfg;
+  cfg.capacity_per_shard = 2;
+  cfg.delta_min = 1.0;
+  AnswerCache cache(cfg);
+  for (int i = 0; i < 3; ++i) {
+    CachedAnswer a;
+    a.q = query::Query({static_cast<double>(i), 0.0}, 0.1);
+    a.mean = i;
+    cache.Insert("s", a);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  // Entry 0 (least recently used) was evicted; 1 and 2 remain.
+  EXPECT_FALSE(cache.Lookup("s", query::Query({0.0, 0.0}, 0.1), nullptr));
+  EXPECT_TRUE(cache.Lookup("s", query::Query({1.0, 0.0}, 0.1), nullptr));
+  EXPECT_TRUE(cache.Lookup("s", query::Query({2.0, 0.0}, 0.1), nullptr));
+}
+
+TEST(AnswerCacheTest, LookupTouchesLruOrder) {
+  AnswerCacheConfig cfg;
+  cfg.capacity_per_shard = 2;
+  cfg.delta_min = 1.0;
+  AnswerCache cache(cfg);
+  CachedAnswer a;
+  a.q = query::Query({0.0, 0.0}, 0.1);
+  cache.Insert("s", a);
+  CachedAnswer b;
+  b.q = query::Query({1.0, 0.0}, 0.1);
+  cache.Insert("s", b);
+  // Touch a, then insert c: b (now LRU) should be evicted, a retained.
+  ASSERT_TRUE(cache.Lookup("s", a.q, nullptr));
+  CachedAnswer c;
+  c.q = query::Query({2.0, 0.0}, 0.1);
+  cache.Insert("s", c);
+  EXPECT_TRUE(cache.Lookup("s", a.q, nullptr));
+  EXPECT_FALSE(cache.Lookup("s", b.q, nullptr));
+}
+
+// ---------- QueryRouter: agreement with standalone layers ----------
+
+TEST(QueryRouterTest, ExactPolicyMatchesExactEngineBitForBit) {
+  TestData* d = SharedData();
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;
+  cfg.enable_cache = false;
+  QueryRouter router(SharedCatalog(), cfg);
+
+  for (const Request& r : MixedWorkload(60, 21)) {
+    auto got = router.Execute(r);
+    if (r.kind == QueryKind::kQ1MeanValue) {
+      auto want = d->engine->MeanValue(r.q);
+      ASSERT_EQ(got.ok(), want.ok());
+      if (!got.ok()) continue;  // Empty subspace propagates as NotFound.
+      EXPECT_EQ(got->source, AnswerSource::kExact);
+      EXPECT_EQ(got->mean, want->mean);  // Bit-for-bit.
+    } else {
+      auto want = d->engine->Regression(r.q);
+      ASSERT_EQ(got.ok(), want.ok());
+      if (!got.ok()) continue;
+      ASSERT_EQ(got->pieces.size(), 1u);
+      EXPECT_EQ(got->pieces[0].intercept, want->intercept);
+      EXPECT_EQ(got->pieces[0].slope, want->slope);
+    }
+  }
+}
+
+TEST(QueryRouterTest, ModelPolicyMatchesLlmModelBitForBit) {
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kModelOnly;
+  cfg.enable_cache = false;
+  QueryRouter router(SharedCatalog(), cfg);
+  auto snap = SharedCatalog()->GetOrTrain("r1");
+  ASSERT_TRUE(snap.ok());
+
+  for (const Request& r : MixedWorkload(60, 22)) {
+    auto got = router.Execute(r);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->source, AnswerSource::kModel);
+    if (r.kind == QueryKind::kQ1MeanValue) {
+      auto want = snap->model->PredictMean(r.q);
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ(got->mean, *want);  // Bit-for-bit.
+    } else {
+      auto want = snap->model->RegressionQuery(r.q);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got->pieces.size(), want->size());
+      for (size_t i = 0; i < want->size(); ++i) {
+        EXPECT_EQ(got->pieces[i].intercept, (*want)[i].intercept);
+        EXPECT_EQ(got->pieces[i].slope, (*want)[i].slope);
+        EXPECT_EQ(got->pieces[i].weight, (*want)[i].weight);
+        EXPECT_EQ(got->pieces[i].prototype_id, (*want)[i].prototype_id);
+      }
+    }
+  }
+}
+
+TEST(QueryRouterTest, ExactOnlyPolicyNeverTriggersTraining) {
+  TestData* d = SharedData();
+  ModelCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register("ds", &d->dataset->table, d->index.get(), TestOptions()).ok());
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;
+  cfg.enable_cache = false;
+  QueryRouter router(&catalog, cfg);
+
+  auto got = router.Execute(Request::Q1("ds", query::Query({0.5, 0.5}, 0.12)));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->source, AnswerSource::kExact);
+  // The catalog was never asked to train.
+  auto snap = catalog.Get("ds");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->model, nullptr);
+}
+
+TEST(QueryRouterTest, WrongDimensionQueryIsRejected) {
+  QueryRouter router(SharedCatalog(), RouterConfig());
+  auto got = router.Execute(
+      Request::Q1("r1", query::Query({0.5, 0.5, 0.5}, 0.1)));  // 3-d vs 2-d.
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.Stats().errors, 1);
+}
+
+TEST(QueryRouterTest, HybridRoutesByTrainedRegion) {
+  TestData* d = SharedData();
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kHybrid;
+  cfg.enable_cache = false;
+  QueryRouter router(SharedCatalog(), cfg);
+
+  // Inside the trained region: answered by the model.
+  auto in = router.Execute(Request::Q1("r1", query::Query({0.5, 0.5}, 0.12)));
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->source, AnswerSource::kModel);
+
+  // Far outside [0,1]^2 but with a ball that still reaches data: the
+  // vigilance test fails and the router falls back to the exact engine.
+  query::Query far({1.5, 1.5}, 1.0);
+  auto out = router.Execute(Request::Q1("r1", far));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->source, AnswerSource::kExact);
+  EXPECT_EQ(out->mean, d->engine->MeanValue(far)->mean);
+
+  ServiceSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.total_queries, 2);
+  EXPECT_EQ(stats.model_answers, 1);
+  EXPECT_EQ(stats.exact_fallbacks, 1);
+}
+
+TEST(QueryRouterTest, CacheHitOnRepeatedQuery) {
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kModelOnly;
+  cfg.enable_cache = true;
+  cfg.cache.delta_min = 0.95;
+  QueryRouter router(SharedCatalog(), cfg);
+
+  Request r = Request::Q1("r1", query::Query({0.4, 0.6}, 0.1));
+  auto first = router.Execute(r);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->source, AnswerSource::kModel);
+  auto second = router.Execute(r);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->source, AnswerSource::kCache);
+  EXPECT_EQ(second->mean, first->mean);
+  EXPECT_DOUBLE_EQ(second->cache_delta, 1.0);
+
+  AnswerCacheStats cache_stats = router.CacheStats();
+  EXPECT_EQ(cache_stats.hits, 1);
+  EXPECT_EQ(router.Stats().cache_hits, 1);
+}
+
+// ---------- Concurrency: batched == sequential, bit for bit ----------
+
+TEST(QueryRouterTest, ParallelBatchMatchesSequentialBitForBit) {
+  RouterConfig seq_cfg;
+  seq_cfg.policy = RoutePolicy::kHybrid;
+  seq_cfg.enable_cache = false;  // Cache admission is order-dependent.
+  seq_cfg.num_threads = 0;
+  QueryRouter sequential(SharedCatalog(), seq_cfg);
+
+  RouterConfig par_cfg = seq_cfg;
+  par_cfg.num_threads = 4;
+  par_cfg.queue_capacity = 32;
+  QueryRouter parallel(SharedCatalog(), par_cfg);
+
+  const std::vector<Request> batch = MixedWorkload(200, 31, 0.05, 0.95);
+  std::vector<util::Result<Answer>> want;
+  want.reserve(batch.size());
+  for (const Request& r : batch) want.push_back(sequential.Execute(r));
+  const std::vector<util::Result<Answer>> got = parallel.ExecuteBatch(batch);
+
+  ASSERT_EQ(got.size(), want.size());
+  int64_t q1 = 0, q2 = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].ok(), want[i].ok()) << "request " << i;
+    if (!got[i].ok()) {
+      EXPECT_EQ(got[i].status().code(), want[i].status().code());
+      continue;
+    }
+    EXPECT_EQ(got[i]->source, want[i]->source) << "request " << i;
+    if (batch[i].kind == QueryKind::kQ1MeanValue) {
+      ++q1;
+      EXPECT_EQ(got[i]->mean, want[i]->mean) << "request " << i;
+    } else {
+      ++q2;
+      ASSERT_EQ(got[i]->pieces.size(), want[i]->pieces.size()) << "request " << i;
+      for (size_t p = 0; p < got[i]->pieces.size(); ++p) {
+        EXPECT_EQ(got[i]->pieces[p].intercept, want[i]->pieces[p].intercept);
+        EXPECT_EQ(got[i]->pieces[p].slope, want[i]->pieces[p].slope);
+        EXPECT_EQ(got[i]->pieces[p].weight, want[i]->pieces[p].weight);
+      }
+    }
+  }
+  EXPECT_GT(q1, 0);
+  EXPECT_GT(q2, 0);
+  EXPECT_EQ(parallel.Stats().total_queries, static_cast<int64_t>(batch.size()));
+}
+
+// ---------- Cache accuracy: δ-admission respects the error bound ----------
+
+TEST(AnswerCacheAccuracyTest, DeltaAdmissionKeepsFvuWithinBound) {
+  // Serve a clustered workload with exact execution + caching. Every answer
+  // the cache substitutes (δ ≥ δ_min) is compared against the true exact
+  // answer for *that* query; the FVU of the substituted answers must stay
+  // within the configured bound.
+  constexpr double kDeltaMin = 0.95;
+  constexpr double kFvuBound = 0.05;
+
+  TestData* d = SharedData();
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;  // Isolate cache-induced error.
+  cfg.enable_cache = true;
+  cfg.cache.delta_min = kDeltaMin;
+  cfg.cache.capacity_per_shard = 2048;
+  QueryRouter router(SharedCatalog(), cfg);
+
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(2, 0.40, 0.60, 0.12, 0.01, 17));
+  eval::FvuAccumulator fvu;
+  int64_t hits = 0;
+  for (int i = 0; i < 600; ++i) {
+    query::Query q = gen.Next();
+    auto got = router.Execute(Request::Q1("r1", q));
+    if (!got.ok()) continue;
+    if (got->source != AnswerSource::kCache) continue;
+    ++hits;
+    EXPECT_GE(got->cache_delta, kDeltaMin);
+    auto exact = d->engine->MeanValue(q);
+    ASSERT_TRUE(exact.ok());
+    fvu.Add(exact->mean, got->mean);
+  }
+  ASSERT_GT(hits, 10) << "clustered workload produced too few cache hits";
+  EXPECT_LE(fvu.Fvu(), kFvuBound)
+      << "δ-admitted answers drifted beyond the accuracy bound; hits=" << hits;
+}
+
+// ---------- ServiceStats ----------
+
+TEST(ServiceStatsTest, SnapshotAggregatesCounters) {
+  ServiceStats stats(/*latency_window=*/8);
+  for (int i = 0; i < 10; ++i) {
+    stats.Record(/*latency_nanos=*/1000000, /*cache_hit=*/i % 2 == 0,
+                 /*used_exact=*/i % 2 == 1, /*ok=*/true);
+  }
+  ServiceSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.total_queries, 10);
+  EXPECT_EQ(s.cache_hits, 5);
+  EXPECT_EQ(s.exact_fallbacks, 5);
+  EXPECT_EQ(s.errors, 0);
+  EXPECT_DOUBLE_EQ(s.CacheHitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(s.ExactFallbackRate(), 0.5);
+  EXPECT_NEAR(s.p50_ms, 1.0, 1e-9);
+  EXPECT_GT(s.qps, 0.0);
+
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().total_queries, 0);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace qreg
