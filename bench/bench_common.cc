@@ -2,7 +2,9 @@
 
 #include <sys/stat.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "eval/fvu_eval.h"
@@ -237,19 +239,73 @@ void PrintHeader(const std::string& bench, const std::string& paper_ref,
   std::cout << "==============================================================\n";
 }
 
+std::string OutDir() {
+  const std::string dir = util::GetEnvString("QREG_OUT_DIR", "bench/out");
+  // mkdir -p: create each path component (existing components are fine).
+  std::string partial;
+  for (size_t i = 0; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      if (!partial.empty()) ::mkdir(partial.c_str(), 0755);
+    }
+    if (i < dir.size()) partial += dir[i];
+  }
+  return dir;
+}
+
+bool WriteOutFile(const std::string& filename, const std::string& content) {
+  const std::string path = OutDir() + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+namespace {
+
+// Renders a cell as raw JSON: finite numbers stay numbers, everything else
+// (including "nan"/"inf", which strtod accepts but JSON forbids) becomes a
+// quoted string (bench tables never contain quotes or backslashes).
+std::string JsonValue(const std::string& cell) {
+  char* end = nullptr;
+  const double parsed = std::strtod(cell.c_str(), &end);
+  const bool numeric = !cell.empty() && end != nullptr && *end == '\0' &&
+                       std::isfinite(parsed);
+  return numeric ? cell : "\"" + cell + "\"";
+}
+
+}  // namespace
+
 void EmitTable(const std::string& bench_name, const std::string& table_name,
                const util::TablePrinter& table, const BenchEnv& env) {
   std::cout << "\n-- " << table_name << " --\n";
   table.Print(std::cout);
-  if (!env.write_csv) return;
-  ::mkdir("bench_out", 0755);
-  const std::string path =
-      util::Format("bench_out/%s_%s.csv", bench_name.c_str(), table_name.c_str());
-  util::CsvWriter csv;
-  if (!csv.Open(path).ok()) return;
-  (void)csv.WriteRow(table.header());
-  for (const auto& row : table.rows()) (void)csv.WriteRow(row);
-  (void)csv.Close();
+  if (env.write_csv) {
+    const std::string path = util::Format("%s/%s_%s.csv", OutDir().c_str(),
+                                          bench_name.c_str(), table_name.c_str());
+    util::CsvWriter csv;
+    if (csv.Open(path).ok()) {
+      (void)csv.WriteRow(table.header());
+      for (const auto& row : table.rows()) (void)csv.WriteRow(row);
+      (void)csv.Close();
+    }
+  }
+  if (util::GetEnvBool("QREG_JSON", false)) {
+    std::string json = "[\n";
+    const std::vector<std::string>& header = table.header();
+    const auto& rows = table.rows();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      json += "  {";
+      for (size_t c = 0; c < rows[r].size() && c < header.size(); ++c) {
+        if (c > 0) json += ", ";
+        json += "\"" + header[c] + "\": " + JsonValue(rows[r][c]);
+      }
+      json += r + 1 < rows.size() ? "},\n" : "}\n";
+    }
+    json += "]\n";
+    (void)WriteOutFile(
+        util::Format("%s_%s.json", bench_name.c_str(), table_name.c_str()), json);
+  }
 }
 
 }  // namespace bench

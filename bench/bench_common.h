@@ -125,7 +125,17 @@ Q2Eval EvalQ2(const core::LlmModel& model, const DataBundle& bundle, int64_t m,
 void PrintHeader(const std::string& bench, const std::string& paper_ref,
                  const BenchEnv& env);
 
-/// \brief Prints a table and optionally mirrors it to bench/out/<name>.csv.
+/// \brief Artifact directory for bench outputs: QREG_OUT_DIR if set, else
+/// "bench/out" relative to the working directory. Created (recursively) on
+/// first call.
+std::string OutDir();
+
+/// \brief Writes `content` to OutDir()/filename; false on I/O failure.
+bool WriteOutFile(const std::string& filename, const std::string& content);
+
+/// \brief Prints a table; mirrors it to OutDir()/<bench>_<table>.csv when
+/// QREG_CSV is truthy and to .json (an array of row objects keyed by the
+/// header, values as raw JSON numbers where parsable) when QREG_JSON is.
 void EmitTable(const std::string& bench_name, const std::string& table_name,
                const util::TablePrinter& table, const BenchEnv& env);
 

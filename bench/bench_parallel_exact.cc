@@ -1,0 +1,228 @@
+// Speedup-vs-threads for the partitioned exact engine: the multi-core
+// single-query latency the ISSUE-2 tentpole adds on top of Figure 12's
+// single-threaded exact baselines.
+//
+// For both access paths (sequential scan and k-d tree) this bench measures
+// per-query Q1/Q2 latency of
+//   - the classic one-pass sequential engine (the Fig-12 baseline), and
+//   - the partitioned engine at 1, 2, 4 and 8 pool threads,
+// on the Fig-12-scale R2 dataset, and verifies that the partitioned answers
+// are (a) bit-for-bit identical across thread counts and (b) equal to the
+// sequential answers within floating-point reassociation tolerance.
+//
+// Always writes machine-readable JSON to OutDir() (default bench/out/):
+//   bench_parallel_exact.json — one record per (path, threads) with ms and
+//   speedup over the sequential baseline — the artifact CI uploads for
+//   cross-PR perf-trajectory tracking.
+//
+// Extra env knobs: QREG_PARALLEL_D (default 2), QREG_PARALLEL_QUERIES
+// (default 24), QREG_MAX_THREADS (default 8).
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qreg {
+namespace bench {
+namespace {
+
+struct ExactAnswers {
+  std::vector<double> q1_mean;
+  std::vector<int64_t> q1_count;
+  std::vector<double> q2_intercept;
+  std::vector<std::vector<double>> q2_slope;
+};
+
+struct Timing {
+  double q1_ms = 0.0;
+  double q2_ms = 0.0;
+};
+
+Timing MeasureEngine(const query::ExactEngine& engine,
+                     const std::vector<query::Query>& queries,
+                     ExactAnswers* answers) {
+  Timing t;
+  util::Stopwatch sw;
+  if (answers != nullptr) {
+    answers->q1_mean.clear();
+    answers->q1_count.clear();
+    answers->q2_intercept.clear();
+    answers->q2_slope.clear();
+  }
+  sw.Restart();
+  for (const auto& q : queries) {
+    auto r = engine.MeanValue(q);
+    if (answers != nullptr) {
+      answers->q1_mean.push_back(r.ok() ? r->mean : std::nan(""));
+      answers->q1_count.push_back(r.ok() ? r->count : -1);
+    }
+  }
+  t.q1_ms = sw.ElapsedMillis() / static_cast<double>(queries.size());
+  sw.Restart();
+  for (const auto& q : queries) {
+    auto r = engine.Regression(q);
+    if (answers != nullptr) {
+      answers->q2_intercept.push_back(r.ok() ? r->intercept : std::nan(""));
+      answers->q2_slope.push_back(r.ok() ? r->slope : std::vector<double>());
+    }
+  }
+  t.q2_ms = sw.ElapsedMillis() / static_cast<double>(queries.size());
+  return t;
+}
+
+bool BitwiseEqual(const ExactAnswers& a, const ExactAnswers& b) {
+  auto same_double = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  if (a.q1_count != b.q1_count) return false;
+  for (size_t i = 0; i < a.q1_mean.size(); ++i) {
+    if (!same_double(a.q1_mean[i], b.q1_mean[i])) return false;
+    if (!same_double(a.q2_intercept[i], b.q2_intercept[i])) return false;
+    if (a.q2_slope[i].size() != b.q2_slope[i].size()) return false;
+    for (size_t j = 0; j < a.q2_slope[i].size(); ++j) {
+      if (!same_double(a.q2_slope[i][j], b.q2_slope[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+bool NearlyEqual(const ExactAnswers& a, const ExactAnswers& b, double rel) {
+  auto close = [rel](double x, double y) {
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) == std::isnan(y);
+    const double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+    return std::fabs(x - y) <= rel * scale;
+  };
+  if (a.q1_count != b.q1_count) return false;  // Counts are exact integers.
+  for (size_t i = 0; i < a.q1_mean.size(); ++i) {
+    if (!close(a.q1_mean[i], b.q1_mean[i])) return false;
+    if (!close(a.q2_intercept[i], b.q2_intercept[i])) return false;
+    if (a.q2_slope[i].size() != b.q2_slope[i].size()) return false;
+    for (size_t j = 0; j < a.q2_slope[i].size(); ++j) {
+      if (!close(a.q2_slope[i][j], b.q2_slope[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  PrintHeader("bench_parallel_exact",
+              "tentpole: partitioned exact Q1/Q2 speedup vs pool threads", env);
+
+  const size_t d =
+      static_cast<size_t>(util::GetEnvInt64("QREG_PARALLEL_D", 2));
+  const int64_t reps = util::GetEnvInt64("QREG_PARALLEL_QUERIES", 24);
+  const int64_t max_threads = util::GetEnvInt64("QREG_MAX_THREADS", 8);
+
+  DataBundle bundle = MakeR2Bundle(d, env.rows_r2, env.seed + 7 * d);
+  query::WorkloadGenerator gen = MakeWorkload(bundle, env.seed + 1);
+  const std::vector<query::Query> queries = gen.Generate(reps);
+
+  std::vector<int64_t> thread_counts;
+  for (int64_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  std::string json = "[\n";
+  bool all_identical = true;
+  bool all_match_sequential = true;
+
+  struct Path {
+    const char* name;
+    const query::ExactEngine* sequential;
+    const storage::SpatialIndex* index;
+  };
+  const Path paths[] = {
+      {"scan", bundle.scan_engine.get(), bundle.scan.get()},
+      {"kdtree", bundle.engine.get(), bundle.kdtree.get()},
+  };
+
+  for (const Path& path : paths) {
+    ExactAnswers seq_answers;
+    const Timing seq = MeasureEngine(*path.sequential, queries, &seq_answers);
+
+    util::TablePrinter table(
+        {"threads", "q1_ms", "q1_speedup", "q2_ms", "q2_speedup", "identical"});
+    table.AddRow({"seq", util::Format("%.4f", seq.q1_ms), "1.00",
+                  util::Format("%.4f", seq.q2_ms), "1.00", "-"});
+
+    ExactAnswers reference;  // The t = 1 partitioned answers.
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      const int64_t threads = thread_counts[ti];
+      util::ThreadPool pool(static_cast<size_t>(threads));
+      query::ExactEngine engine(bundle.table(), *path.index);
+      query::ParallelOptions par;
+      par.pool = &pool;
+      engine.set_parallel(par);
+
+      ExactAnswers answers;
+      const Timing t = MeasureEngine(engine, queries, &answers);
+      if (ti == 0) reference = answers;
+      const bool identical = BitwiseEqual(reference, answers);
+      all_identical = all_identical && identical;
+      all_match_sequential =
+          all_match_sequential && NearlyEqual(seq_answers, answers, 1e-9);
+
+      const double q1_speedup = t.q1_ms > 0.0 ? seq.q1_ms / t.q1_ms : 0.0;
+      const double q2_speedup = t.q2_ms > 0.0 ? seq.q2_ms / t.q2_ms : 0.0;
+      table.AddRow({util::Format("%lld", static_cast<long long>(threads)),
+                    util::Format("%.4f", t.q1_ms),
+                    util::Format("%.2f", q1_speedup),
+                    util::Format("%.4f", t.q2_ms),
+                    util::Format("%.2f", q2_speedup),
+                    identical ? "yes" : "NO"});
+
+      json += util::Format(
+          "  {\"path\": \"%s\", \"threads\": %lld, \"rows\": %lld, \"d\": %zu, "
+          "\"hardware_concurrency\": %u, "
+          "\"q1_ms\": %.6f, \"q1_speedup\": %.4f, \"q2_ms\": %.6f, "
+          "\"q2_speedup\": %.4f, \"identical_across_threads\": %s, "
+          "\"matches_sequential\": %s},\n",
+          path.name, static_cast<long long>(threads),
+          static_cast<long long>(env.rows_r2), d,
+          std::thread::hardware_concurrency(), t.q1_ms, q1_speedup, t.q2_ms,
+          q2_speedup, identical ? "true" : "false",
+          NearlyEqual(seq_answers, answers, 1e-9) ? "true" : "false");
+    }
+    EmitTable("parallel_exact", util::Format("%s_d%zu", path.name, d), table,
+              env);
+  }
+  if (json.size() > 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);  // Trailing comma of the last record.
+  }
+  json += "]\n";
+  if (!WriteOutFile("bench_parallel_exact.json", json)) {
+    std::cerr << "warning: could not write bench_parallel_exact.json\n";
+  }
+
+  std::cout << util::Format(
+      "\nhardware threads on this machine: %u (speedup is bounded by this)\n"
+      "answers identical across thread counts: %s\n"
+      "answers match sequential engine (rel 1e-9): %s\n",
+      std::thread::hardware_concurrency(), all_identical ? "yes" : "NO",
+      all_match_sequential ? "yes" : "NO");
+  std::cout << "speedup expectation: near-linear for the scan path while the\n"
+               "ball has work in every partition; the kd path saturates\n"
+               "earlier because pruning leaves fewer partitions with work.\n";
+  if (!all_identical || !all_match_sequential) {
+    std::cerr << "FATAL: parallel exact answers diverged\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qreg
+
+int main() {
+  qreg::bench::Run();
+  return 0;
+}

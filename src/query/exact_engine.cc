@@ -1,11 +1,98 @@
 #include "query/exact_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 #include "util/timer.h"
 
 namespace qreg {
 namespace query {
+
+namespace {
+
+// Data-driven plan size: enough partitions to spread a big scan over many
+// cores, few enough that per-partition setup stays negligible. Must not
+// depend on the pool, so resizing the service never changes answers.
+constexpr int64_t kRowsPerPartition = 8192;
+constexpr int64_t kMaxPartitions = 64;
+
+MeanValueResult MakeMeanResult(double sum, int64_t count) {
+  MeanValueResult r;
+  r.mean = sum / static_cast<double>(count);
+  r.count = count;
+  return r;
+}
+
+}  // namespace
+
+std::vector<storage::ScanPartition> ExactEngine::PartitionPlan() const {
+  size_t target = parallel_.target_partitions;
+  if (target == 0) {
+    target = static_cast<size_t>(std::max<int64_t>(
+        1, std::min(kMaxPartitions, table_.num_rows() / kRowsPerPartition)));
+  }
+  return index_.MakePartitions(target);
+}
+
+namespace {
+
+// Heap-shared chunk-claiming state: helper tasks hold a shared_ptr, so one
+// that only gets scheduled after the query finished (its chunks all claimed
+// by others) just observes an empty counter and exits — it never has to run
+// before the caller may return, and never touches the caller's stack.
+struct ChunkState {
+  std::atomic<size_t> next{0};
+  size_t chunks = 0;
+  // Only dereferenced for a successfully claimed chunk, and every chunk is
+  // claimed and finished before the owning RunChunks call returns.
+  const std::function<void(size_t)>* body = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+
+  void Drain() {
+    size_t done_here = 0;
+    for (size_t i = next.fetch_add(1); i < chunks; i = next.fetch_add(1)) {
+      (*body)(i);
+      ++done_here;
+    }
+    if (done_here > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      completed += done_here;
+      if (completed == chunks) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ExactEngine::RunChunks(size_t chunks,
+                            const std::function<void(size_t)>& body) const {
+  util::ThreadPool* pool = parallel_.pool;
+  if (pool == nullptr || pool->num_threads() == 0 || chunks <= 1) {
+    for (size_t i = 0; i < chunks; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ChunkState>();
+  state->chunks = chunks;
+  state->body = &body;
+  const size_t helpers = std::min(pool->num_threads(), chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    // TrySubmit, never Submit: when the pool is saturated (e.g. this query
+    // is itself running on a pool worker) the caller just keeps more chunks
+    // for itself instead of risking a queue-full deadlock.
+    if (!pool->TrySubmit([state] { state->Drain(); })) break;
+  }
+  // The caller always participates and the wait is on *chunk* completion,
+  // not helper completion: progress never depends on a queued helper ever
+  // being scheduled (it may sit behind other queries' tasks forever).
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->completed == state->chunks; });
+}
 
 util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
                                                      ExecStats* stats) const {
@@ -13,13 +100,39 @@ util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
   storage::SelectionStats sel;
   double sum = 0.0;
   int64_t count = 0;
-  index_.RadiusVisit(
-      q.center.data(), q.theta, norm_,
-      [&sum, &count](int64_t, const double*, double u) {
-        sum += u;
-        ++count;
-      },
-      &sel);
+  if (!parallel_enabled()) {
+    index_.RadiusVisit(
+        q.center.data(), q.theta, norm_,
+        [&sum, &count](int64_t, const double*, double u) {
+          sum += u;
+          ++count;
+        },
+        &sel);
+  } else {
+    const std::vector<storage::ScanPartition> plan = PartitionPlan();
+    struct Part {
+      double sum = 0.0;
+      int64_t count = 0;
+      storage::SelectionStats sel;
+    };
+    std::vector<Part> parts(plan.size());
+    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
+      Part& p = parts[i];
+      index_.RadiusVisitPartition(
+          plan[i], q.center.data(), q.theta, norm_,
+          [&p](int64_t, const double*, double u) {
+            p.sum += u;
+            ++p.count;
+          },
+          &p.sel);
+    });
+    for (const Part& p : parts) {  // Deterministic: always plan order.
+      sum += p.sum;
+      count += p.count;
+      sel.tuples_examined += p.sel.tuples_examined;
+      sel.tuples_matched += p.sel.tuples_matched;
+    }
+  }
   if (stats != nullptr) {
     stats->tuples_examined = sel.tuples_examined;
     stats->tuples_matched = sel.tuples_matched;
@@ -28,10 +141,7 @@ util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
   if (count == 0) {
     return util::Status::NotFound("empty data subspace D(x, theta)");
   }
-  MeanValueResult r;
-  r.mean = sum / static_cast<double>(count);
-  r.count = count;
-  return r;
+  return MakeMeanResult(sum, count);
 }
 
 util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
@@ -41,14 +151,43 @@ util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
   double sum = 0.0;
   double sum_sq = 0.0;
   int64_t count = 0;
-  index_.RadiusVisit(
-      q.center.data(), q.theta, norm_,
-      [&sum, &sum_sq, &count](int64_t, const double*, double u) {
-        sum += u;
-        sum_sq += u * u;
-        ++count;
-      },
-      &sel);
+  if (!parallel_enabled()) {
+    index_.RadiusVisit(
+        q.center.data(), q.theta, norm_,
+        [&sum, &sum_sq, &count](int64_t, const double*, double u) {
+          sum += u;
+          sum_sq += u * u;
+          ++count;
+        },
+        &sel);
+  } else {
+    const std::vector<storage::ScanPartition> plan = PartitionPlan();
+    struct Part {
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      int64_t count = 0;
+      storage::SelectionStats sel;
+    };
+    std::vector<Part> parts(plan.size());
+    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
+      Part& p = parts[i];
+      index_.RadiusVisitPartition(
+          plan[i], q.center.data(), q.theta, norm_,
+          [&p](int64_t, const double*, double u) {
+            p.sum += u;
+            p.sum_sq += u * u;
+            ++p.count;
+          },
+          &p.sel);
+    });
+    for (const Part& p : parts) {
+      sum += p.sum;
+      sum_sq += p.sum_sq;
+      count += p.count;
+      sel.tuples_examined += p.sel.tuples_examined;
+      sel.tuples_matched += p.sel.tuples_matched;
+    }
+  }
   if (stats != nullptr) {
     stats->tuples_examined = sel.tuples_examined;
     stats->tuples_matched = sel.tuples_matched;
@@ -70,9 +209,33 @@ util::Result<linalg::OlsFit> ExactEngine::Regression(const Query& q,
   util::Stopwatch sw;
   storage::SelectionStats sel;
   linalg::OlsAccumulator acc(table_.dimension());
-  index_.RadiusVisit(
-      q.center.data(), q.theta, norm_,
-      [&acc](int64_t, const double* x, double u) { acc.Add(x, u); }, &sel);
+  if (!parallel_enabled()) {
+    index_.RadiusVisit(
+        q.center.data(), q.theta, norm_,
+        [&acc](int64_t, const double* x, double u) { acc.Add(x, u); }, &sel);
+  } else {
+    const std::vector<storage::ScanPartition> plan = PartitionPlan();
+    struct Part {
+      explicit Part(size_t d) : acc(d) {}
+      linalg::OlsAccumulator acc;
+      storage::SelectionStats sel;
+    };
+    std::vector<Part> parts;
+    parts.reserve(plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) parts.emplace_back(table_.dimension());
+    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
+      Part& p = parts[i];
+      index_.RadiusVisitPartition(
+          plan[i], q.center.data(), q.theta, norm_,
+          [&p](int64_t, const double* x, double u) { p.acc.Add(x, u); },
+          &p.sel);
+    });
+    for (const Part& p : parts) {  // MADlib-style merge, plan order.
+      (void)acc.Merge(p.acc);
+      sel.tuples_examined += p.sel.tuples_examined;
+      sel.tuples_matched += p.sel.tuples_matched;
+    }
+  }
   auto fit = acc.count() == 0
                  ? util::Result<linalg::OlsFit>(
                        util::Status::NotFound("empty data subspace D(x, theta)"))
@@ -88,7 +251,29 @@ util::Result<linalg::OlsFit> ExactEngine::Regression(const Query& q,
 std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const {
   util::Stopwatch sw;
   storage::SelectionStats sel;
-  std::vector<int64_t> ids = index_.RadiusSearch(q.center.data(), q.theta, norm_, &sel);
+  std::vector<int64_t> ids;
+  if (!parallel_enabled()) {
+    ids = index_.RadiusSearch(q.center.data(), q.theta, norm_, &sel);
+  } else {
+    const std::vector<storage::ScanPartition> plan = PartitionPlan();
+    struct Part {
+      std::vector<int64_t> ids;
+      storage::SelectionStats sel;
+    };
+    std::vector<Part> parts(plan.size());
+    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
+      Part& p = parts[i];
+      index_.RadiusVisitPartition(
+          plan[i], q.center.data(), q.theta, norm_,
+          [&p](int64_t id, const double*, double) { p.ids.push_back(id); },
+          &p.sel);
+    });
+    for (Part& p : parts) {  // Plan order == sequential visit order.
+      ids.insert(ids.end(), p.ids.begin(), p.ids.end());
+      sel.tuples_examined += p.sel.tuples_examined;
+      sel.tuples_matched += p.sel.tuples_matched;
+    }
+  }
   if (stats != nullptr) {
     stats->tuples_examined = sel.tuples_examined;
     stats->tuples_matched = sel.tuples_matched;

@@ -6,6 +6,14 @@
 //
 // Both run the selection through a SpatialIndex access path and aggregate in
 // one streaming pass (no subspace materialization).
+//
+// With a ParallelOptions attached, the selection is split into the access
+// path's ScanPartitions, each partition fills its own accumulator (the
+// MADlib-style transition state), partitions execute on a ThreadPool, and
+// the partials merge in partition order. The partition plan and merge order
+// depend only on the data, so answers are bit-for-bit identical across
+// thread counts — including the 0-worker inline mode tests use as the
+// deterministic baseline.
 
 #ifndef QREG_QUERY_EXACT_ENGINE_H_
 #define QREG_QUERY_EXACT_ENGINE_H_
@@ -18,9 +26,27 @@
 #include "storage/spatial_index.h"
 #include "storage/table.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qreg {
 namespace query {
+
+/// \brief Intra-query parallelism for the exact engine.
+///
+/// The answer is a pure function of the partition plan, never of the pool:
+/// a null pool (or one with 0 workers) runs the same partitioned reduction
+/// inline, bit-for-bit identical to any worker count.
+struct ParallelOptions {
+  /// Borrowed worker pool; must outlive the engine's use. Null runs
+  /// partitions inline on the calling thread.
+  util::ThreadPool* pool = nullptr;
+
+  /// Partition-plan size passed to SpatialIndex::MakePartitions. 0 derives
+  /// a data-driven default (~1 partition per 8192 rows, capped at 64) —
+  /// deliberately independent of pool size so answers do not change when
+  /// the service is resized.
+  size_t target_partitions = 0;
+};
 
 /// \brief Execution statistics of one exact query.
 struct ExecStats {
@@ -71,14 +97,35 @@ class ExactEngine {
   /// Row ids inside D(x, θ) (helper for baselines that need raw points).
   std::vector<int64_t> Select(const Query& q, ExecStats* stats = nullptr) const;
 
+  /// Attaches (or, with a default-constructed value, detaches) intra-query
+  /// parallelism. Not thread-safe against in-flight queries: configure
+  /// before serving traffic. The engine never owns the pool.
+  void set_parallel(ParallelOptions options) { parallel_ = options; }
+  const ParallelOptions& parallel() const { return parallel_; }
+
+  /// True when queries run the partitioned-reduction path (a parallel
+  /// options struct was attached, even one that executes inline).
+  bool parallel_enabled() const {
+    return parallel_.pool != nullptr || parallel_.target_partitions > 0;
+  }
+
+  /// The partition plan queries under the current options would use.
+  std::vector<storage::ScanPartition> PartitionPlan() const;
+
   const storage::Table& table() const { return table_; }
   const storage::SpatialIndex& index() const { return index_; }
   const storage::LpNorm& norm() const { return norm_; }
 
  private:
+  /// Runs `body(i)` for every i in [0, chunks). Pool workers help through an
+  /// atomic claim counter and the caller always participates, so nesting on
+  /// a shared pool degrades to inline execution instead of deadlocking.
+  void RunChunks(size_t chunks, const std::function<void(size_t)>& body) const;
+
   const storage::Table& table_;
   const storage::SpatialIndex& index_;
   storage::LpNorm norm_;
+  ParallelOptions parallel_;
 };
 
 }  // namespace query

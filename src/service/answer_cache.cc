@@ -1,31 +1,70 @@
 #include "service/answer_cache.h"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 #include <utility>
 
 namespace qreg {
 namespace service {
 
+namespace {
+
+// splitmix64: cheap avalanche for combining quantized cell coordinates.
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + h;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+inline int64_t CellCoord(double x, double cell) {
+  return static_cast<int64_t>(std::floor(x / cell));
+}
+
+}  // namespace
+
 AnswerCache::AnswerCache(AnswerCacheConfig config) : config_(config) {
   config_.delta_min = std::min(1.0, std::max(0.0, config_.delta_min));
   if (config_.capacity_per_shard == 0) config_.capacity_per_shard = 1;
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
-bool AnswerCache::Lookup(const std::string& shard_key, const query::Query& q,
-                         CachedAnswer* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.lookups;
-  auto it = shards_.find(shard_key);
-  if (it == shards_.end()) {
-    ++stats_.misses;
-    return false;
-  }
-  Shard& shard = it->second;
+AnswerCache::Shard& AnswerCache::ShardFor(const std::string& group) const {
+  return *shards_[std::hash<std::string>{}(group) % shards_.size()];
+}
 
-  auto best = shard.entries.end();
+uint64_t AnswerCache::CellHash(const double* center, size_t d, double cell) const {
+  uint64_t h = 0xcbf29ce484222325ULL ^ d;
+  for (size_t j = 0; j < d; ++j) {
+    h = Mix(h, static_cast<uint64_t>(CellCoord(center[j], cell)));
+  }
+  return h;
+}
+
+void AnswerCache::GridInsert(Group* g, EntryList::iterator it) const {
+  g->grid[CellHash(it->q.center.data(), it->q.dimension(), g->cell)].push_back(it);
+}
+
+void AnswerCache::GridErase(Group* g, EntryList::iterator it) const {
+  const uint64_t key = CellHash(it->q.center.data(), it->q.dimension(), g->cell);
+  auto cell_it = g->grid.find(key);
+  if (cell_it == g->grid.end()) return;
+  auto& bucket = cell_it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), it), bucket.end());
+  if (bucket.empty()) g->grid.erase(cell_it);
+}
+
+AnswerCache::EntryList::iterator AnswerCache::LinearProbe(
+    Group* g, const query::Query& q, double* delta_out) const {
+  auto best = g->entries.end();
   double best_delta = 0.0;
   size_t probed = 0;
-  for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e) {
+  for (auto e = g->entries.begin(); e != g->entries.end(); ++e) {
     if (config_.max_probe > 0 && probed >= config_.max_probe) break;
     ++probed;
     if (e->q.dimension() != q.dimension()) continue;
@@ -41,54 +80,201 @@ bool AnswerCache::Lookup(const std::string& shard_key, const query::Query& q,
       best_delta = delta;
     }
   }
-  if (best == shard.entries.end()) {
-    ++stats_.misses;
+  *delta_out = best_delta;
+  return best;
+}
+
+AnswerCache::EntryList::iterator AnswerCache::FindBest(Group* g,
+                                                       const query::Query& q,
+                                                       double* delta_out,
+                                                       bool* used_grid) const {
+  *used_grid = false;
+  const size_t d = q.dimension();
+  if (!config_.enable_grid || g->cell <= 0.0 || d == 0) {
+    return LinearProbe(g, q, delta_out);
+  }
+
+  // Any admissible entry satisfies ||x - x'|| ≤ (1 - δ_min)(θ + θ') — with
+  // θ' bounded by the group's θ_max — so only cells within that radius can
+  // hold a hit. Count the cell fan-out first; if it beats a straight scan
+  // of the group (small groups, large d), the linear probe wins.
+  const double radius = (1.0 - config_.delta_min) * (q.theta + g->theta_max);
+  std::vector<int64_t> lo(d), hi(d);
+  size_t cells = 1;
+  for (size_t j = 0; j < d; ++j) {
+    lo[j] = CellCoord(q.center[j] - radius, g->cell);
+    hi[j] = CellCoord(q.center[j] + radius, g->cell);
+    const uint64_t span = static_cast<uint64_t>(hi[j] - lo[j]) + 1;
+    if (span > config_.max_grid_cells) return LinearProbe(g, q, delta_out);
+    cells *= static_cast<size_t>(span);
+    if (cells > config_.max_grid_cells) return LinearProbe(g, q, delta_out);
+  }
+  if (cells >= g->entries.size()) {
+    return LinearProbe(g, q, delta_out);
+  }
+  *used_grid = true;
+
+  auto best = g->entries.end();
+  double best_delta = 0.0;
+  size_t probed = 0;
+  std::vector<int64_t> coord = lo;
+  for (;;) {
+    uint64_t h = 0xcbf29ce484222325ULL ^ d;
+    for (size_t j = 0; j < d; ++j) h = Mix(h, static_cast<uint64_t>(coord[j]));
+    auto cell_it = g->grid.find(h);
+    if (cell_it != g->grid.end()) {
+      for (EntryList::iterator e : cell_it->second) {
+        if (config_.max_probe > 0 && probed >= config_.max_probe) break;
+        ++probed;
+        if (e->q.dimension() != d) continue;
+        if (e->q == q) {
+          *delta_out = 1.0;
+          return e;
+        }
+        if (!query::Overlaps(q, e->q)) continue;
+        const double delta = query::DegreeOfOverlap(q, e->q);
+        if (delta >= config_.delta_min && delta > best_delta) {
+          best = e;
+          best_delta = delta;
+        }
+      }
+    }
+    // Odometer over the cell box.
+    size_t j = 0;
+    for (; j < d; ++j) {
+      if (++coord[j] <= hi[j]) break;
+      coord[j] = lo[j];
+    }
+    if (j == d) break;
+  }
+  *delta_out = best_delta;
+  return best;
+}
+
+bool AnswerCache::Lookup(const std::string& group_key, const query::Query& q,
+                         CachedAnswer* out) {
+  Shard& shard = ShardFor(group_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.lookups;
+  auto it = shard.groups.find(group_key);
+  if (it == shard.groups.end()) {
+    ++shard.stats.misses;
     return false;
   }
-  ++stats_.hits;
+  Group& g = it->second;
+
+  double best_delta = 0.0;
+  bool used_grid = false;
+  auto best = FindBest(&g, q, &best_delta, &used_grid);
+  if (used_grid) {
+    ++shard.stats.grid_probes;
+  } else {
+    ++shard.stats.linear_probes;
+  }
+  if (best == g.entries.end()) {
+    ++shard.stats.misses;
+    return false;
+  }
+  ++shard.stats.hits;
   if (out != nullptr) {
     *out = *best;
     out->delta = best_delta;
   }
-  shard.entries.splice(shard.entries.begin(), shard.entries, best);  // Touch.
+  // Touch: splice preserves iterators, so the grid stays valid.
+  g.entries.splice(g.entries.begin(), g.entries, best);
   return true;
 }
 
-void AnswerCache::Insert(const std::string& shard_key, CachedAnswer answer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Shard& shard = shards_[shard_key];
-  // Replace an exact-duplicate query in place (keeps the shard canonical).
-  for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e) {
-    if (e->q == answer.q) {
-      *e = std::move(answer);
-      shard.entries.splice(shard.entries.begin(), shard.entries, e);
-      return;
+void AnswerCache::Insert(const std::string& group_key, CachedAnswer answer) {
+  Shard& shard = ShardFor(group_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Group& g = shard.groups[group_key];
+  if (config_.enable_grid && g.cell <= 0.0) {
+    // Cell edge fixed from the first cached ball: matches the typical probe
+    // radius (1 - δ_min)·2θ so hits probe O(3^d ∩ max_grid_cells) cells.
+    double base = (1.0 - config_.delta_min) * 2.0 * answer.q.theta;
+    if (base <= 1e-12) base = answer.q.theta;
+    if (base <= 1e-12) base = 1.0;
+    g.cell = base;
+  }
+  g.theta_max = std::max(g.theta_max, answer.q.theta);
+
+  // Replace an exact-duplicate query in place (keeps the group canonical).
+  // Every entry is grid-registered, so the duplicate — same center, same
+  // cell — is found by probing one bucket instead of scanning the group.
+  if (config_.enable_grid) {
+    auto cell_it = g.grid.find(
+        CellHash(answer.q.center.data(), answer.q.dimension(), g.cell));
+    if (cell_it != g.grid.end()) {
+      for (EntryList::iterator e : cell_it->second) {
+        if (e->q == answer.q) {
+          *e = std::move(answer);  // Same center ⇒ same grid cell.
+          g.entries.splice(g.entries.begin(), g.entries, e);
+          return;
+        }
+      }
+    }
+  } else {
+    for (auto e = g.entries.begin(); e != g.entries.end(); ++e) {
+      if (e->q == answer.q) {
+        *e = std::move(answer);
+        g.entries.splice(g.entries.begin(), g.entries, e);
+        return;
+      }
     }
   }
-  shard.entries.push_front(std::move(answer));
-  ++size_;
-  ++stats_.inserts;
-  if (shard.entries.size() > config_.capacity_per_shard) {
-    shard.entries.pop_back();
-    --size_;
-    ++stats_.evictions;
+  g.entries.push_front(std::move(answer));
+  if (config_.enable_grid) GridInsert(&g, g.entries.begin());
+  ++shard.size;
+  ++shard.stats.inserts;
+  if (g.entries.size() > config_.capacity_per_shard) {
+    auto victim = std::prev(g.entries.end());
+    const double victim_theta = victim->q.theta;
+    if (config_.enable_grid) GridErase(&g, victim);
+    g.entries.pop_back();
+    --shard.size;
+    ++shard.stats.evictions;
+    // Don't let one evicted large-θ outlier pin the probe radius (and with
+    // it the grid fallback) forever: re-derive the maximum when it leaves.
+    if (victim_theta >= g.theta_max) {
+      g.theta_max = 0.0;
+      for (const CachedAnswer& e : g.entries) {
+        g.theta_max = std::max(g.theta_max, e.q.theta);
+      }
+    }
   }
 }
 
 void AnswerCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  shards_.clear();
-  size_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->groups.clear();
+    shard->size = 0;
+  }
 }
 
 AnswerCacheStats AnswerCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  AnswerCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.lookups += shard->stats.lookups;
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.inserts += shard->stats.inserts;
+    total.evictions += shard->stats.evictions;
+    total.grid_probes += shard->stats.grid_probes;
+    total.linear_probes += shard->stats.linear_probes;
+  }
+  return total;
 }
 
 size_t AnswerCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return size_;
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->size;
+  }
+  return total;
 }
 
 }  // namespace service

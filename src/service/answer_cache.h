@@ -9,14 +9,26 @@
 // for hit rate: δ_min = 1 caches only exact repeats; δ_min → 0 admits any
 // overlapping neighbour.
 //
-// Entries are sharded by an opaque key (the router uses "dataset/kind") and
-// evicted LRU per shard. All operations are thread-safe.
+// Concurrency & lookup cost:
+//   - Entries live in per-key *groups* (the router keys by "dataset/kind"),
+//     evicted LRU per group.
+//   - Groups are distributed over `num_shards` lock shards by key hash, so
+//     readers of different datasets/kinds never contend on one mutex.
+//   - Within a group, cached query centers are bucketed on a uniform grid.
+//     Since admission requires ||x - x'|| ≤ (1 - δ_min)(θ + θ'), a lookup
+//     only probes the grid cells within that radius — O(neighbouring cells)
+//     instead of O(group) — and falls back to the linear probe whenever the
+//     cell fan-out would exceed the group size (small groups, high d). Both
+//     paths admit exactly the same entries.
+//
+// All operations are thread-safe.
 
 #ifndef QREG_SERVICE_ANSWER_CACHE_H_
 #define QREG_SERVICE_ANSWER_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -30,16 +42,29 @@ namespace service {
 
 /// \brief Cache sizing and admission parameters.
 struct AnswerCacheConfig {
-  /// Max cached answers per shard (dataset × query kind). LRU beyond this.
+  /// Max cached answers per group (dataset × query kind). LRU beyond this.
   size_t capacity_per_shard = 512;
 
   /// Minimum degree of overlapping δ(q, q') (Eq. 9) for a cached answer to
   /// be reused. In [0, 1].
   double delta_min = 0.9;
 
-  /// Max entries probed per lookup, scanning from most- to least-recently
-  /// used; 0 probes the whole shard. Bounds worst-case lookup cost.
+  /// Max entries probed per lookup; 0 probes every candidate. On the linear
+  /// path candidates are scanned from most- to least-recently used; on the
+  /// grid path the probe order is cell order. Bounds worst-case lookup cost.
   size_t max_probe = 0;
+
+  /// Lock shards the groups are hashed over. More shards = less contention
+  /// between datasets/kinds; clamped to at least 1.
+  size_t num_shards = 8;
+
+  /// Spatial grid bucketing of cached query centers inside each group.
+  /// Disable to force the linear δ-probe (the correctness baseline).
+  bool enable_grid = true;
+
+  /// Grid lookups probing more than this many cells fall back to the linear
+  /// probe (the grid only pays off when cells hold few entries each).
+  size_t max_grid_cells = 64;
 };
 
 /// \brief The reusable payload of one cached answer (Q1 scalar and/or the
@@ -58,6 +83,8 @@ struct AnswerCacheStats {
   int64_t misses = 0;
   int64_t inserts = 0;
   int64_t evictions = 0;
+  int64_t grid_probes = 0;    ///< Lookups served by the grid path.
+  int64_t linear_probes = 0;  ///< Lookups served by the linear path.
 
   double HitRate() const {
     return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
@@ -73,34 +100,59 @@ class AnswerCache {
   AnswerCache(const AnswerCache&) = delete;
   AnswerCache& operator=(const AnswerCache&) = delete;
 
-  /// Probes the shard for the cached query with the highest δ(q, ·) ≥ δ_min
+  /// Probes the group for the cached query with the highest δ(q, ·) ≥ δ_min
   /// among overlapping entries. On a hit fills `*out` (with `out->delta` set
   /// to the achieved overlap degree), touches the entry's LRU position, and
   /// returns true.
-  bool Lookup(const std::string& shard, const query::Query& q,
+  bool Lookup(const std::string& group, const query::Query& q,
               CachedAnswer* out);
 
-  /// Caches an answer, evicting the shard's LRU entry beyond capacity. A
+  /// Caches an answer, evicting the group's LRU entry beyond capacity. A
   /// second insert with an identical query replaces the previous answer.
-  void Insert(const std::string& shard, CachedAnswer answer);
+  void Insert(const std::string& group, CachedAnswer answer);
 
   void Clear();
 
-  AnswerCacheStats stats() const;
-  size_t size() const;  ///< Total entries across shards.
+  AnswerCacheStats stats() const;  ///< Aggregated over all shards.
+  size_t size() const;             ///< Total entries across groups.
 
   const AnswerCacheConfig& config() const { return config_; }
 
  private:
-  struct Shard {
-    std::list<CachedAnswer> entries;  // Front = most recently used.
+  using EntryList = std::list<CachedAnswer>;
+
+  struct Group {
+    EntryList entries;  // Front = most recently used.
+    // Uniform grid over entry centers: cell-coordinate hash → entries in
+    // that cell. Fixed cell edge, chosen from the first inserted θ; hash
+    // collisions merely merge cells (extra candidates, never missed ones).
+    std::unordered_map<uint64_t, std::vector<EntryList::iterator>> grid;
+    double cell = 0.0;       // Cell edge length; 0 until the first insert.
+    double theta_max = 0.0;  // Largest cached θ (bounds the probe radius).
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Group> groups;
+    AnswerCacheStats stats;
+    size_t size = 0;
+  };
+
+  Shard& ShardFor(const std::string& group) const;
+
+  uint64_t CellHash(const double* center, size_t d, double cell) const;
+  void GridInsert(Group* g, EntryList::iterator it) const;
+  void GridErase(Group* g, EntryList::iterator it) const;
+
+  /// Best admissible entry, or entries.end(). Sets *delta_out and
+  /// *used_grid (whether the grid path answered).
+  EntryList::iterator FindBest(Group* g, const query::Query& q,
+                               double* delta_out, bool* used_grid) const;
+  EntryList::iterator LinearProbe(Group* g, const query::Query& q,
+                                  double* delta_out) const;
+
   AnswerCacheConfig config_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Shard> shards_;
-  AnswerCacheStats stats_;
-  size_t size_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Fixed size after ctor.
 };
 
 }  // namespace service

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "core/model_io.h"
@@ -20,6 +21,31 @@ bool FileExists(const std::string& path) {
 }
 
 }  // namespace
+
+ModelCatalog::ModelCatalog(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ModelCatalog::Shard& ModelCatalog::ShardFor(const std::string& name) const {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+void ModelCatalog::SetParallelism(query::ParallelOptions options) {
+  // parallel_mu_ is held across the whole update, and Register also inserts
+  // under it (lock order: parallel_mu_ -> shard.mu in both paths), so an
+  // entry either gets the new options applied here or reads them at
+  // registration — never a stale pool pointer in between.
+  std::lock_guard<std::mutex> parallel_lock(parallel_mu_);
+  parallel_ = options;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& kv : shard->entries) kv.second->engine->set_parallel(options);
+  }
+}
 
 CatalogOptions CatalogOptions::ForCube(size_t d, double lo, double hi,
                                        double theta_mean, double theta_stddev,
@@ -67,20 +93,27 @@ util::Status ModelCatalog::Register(const std::string& name,
   entry->opts = std::move(opts);
   entry->engine = std::make_unique<query::ExactEngine>(*table, *index, norm);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.count(name) > 0) {
+  // Configure the engine and publish the entry under one parallel_mu_ hold
+  // so a concurrent SetParallelism either sees this entry in the shard map
+  // or is read here — never misses it with stale options.
+  std::lock_guard<std::mutex> parallel_lock(parallel_mu_);
+  entry->engine->set_parallel(parallel_);
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.count(name) > 0) {
     return util::Status::AlreadyExists(
         util::Format("dataset '%s' is already registered", name.c_str()));
   }
-  entries_.emplace(name, std::move(entry));
+  shard.entries.emplace(name, std::move(entry));
   return util::Status::OK();
 }
 
 std::shared_ptr<ModelCatalog::Entry> ModelCatalog::FindEntry(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(name);
+  return it == shard.entries.end() ? nullptr : it->second;
 }
 
 CatalogSnapshot ModelCatalog::MakeSnapshot(
@@ -196,21 +229,28 @@ util::Status ModelCatalog::SaveModel(const std::string& name,
 }
 
 bool ModelCatalog::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.count(name) > 0;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(name) > 0;
 }
 
 std::vector<std::string> ModelCatalog::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& kv : entries_) names.push_back(kv.first);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& kv : shard->entries) names.push_back(kv.first);
+  }
+  std::sort(names.begin(), names.end());  // Shard hash order is meaningless.
   return names;
 }
 
 size_t ModelCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 }  // namespace service

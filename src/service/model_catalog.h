@@ -62,9 +62,15 @@ struct CatalogSnapshot {
 };
 
 /// \brief Thread-safe registry of datasets and their trained models.
+///
+/// Entries are distributed over `num_shards` lock shards by name hash, so
+/// concurrent lookups of different datasets never serialize on one mutex;
+/// a lookup locks only its own shard for the duration of a map find.
 class ModelCatalog {
  public:
-  ModelCatalog() = default;
+  /// `num_shards` is clamped to at least 1. The default spreads well for
+  /// catalogs of up to a few hundred datasets.
+  explicit ModelCatalog(size_t num_shards = 8);
 
   ModelCatalog(const ModelCatalog&) = delete;
   ModelCatalog& operator=(const ModelCatalog&) = delete;
@@ -93,8 +99,15 @@ class ModelCatalog {
   util::Status SaveModel(const std::string& name, const std::string& path);
 
   bool Contains(const std::string& name) const;
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const;  ///< Sorted across all shards.
   size_t size() const;
+
+  /// Attaches intra-query parallelism to every registered exact engine
+  /// (and to engines registered later). The pool is borrowed: callers must
+  /// either keep it alive for the catalog's lifetime or detach it again
+  /// (nullptr pool) before destroying it. Not thread-safe against in-flight
+  /// queries: configure during setup, as with ExactEngine::set_parallel.
+  void SetParallelism(query::ParallelOptions options);
 
  private:
   // Everything produced by training, published as one immutable block so
@@ -118,14 +131,25 @@ class ModelCatalog {
     std::shared_ptr<const TrainedState> trained;
   };
 
+  // One lock shard: the mutex guards this shard's map only, never entry
+  // training (that is the per-entry train_mu's job).
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+  };
+
   CatalogSnapshot MakeSnapshot(const Entry& e,
                                std::shared_ptr<const TrainedState> trained) const;
   util::Status TrainEntry(Entry* e);
 
+  Shard& ShardFor(const std::string& name) const;
   std::shared_ptr<Entry> FindEntry(const std::string& name) const;
 
-  mutable std::mutex mu_;  // Guards the map itself, not entry training.
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Fixed size after ctor.
+  // Serializes Register against SetParallelism (lock order: parallel_mu_
+  // before shard.mu) so no entry is ever published with stale options.
+  mutable std::mutex parallel_mu_;
+  query::ParallelOptions parallel_;
 };
 
 }  // namespace service

@@ -14,12 +14,42 @@ const char* QueryKindName(QueryKind kind) {
   return kind == QueryKind::kQ1MeanValue ? "Q1" : "Q2";
 }
 
+namespace {
+
+// One definition of "a cache hit becomes an Answer" shared by the normal
+// lookup path and the shed path, so they can never drift apart.
+Answer AnswerFromCache(QueryKind kind, CachedAnswer cached) {
+  Answer a;
+  a.kind = kind;
+  a.source = AnswerSource::kCache;
+  a.mean = cached.mean;
+  a.pieces = std::move(cached.pieces);
+  a.cache_delta = cached.delta;
+  return a;
+}
+
+}  // namespace
+
 QueryRouter::QueryRouter(ModelCatalog* catalog, RouterConfig config)
     : catalog_(catalog),
       config_(config),
       cache_(config.cache),
       stats_(config.latency_window),
-      pool_(config.num_threads, config.queue_capacity) {}
+      pool_(config.num_threads, config.queue_capacity) {
+  if (config_.exact_threads > 0) {
+    exact_pool_ = std::make_unique<ThreadPool>(config_.exact_threads);
+    query::ParallelOptions par;
+    par.pool = exact_pool_.get();
+    par.target_partitions = config_.exact_partitions;
+    catalog_->SetParallelism(par);
+  }
+}
+
+QueryRouter::~QueryRouter() {
+  // Detach the exact-scan pool before it dies so the catalog's engines
+  // never hold a dangling pool pointer.
+  if (exact_pool_) catalog_->SetParallelism(query::ParallelOptions());
+}
 
 std::string QueryRouter::ShardKey(const Request& request) {
   return request.dataset + "/" + QueryKindName(request.kind);
@@ -59,13 +89,7 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
   if (config_.enable_cache) {
     CachedAnswer cached;
     if (cache_.Lookup(shard, request.q, &cached)) {
-      Answer a;
-      a.kind = request.kind;
-      a.source = AnswerSource::kCache;
-      a.mean = cached.mean;
-      a.pieces = std::move(cached.pieces);
-      a.cache_delta = cached.delta;
-      return a;
+      return AnswerFromCache(request.kind, std::move(cached));
     }
   }
 
@@ -146,6 +170,24 @@ util::Result<Answer> QueryRouter::ExecuteExact(
   return a;
 }
 
+util::Result<Answer> QueryRouter::ExecuteShed(const Request& request) {
+  util::Stopwatch watch;
+  if (config_.enable_cache) {
+    CachedAnswer cached;
+    if (cache_.Lookup(ShardKey(request), request.q, &cached)) {
+      Answer a = AnswerFromCache(request.kind, std::move(cached));
+      a.exec.nanos = watch.ElapsedNanos();
+      stats_.Record(a.exec.nanos, /*cache_hit=*/true, /*used_exact=*/false,
+                    /*ok=*/true, /*shed=*/true);
+      return a;
+    }
+  }
+  stats_.Record(watch.ElapsedNanos(), /*cache_hit=*/false, /*used_exact=*/false,
+                /*ok=*/false, /*shed=*/true);
+  return util::Status::ResourceExhausted(
+      "router worker queue is saturated and the answer is not cached");
+}
+
 std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
     const std::vector<Request>& batch) {
   std::vector<util::Result<Answer>> results(
@@ -157,10 +199,18 @@ std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
   }
   BlockingCounter done(static_cast<int64_t>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {
-    pool_.Submit([this, &batch, &results, &done, i] {
+    auto task = [this, &batch, &results, &done, i] {
       results[i] = Execute(batch[i]);
       done.DecrementCount();
-    });
+    };
+    if (config_.overload == OverloadPolicy::kBlock) {
+      pool_.Submit(task);
+    } else if (!pool_.TrySubmit(task)) {
+      // Graceful degradation: serve stale-but-bounded answers from the
+      // δ-cache, or fail fast with a typed status — never block the batch.
+      results[i] = ExecuteShed(batch[i]);
+      done.DecrementCount();
+    }
   }
   done.Wait();
   return results;

@@ -17,6 +17,7 @@
 #define QREG_SERVICE_QUERY_ROUTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,16 @@ enum class RoutePolicy : int {
   kExactOnly = 2,
 };
 
+/// \brief What ExecuteBatch does when the worker queue is saturated.
+enum class OverloadPolicy : int {
+  /// Shed load: a request that cannot be enqueued is answered from the
+  /// δ-overlap cache if possible, otherwise rejected in-slot with a typed
+  /// kResourceExhausted status. The batch call never blocks on a full queue.
+  kShed = 0,
+  /// Block in Submit until queue space frees (backpressure on the caller).
+  kBlock = 1,
+};
+
 /// \brief Router configuration.
 struct RouterConfig {
   RoutePolicy policy = RoutePolicy::kHybrid;
@@ -66,6 +77,19 @@ struct RouterConfig {
   /// the calling thread.
   size_t num_threads = 0;
   size_t queue_capacity = 256;
+
+  /// Saturation behavior of ExecuteBatch (ROADMAP "graceful degradation").
+  OverloadPolicy overload = OverloadPolicy::kShed;
+
+  /// Intra-query parallelism for the exact path: worker threads of a second,
+  /// router-owned pool that partitioned RadiusVisit scans fan out on. 0
+  /// keeps exact queries single-threaded. Applied to the catalog's engines
+  /// at construction (and detached at destruction), so configure one router
+  /// per catalog when using this.
+  size_t exact_threads = 0;
+
+  /// Partition-plan size for parallel exact scans; 0 = data-driven default.
+  size_t exact_partitions = 0;
 
   /// Latency samples retained for p50/p99 (see ServiceStats).
   size_t latency_window = 1 << 16;
@@ -107,8 +131,12 @@ struct Answer {
 /// \brief Concurrent Q1/Q2 front door over a ModelCatalog.
 class QueryRouter {
  public:
-  /// `catalog` is borrowed and must outlive the router.
+  /// `catalog` is borrowed and must outlive the router. With
+  /// `exact_threads > 0` the router attaches its exact-scan pool to the
+  /// catalog's engines for its own lifetime (detached again in ~QueryRouter).
   explicit QueryRouter(ModelCatalog* catalog, RouterConfig config = RouterConfig());
+
+  ~QueryRouter();
 
   QueryRouter(const QueryRouter&) = delete;
   QueryRouter& operator=(const QueryRouter&) = delete;
@@ -130,12 +158,19 @@ class QueryRouter {
   const RouterConfig& config() const { return config_; }
   ModelCatalog* catalog() const { return catalog_; }
 
+  /// The batch worker pool — exposed so tests can saturate it on purpose.
+  ThreadPool* pool_for_testing() { return &pool_; }
+
  private:
   util::Result<Answer> ExecuteUnrecorded(const Request& request);
   util::Result<Answer> ExecuteModel(const Request& request,
                                     const core::LlmModel& model) const;
   util::Result<Answer> ExecuteExact(const Request& request,
                                     const query::ExactEngine& engine) const;
+
+  /// Saturation path: answer from the cache or reject with
+  /// kResourceExhausted — never touches the engines. Records stats.
+  util::Result<Answer> ExecuteShed(const Request& request);
 
   static std::string ShardKey(const Request& request);
 
@@ -144,6 +179,7 @@ class QueryRouter {
   AnswerCache cache_;
   ServiceStats stats_;
   ThreadPool pool_;
+  std::unique_ptr<ThreadPool> exact_pool_;  // Only with exact_threads > 0.
 };
 
 }  // namespace service

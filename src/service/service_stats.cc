@@ -15,12 +15,13 @@ ServiceStats::ServiceStats(size_t latency_window)
 }
 
 void ServiceStats::Record(int64_t latency_nanos, bool cache_hit,
-                          bool used_exact, bool ok) {
+                          bool used_exact, bool ok, bool shed) {
   std::lock_guard<std::mutex> lock(mu_);
   ++total_;
   if (!ok) ++errors_;
   if (cache_hit) ++cache_hits_;
   if (used_exact) ++exact_;
+  if (shed) ++shed_;
   if (ok && !cache_hit && !used_exact) ++model_;
   latency_sum_nanos_ += latency_nanos;
   if (latencies_.size() < window_) {
@@ -39,6 +40,7 @@ ServiceSnapshot ServiceStats::Snapshot() const {
   s.cache_hits = cache_hits_;
   s.exact_fallbacks = exact_;
   s.model_answers = model_;
+  s.shed = shed_;
   s.elapsed_seconds = clock_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(total_) / s.elapsed_seconds
@@ -61,7 +63,7 @@ void ServiceStats::Reset() {
   clock_.Restart();
   latencies_.clear();
   next_ = 0;
-  total_ = errors_ = cache_hits_ = exact_ = model_ = 0;
+  total_ = errors_ = cache_hits_ = exact_ = model_ = shed_ = 0;
   latency_sum_nanos_ = 0;
 }
 
@@ -69,6 +71,7 @@ void ServiceSnapshot::PrintTo(std::ostream& os) const {
   util::TablePrinter t({"metric", "value"});
   t.AddRow({"queries", util::Format("%lld", static_cast<long long>(total_queries))});
   t.AddRow({"errors", util::Format("%lld", static_cast<long long>(errors))});
+  t.AddRow({"shed", util::Format("%lld", static_cast<long long>(shed))});
   t.AddRow({"qps", util::Format("%.1f", qps)});
   t.AddRow({"mean latency (ms)", util::Format("%.4f", mean_ms)});
   t.AddRow({"p50 latency (ms)", util::Format("%.4f", p50_ms)});

@@ -21,6 +21,7 @@ struct ServiceSnapshot {
   int64_t cache_hits = 0;
   int64_t exact_fallbacks = 0;  ///< Queries answered by the exact engine.
   int64_t model_answers = 0;    ///< Queries answered by the LLM model.
+  int64_t shed = 0;  ///< Queries shed under saturation (cache-served or rejected).
 
   double elapsed_seconds = 0.0;  ///< Since construction or Reset().
   double qps = 0.0;
@@ -54,8 +55,10 @@ class ServiceStats {
   ServiceStats& operator=(const ServiceStats&) = delete;
 
   /// Records one served query. `used_exact`/`cache_hit` are mutually
-  /// exclusive classifications of the answering path.
-  void Record(int64_t latency_nanos, bool cache_hit, bool used_exact, bool ok);
+  /// exclusive classifications of the answering path. `shed` marks queries
+  /// handled on the saturation path (either cache-served or rejected).
+  void Record(int64_t latency_nanos, bool cache_hit, bool used_exact, bool ok,
+              bool shed = false);
 
   ServiceSnapshot Snapshot() const;
 
@@ -73,6 +76,7 @@ class ServiceStats {
   int64_t cache_hits_ = 0;
   int64_t exact_ = 0;
   int64_t model_ = 0;
+  int64_t shed_ = 0;
   int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
 };
 

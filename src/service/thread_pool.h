@@ -1,92 +1,17 @@
-// Fixed-size worker pool with a bounded MPMC task queue — the execution
-// substrate of the service layer's query router.
-//
-// Design points (following the in-RDBMS serving architectures the service
-// layer is modeled on):
-//   - bounded queue: a saturated service applies backpressure at Submit()
-//     instead of buffering unboundedly;
-//   - 0 workers = synchronous mode: Submit() runs the task on the calling
-//     thread. This gives benches and tests a single-threaded baseline with
-//     identical code paths.
+// Compatibility shim: ThreadPool moved to src/util/ so the exact engine
+// (query layer) can use it for partitioned scans without depending on the
+// service layer. Service code and tests keep the qreg::service spelling.
 
 #ifndef QREG_SERVICE_THREAD_POOL_H_
 #define QREG_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.h"
 
 namespace qreg {
 namespace service {
 
-/// \brief Blocks until a preset number of events have been counted down.
-/// Used to await completion of a batch of pool tasks without futures.
-class BlockingCounter {
- public:
-  explicit BlockingCounter(int64_t initial_count) : count_(initial_count) {}
-
-  BlockingCounter(const BlockingCounter&) = delete;
-  BlockingCounter& operator=(const BlockingCounter&) = delete;
-
-  void DecrementCount() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--count_ <= 0) cv_.notify_all();
-  }
-
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ <= 0; });
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t count_;
-};
-
-/// \brief Fixed-size worker pool over a bounded MPMC queue.
-class ThreadPool {
- public:
-  /// Spawns `num_threads` workers. 0 means synchronous mode (tasks run on
-  /// the submitting thread). `queue_capacity` bounds the number of queued,
-  /// not-yet-running tasks; Submit blocks while the queue is full.
-  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 256);
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Drains already-queued tasks, then joins all workers.
-  ~ThreadPool();
-
-  /// Enqueues a task, blocking while the queue is at capacity (backpressure).
-  /// In synchronous mode the task runs inline before Submit returns.
-  void Submit(std::function<void()> task);
-
-  /// Enqueues without blocking; returns false if the queue is full (or the
-  /// pool is shutting down). In synchronous mode runs inline, returns true.
-  bool TrySubmit(std::function<void()> task);
-
-  size_t num_threads() const { return workers_.size(); }
-  size_t queue_capacity() const { return capacity_; }
-
-  /// Tasks queued but not yet picked up by a worker (approximate).
-  size_t queue_depth() const;
-
- private:
-  void WorkerLoop();
-
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  size_t capacity_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
+using BlockingCounter = util::BlockingCounter;
+using ThreadPool = util::ThreadPool;
 
 }  // namespace service
 }  // namespace qreg

@@ -113,6 +113,66 @@ void KdTree::RadiusVisit(const double* center, double radius, const LpNorm& norm
   }
 }
 
+std::vector<ScanPartition> KdTree::MakePartitions(size_t target) const {
+  std::vector<ScanPartition> plan;
+  if (root_ < 0) return plan;
+
+  // Grow a frontier of subtree roots: always split the widest (most rows)
+  // splittable node next, so partition sizes stay balanced.
+  auto rows_of = [this](int32_t idx) {
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    return n.end - n.begin;
+  };
+  auto cmp = [&rows_of](int32_t a, int32_t b) { return rows_of(a) < rows_of(b); };
+  std::priority_queue<int32_t, std::vector<int32_t>, decltype(cmp)> frontier(cmp);
+  frontier.push(root_);
+  std::vector<int32_t> done;  // Leaves reached before `target` subtrees exist.
+  while (frontier.size() + done.size() < std::max<size_t>(target, 1) &&
+         !frontier.empty()) {
+    const int32_t idx = frontier.top();
+    frontier.pop();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (n.left < 0) {
+      done.push_back(idx);
+      continue;
+    }
+    frontier.push(n.left);
+    frontier.push(n.right);
+  }
+  while (!frontier.empty()) {
+    done.push_back(frontier.top());
+    frontier.pop();
+  }
+  // Left-to-right (ids_ ranges are disjoint and ordered by construction).
+  std::sort(done.begin(), done.end(), [this](int32_t a, int32_t b) {
+    return nodes_[static_cast<size_t>(a)].begin < nodes_[static_cast<size_t>(b)].begin;
+  });
+  plan.reserve(done.size());
+  for (int32_t idx : done) {
+    ScanPartition p;
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    p.begin = n.begin;
+    p.end = n.end;
+    p.node = idx;
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+void KdTree::RadiusVisitPartition(const ScanPartition& part, const double* center,
+                                  double radius, const LpNorm& norm,
+                                  const RowVisitor& visit,
+                                  SelectionStats* stats) const {
+  if (part.node < 0 || part.node >= static_cast<int32_t>(nodes_.size())) return;
+  int64_t examined = 0;
+  int64_t matched = 0;
+  RadiusVisitNode(part.node, center, radius, norm, visit, &examined, &matched);
+  if (stats != nullptr) {
+    stats->tuples_examined += examined;
+    stats->tuples_matched += matched;
+  }
+}
+
 std::vector<Neighbor> KdTree::NearestNeighbors(const double* center, int k,
                                                const LpNorm& norm) const {
   std::vector<Neighbor> result;

@@ -34,6 +34,18 @@ class KdTree : public SpatialIndex {
   void RadiusVisit(const double* center, double radius, const LpNorm& norm,
                    const RowVisitor& visit, SelectionStats* stats) const override;
 
+  /// A frontier of disjoint subtree roots covering every row, built by
+  /// repeatedly splitting the largest frontier node until `target` subtrees
+  /// exist (or only leaves remain), then ordered left-to-right so that
+  /// visiting partitions in plan order enumerates rows in the same order as
+  /// a sequential RadiusVisit.
+  std::vector<ScanPartition> MakePartitions(size_t target) const override;
+
+  void RadiusVisitPartition(const ScanPartition& part, const double* center,
+                            double radius, const LpNorm& norm,
+                            const RowVisitor& visit,
+                            SelectionStats* stats) const override;
+
   /// The k nearest rows to `center` under `norm`, ascending by distance.
   /// Returns fewer than k if the table is smaller.
   std::vector<Neighbor> NearestNeighbors(const double* center, int k,

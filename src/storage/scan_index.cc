@@ -1,24 +1,61 @@
 #include "storage/scan_index.h"
 
+#include <algorithm>
+
 namespace qreg {
 namespace storage {
 
-void ScanIndex::RadiusVisit(const double* center, double radius, const LpNorm& norm,
-                            const RowVisitor& visit, SelectionStats* stats) const {
-  const int64_t n = table_.num_rows();
-  const size_t d = table_.dimension();
+namespace {
+
+void ScanRange(const Table& table, int64_t begin, int64_t end,
+               const double* center, double radius, const LpNorm& norm,
+               const RowVisitor& visit, SelectionStats* stats) {
+  const size_t d = table.dimension();
   int64_t matched = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    const double* row = table_.x(i);
+  for (int64_t i = begin; i < end; ++i) {
+    const double* row = table.x(i);
     if (norm.Within(row, center, d, radius)) {
       ++matched;
-      visit(i, row, table_.u(i));
+      visit(i, row, table.u(i));
     }
   }
   if (stats != nullptr) {
-    stats->tuples_examined += n;
+    stats->tuples_examined += end - begin;
     stats->tuples_matched += matched;
   }
+}
+
+}  // namespace
+
+void ScanIndex::RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                            const RowVisitor& visit, SelectionStats* stats) const {
+  ScanRange(table_, 0, table_.num_rows(), center, radius, norm, visit, stats);
+}
+
+std::vector<ScanPartition> ScanIndex::MakePartitions(size_t target) const {
+  const int64_t n = table_.num_rows();
+  const int64_t parts = std::max<int64_t>(
+      1, std::min<int64_t>(static_cast<int64_t>(std::max<size_t>(target, 1)), n));
+  std::vector<ScanPartition> plan;
+  plan.reserve(static_cast<size_t>(parts));
+  const int64_t chunk = n / parts;
+  int64_t begin = 0;
+  for (int64_t i = 0; i < parts; ++i) {
+    ScanPartition p;
+    p.begin = begin;
+    p.end = (i + 1 == parts) ? n : begin + chunk;
+    begin = p.end;
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+void ScanIndex::RadiusVisitPartition(const ScanPartition& part, const double* center,
+                                     double radius, const LpNorm& norm,
+                                     const RowVisitor& visit,
+                                     SelectionStats* stats) const {
+  ScanRange(table_, part.begin, std::min(part.end, table_.num_rows()), center,
+            radius, norm, visit, stats);
 }
 
 }  // namespace storage

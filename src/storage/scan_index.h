@@ -19,6 +19,14 @@ class ScanIndex : public SpatialIndex {
   void RadiusVisit(const double* center, double radius, const LpNorm& norm,
                    const RowVisitor& visit, SelectionStats* stats) const override;
 
+  /// Equal-size contiguous row ranges (the last absorbs the remainder).
+  std::vector<ScanPartition> MakePartitions(size_t target) const override;
+
+  void RadiusVisitPartition(const ScanPartition& part, const double* center,
+                            double radius, const LpNorm& norm,
+                            const RowVisitor& visit,
+                            SelectionStats* stats) const override;
+
   std::string name() const override { return "scan"; }
 
  private:

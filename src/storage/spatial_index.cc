@@ -3,6 +3,20 @@
 namespace qreg {
 namespace storage {
 
+std::vector<ScanPartition> SpatialIndex::MakePartitions(size_t) const {
+  ScanPartition all;
+  all.begin = 0;
+  all.end = -1;  // Sentinel: "everything"; only RadiusVisitPartition reads it.
+  return {all};
+}
+
+void SpatialIndex::RadiusVisitPartition(const ScanPartition&, const double* center,
+                                        double radius, const LpNorm& norm,
+                                        const RowVisitor& visit,
+                                        SelectionStats* stats) const {
+  RadiusVisit(center, radius, norm, visit, stats);
+}
+
 std::vector<int64_t> SpatialIndex::RadiusSearch(const double* center, double radius,
                                                 const LpNorm& norm,
                                                 SelectionStats* stats) const {

@@ -24,6 +24,20 @@ struct SelectionStats {
   int64_t tuples_matched = 0;   ///< Rows inside the ball.
 };
 
+/// \brief One disjoint unit of parallel selection work, produced by
+/// MakePartitions and only meaningful to the index that produced it.
+///
+/// Scan-style access paths use [begin, end) row ranges; tree-style paths
+/// use a subtree root. Visiting every partition of a plan is equivalent to
+/// one RadiusVisit: partitions are disjoint and jointly exhaustive, and the
+/// partition plan depends only on the indexed data — never on thread
+/// counts — so a partitioned reduction is deterministic across pool sizes.
+struct ScanPartition {
+  int64_t begin = 0;  ///< First row of a range partition (scan paths).
+  int64_t end = 0;    ///< One past the last row of a range partition.
+  int32_t node = -1;  ///< Subtree root of a tree partition (tree paths).
+};
+
 /// \brief Abstract radius-selection access path over a Table.
 class SpatialIndex {
  public:
@@ -38,6 +52,24 @@ class SpatialIndex {
   std::vector<int64_t> RadiusSearch(const double* center, double radius,
                                     const LpNorm& norm,
                                     SelectionStats* stats = nullptr) const;
+
+  /// Splits the indexed data into roughly `target` disjoint partitions whose
+  /// union is the whole table. Implementations may return fewer (never more
+  /// than max(1, rows)) — notably a single partition when the data is too
+  /// small to be worth splitting. The plan is a pure function of the indexed
+  /// data, so repeated calls with the same `target` return the same plan.
+  ///
+  /// The default implementation returns one partition covering everything.
+  virtual std::vector<ScanPartition> MakePartitions(size_t target) const;
+
+  /// RadiusVisit restricted to one partition of a plan produced by *this*
+  /// index's MakePartitions. Visiting all partitions of a plan invokes
+  /// `visit` for exactly the rows one RadiusVisit would, with identical
+  /// aggregate SelectionStats.
+  virtual void RadiusVisitPartition(const ScanPartition& part, const double* center,
+                                    double radius, const LpNorm& norm,
+                                    const RowVisitor& visit,
+                                    SelectionStats* stats) const;
 
   /// Access-path name for logs and bench tables ("kdtree", "scan").
   virtual std::string name() const = 0;

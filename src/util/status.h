@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kIoError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kResourceExhausted = 9,
 };
 
 /// \brief Human-readable name for a StatusCode ("OK", "Invalid argument", ...).
@@ -65,6 +66,10 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A bounded resource (queue, pool) is saturated; the caller may retry.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,9 +1,9 @@
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <utility>
 
 namespace qreg {
-namespace service {
+namespace util {
 
 ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
     : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
@@ -71,5 +71,5 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace service
+}  // namespace util
 }  // namespace qreg

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +25,7 @@
 #include "service/service_stats.h"
 #include "service/thread_pool.h"
 #include "storage/kdtree.h"
+#include "util/rng.h"
 
 namespace qreg {
 namespace service {
@@ -339,6 +344,170 @@ TEST(AnswerCacheTest, LookupTouchesLruOrder) {
   EXPECT_FALSE(cache.Lookup("s", b.q, nullptr));
 }
 
+// ---------- AnswerCache: sharding + grid δ-lookup equivalence ----------
+
+// Random query stream shared by the equivalence tests below.
+std::vector<query::Query> RandomQueries(int64_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<query::Query> qs;
+  qs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    qs.emplace_back(std::vector<double>{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)},
+                    rng.Uniform(0.05, 0.2));
+  }
+  return qs;
+}
+
+TEST(AnswerCacheShardingTest, ShardCountDoesNotChangeBehavior) {
+  // Hit/miss/eviction per group only depends on that group's op sequence,
+  // so any shard count must reproduce the single-shard baseline exactly.
+  AnswerCacheConfig base;
+  base.delta_min = 0.8;
+  base.capacity_per_shard = 16;
+  base.num_shards = 1;
+  AnswerCacheConfig sharded = base;
+  sharded.num_shards = 8;
+  AnswerCache a(base), b(sharded);
+
+  const std::vector<std::string> groups = {"ds1/Q1", "ds1/Q2", "ds2/Q1"};
+  const std::vector<query::Query> qs = RandomQueries(300, 71);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const std::string& g = groups[i % groups.size()];
+    CachedAnswer out_a, out_b;
+    const bool hit_a = a.Lookup(g, qs[i], &out_a);
+    const bool hit_b = b.Lookup(g, qs[i], &out_b);
+    ASSERT_EQ(hit_a, hit_b) << "query " << i;
+    if (hit_a) {
+      EXPECT_EQ(out_a.mean, out_b.mean) << "query " << i;
+      EXPECT_EQ(out_a.delta, out_b.delta) << "query " << i;
+    } else {
+      CachedAnswer ins;
+      ins.q = qs[i];
+      ins.mean = static_cast<double>(i);
+      a.Insert(g, ins);
+      b.Insert(g, ins);
+    }
+  }
+  EXPECT_EQ(a.size(), b.size());
+  const AnswerCacheStats sa = a.stats(), sb = b.stats();
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.misses, sb.misses);
+  EXPECT_EQ(sa.inserts, sb.inserts);
+  EXPECT_EQ(sa.evictions, sb.evictions);
+}
+
+TEST(AnswerCacheGridTest, GridLookupMatchesLinearProbeAdmissions) {
+  // The satellite contract: the spatial-grid δ-lookup admits exactly the
+  // entries the linear probe admits, with the same best-δ choice.
+  AnswerCacheConfig linear_cfg;
+  linear_cfg.delta_min = 0.85;
+  linear_cfg.capacity_per_shard = 4096;  // No evictions: pure probe test.
+  linear_cfg.enable_grid = false;
+  AnswerCacheConfig grid_cfg = linear_cfg;
+  grid_cfg.enable_grid = true;
+  AnswerCache linear(linear_cfg), grid(grid_cfg);
+
+  for (const query::Query& q : RandomQueries(500, 83)) {
+    CachedAnswer ins;
+    ins.q = q;
+    ins.mean = q.center[0] + 10.0 * q.center[1];
+    linear.Insert("g", ins);
+    grid.Insert("g", ins);
+  }
+  int64_t hits = 0;
+  for (const query::Query& probe : RandomQueries(800, 97)) {
+    CachedAnswer want, got;
+    const bool hit_linear = linear.Lookup("g", probe, &want);
+    const bool hit_grid = grid.Lookup("g", probe, &got);
+    ASSERT_EQ(hit_linear, hit_grid) << probe.ToString();
+    if (hit_linear) {
+      ++hits;
+      EXPECT_EQ(want.mean, got.mean) << probe.ToString();
+      EXPECT_EQ(want.delta, got.delta) << probe.ToString();
+    }
+  }
+  EXPECT_GT(hits, 20) << "probe workload produced too few hits to be meaningful";
+  // The big group (500 entries) must actually exercise the grid path.
+  EXPECT_GT(grid.stats().grid_probes, 0);
+  EXPECT_EQ(linear.stats().grid_probes, 0);
+}
+
+TEST(AnswerCacheGridTest, EvictionKeepsGridConsistent) {
+  AnswerCacheConfig cfg;
+  cfg.delta_min = 1.0;  // Exact repeats only: hits pinpoint single entries.
+  cfg.capacity_per_shard = 8;
+  cfg.enable_grid = true;
+  AnswerCache cache(cfg);
+  const std::vector<query::Query> qs = RandomQueries(64, 131);
+  for (const auto& q : qs) {
+    CachedAnswer ins;
+    ins.q = q;
+    cache.Insert("g", ins);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  // The 8 most recent remain findable; evicted ones must not resurface
+  // through stale grid references.
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const bool expect_hit = i + 8 >= qs.size();
+    EXPECT_EQ(cache.Lookup("g", qs[i], nullptr), expect_hit) << i;
+  }
+}
+
+TEST(AnswerCacheGridTest, EvictedOutlierThetaDoesNotPinProbeRadius) {
+  AnswerCacheConfig cfg;
+  cfg.delta_min = 0.9;
+  cfg.capacity_per_shard = 16;
+  cfg.enable_grid = true;
+  AnswerCache cache(cfg);
+
+  // A normal first insert fixes a small cell edge; a huge-θ outlier then
+  // inflates θ_max so every probe's cell fan-out exceeds max_grid_cells.
+  CachedAnswer normal0;
+  normal0.q = query::Query({0.5, 0.5}, 0.1);
+  cache.Insert("g", normal0);
+  CachedAnswer outlier;
+  outlier.q = query::Query({0.5, 0.5}, 50.0);
+  cache.Insert("g", outlier);
+  // 16 more inserts evict both of them (LRU from the back).
+  for (int i = 0; i < 16; ++i) {
+    CachedAnswer a;
+    a.q = query::Query({0.1 + 0.04 * i, 0.5}, 0.1);
+    cache.Insert("g", a);
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  // With θ_max re-derived after the outlier's eviction, lookups take the
+  // grid path again instead of falling back to the linear probe forever.
+  CachedAnswer out;
+  ASSERT_TRUE(cache.Lookup("g", query::Query({0.3, 0.5}, 0.1), &out));
+  EXPECT_GT(cache.stats().grid_probes, 0);
+}
+
+// ---------- ModelCatalog sharding ----------
+
+TEST(ModelCatalogShardingTest, ManyDatasetsAcrossShards) {
+  TestData* d = SharedData();
+  ModelCatalog catalog(/*num_shards=*/4);
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) names.push_back("ds" + std::to_string(i));
+  for (const std::string& n : names) {
+    ASSERT_TRUE(
+        catalog.Register(n, &d->dataset->table, d->index.get(), TestOptions()).ok());
+  }
+  EXPECT_EQ(catalog.size(), names.size());
+  std::vector<std::string> sorted_names = names;
+  std::sort(sorted_names.begin(), sorted_names.end());
+  EXPECT_EQ(catalog.Names(), sorted_names);  // Sorted, shard layout invisible.
+  for (const std::string& n : names) EXPECT_TRUE(catalog.Contains(n));
+  EXPECT_FALSE(catalog.Contains("ds12"));
+  // Get without training works across shards.
+  for (const std::string& n : names) {
+    auto snap = catalog.Get(n);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(snap->model, nullptr);
+    EXPECT_NE(snap->engine, nullptr);
+  }
+}
+
 // ---------- QueryRouter: agreement with standalone layers ----------
 
 TEST(QueryRouterTest, ExactPolicyMatchesExactEngineBitForBit) {
@@ -473,6 +642,105 @@ TEST(QueryRouterTest, CacheHitOnRepeatedQuery) {
   EXPECT_EQ(router.Stats().cache_hits, 1);
 }
 
+// ---------- Overload shedding (graceful degradation) ----------
+
+TEST(OverloadSheddingTest, SaturatedBatchShedsToCacheOrRejects) {
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kModelOnly;
+  cfg.enable_cache = true;
+  cfg.cache.delta_min = 1.0;  // Only exact repeats hit: deterministic.
+  cfg.num_threads = 1;
+  cfg.queue_capacity = 1;
+  cfg.overload = OverloadPolicy::kShed;
+  QueryRouter router(SharedCatalog(), cfg);
+
+  // Warm the cache inline (single Execute never touches the pool).
+  Request warm = Request::Q1("r1", query::Query({0.5, 0.5}, 0.1));
+  ASSERT_TRUE(router.Execute(warm).ok());
+
+  // Saturate: gate the lone worker, then fill the 1-slot queue.
+  std::mutex gate;
+  gate.lock();
+  ThreadPool* pool = router.pool_for_testing();
+  pool->Submit([&gate] { gate.lock(); gate.unlock(); });
+  while (pool->queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pool->TrySubmit([] {}));
+
+  // Every batch slot now fails TrySubmit: the cached query is served from
+  // the δ-cache, the cold one is rejected with the typed status.
+  Request cold = Request::Q1("r1", query::Query({0.2, 0.8}, 0.1));
+  auto results = router.ExecuteBatch({warm, cold});
+  gate.unlock();
+
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0]->source, AnswerSource::kCache);
+  EXPECT_EQ(results[0]->mean, router.Execute(warm)->mean);
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), util::StatusCode::kResourceExhausted);
+
+  ServiceSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.shed, 2);
+  EXPECT_EQ(stats.errors, 1);
+}
+
+TEST(OverloadSheddingTest, UnsaturatedBatchNeverSheds) {
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kModelOnly;
+  cfg.enable_cache = false;
+  cfg.num_threads = 2;
+  cfg.queue_capacity = 256;
+  cfg.overload = OverloadPolicy::kShed;
+  QueryRouter router(SharedCatalog(), cfg);
+
+  auto results = router.ExecuteBatch(MixedWorkload(100, 41));
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  EXPECT_EQ(router.Stats().shed, 0);
+}
+
+// ---------- Router-driven parallel exact scans ----------
+
+TEST(QueryRouterTest, ExactParallelismMatchesStandaloneEngine) {
+  TestData* d = SharedData();
+  ModelCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register("ds", &d->dataset->table, d->index.get(), TestOptions()).ok());
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;
+  cfg.enable_cache = false;
+  cfg.exact_threads = 4;  // Partitioned RadiusVisit on a router-owned pool.
+  QueryRouter router(&catalog, cfg);
+
+  int64_t answered = 0;
+  for (const Request& r : MixedWorkload(40, 67)) {
+    Request req = r;
+    req.dataset = "ds";
+    auto got = router.Execute(req);
+    if (req.kind == QueryKind::kQ1MeanValue) {
+      auto want = d->engine->MeanValue(req.q);
+      ASSERT_EQ(got.ok(), want.ok());
+      if (!got.ok()) continue;
+      ++answered;
+      EXPECT_EQ(got->source, AnswerSource::kExact);
+      // Partitioned merge reassociates the sum: equal up to float tolerance,
+      // with exact tuple counts.
+      EXPECT_NEAR(got->mean, want->mean,
+                  1e-9 * std::max(1.0, std::fabs(want->mean)));
+    } else {
+      auto want = d->engine->Regression(req.q);
+      ASSERT_EQ(got.ok(), want.ok());
+      if (!got.ok()) continue;
+      ++answered;
+      ASSERT_EQ(got->pieces.size(), 1u);
+      EXPECT_NEAR(got->pieces[0].intercept, want->intercept,
+                  1e-8 * std::max(1.0, std::fabs(want->intercept)));
+    }
+  }
+  EXPECT_GT(answered, 20);
+}
+
 // ---------- Concurrency: batched == sequential, bit for bit ----------
 
 TEST(QueryRouterTest, ParallelBatchMatchesSequentialBitForBit) {
@@ -485,6 +753,9 @@ TEST(QueryRouterTest, ParallelBatchMatchesSequentialBitForBit) {
   RouterConfig par_cfg = seq_cfg;
   par_cfg.num_threads = 4;
   par_cfg.queue_capacity = 32;
+  // Block on the full queue: every request must really execute for the
+  // bit-for-bit comparison (shedding is covered by OverloadShedding tests).
+  par_cfg.overload = OverloadPolicy::kBlock;
   QueryRouter parallel(SharedCatalog(), par_cfg);
 
   const std::vector<Request> batch = MixedWorkload(200, 31, 0.05, 0.95);
