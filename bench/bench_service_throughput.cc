@@ -167,7 +167,21 @@ int Run() {
   service::QueryRouter final_router(&catalog, final_cfg);
   (void)final_router.ExecuteBatch(clustered);
   std::cout << "\nservice snapshot (hybrid, delta_min=0.9, clustered traffic):\n";
-  final_router.Stats().PrintTo(std::cout);
+  const service::ServiceSnapshot final_snap = final_router.Stats();
+  final_snap.PrintTo(std::cout);
+
+  // Lifecycle/freshness counters as their own record so the bench-smoke
+  // artifacts track them per commit (all zero on this deadline-free
+  // workload; the table exists so new counters never break JSON consumers).
+  util::TablePrinter lifecycle(
+      {"shed", "deadline_exceeded", "cancelled", "degraded", "retrains"});
+  lifecycle.AddRow(
+      {util::Format("%lld", static_cast<long long>(final_snap.shed)),
+       util::Format("%lld", static_cast<long long>(final_snap.deadline_exceeded)),
+       util::Format("%lld", static_cast<long long>(final_snap.cancelled)),
+       util::Format("%lld", static_cast<long long>(final_snap.degraded)),
+       util::Format("%lld", static_cast<long long>(final_snap.retrains))});
+  EmitTable("bench_service_throughput", "lifecycle_counters", lifecycle, env);
   return 0;
 }
 

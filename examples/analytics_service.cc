@@ -94,6 +94,20 @@ int main() {
   std::printf("\nburst: %lld/%zu answered\n", static_cast<long long>(ok),
               answers.size());
 
+  // Request lifecycle: a deadline bounds the exact fallback. An expired
+  // deadline on an out-of-region query degrades to the model's microsecond
+  // answer (flagged used_fallback) instead of burning cores on the scan.
+  service::Request bounded =
+      service::Request::Q1("sensors", query::Query({1.4, 1.4}, 1.0));
+  bounded.deadline = util::Deadline::AfterNanos(0);  // Already expired.
+  auto degraded = router.Execute(bounded);
+  if (degraded.ok()) {
+    std::printf("\ndeadline-bounded Q1: mean = %.4f  [%s%s]\n", degraded->mean,
+                degraded->source == service::AnswerSource::kModel ? "model"
+                                                                  : "exact",
+                degraded->used_fallback ? ", deadline fallback" : "");
+  }
+
   std::printf("\nservice metrics:\n");
   router.Stats().PrintTo(std::cout);
   std::printf("\ncache: hit rate %.3f over %lld lookups\n",

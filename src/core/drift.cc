@@ -10,6 +10,10 @@ util::Result<double> DriftMonitor::MeasureRmse(const LlmModel& model,
                                                query::WorkloadGenerator* workload,
                                                int64_t* used) const {
   if (workload == nullptr) return util::Status::InvalidArgument("null workload");
+  if (config_.probe_queries <= 0) {
+    return util::Status::InvalidArgument(
+        "drift probe window is empty (probe_queries must be > 0)");
+  }
   double sse = 0.0;
   int64_t n = 0;
   int64_t attempts = 0;
@@ -33,6 +37,10 @@ util::Result<double> DriftMonitor::MeasureRmse(const LlmModel& model,
 util::Status DriftMonitor::Calibrate(const LlmModel& model,
                                      const query::ExactEngine& engine,
                                      query::WorkloadGenerator* workload) {
+  // A failed (re)calibration leaves no baseline at all: probing against a
+  // baseline measured on a different model would either mask real drift or
+  // re-trip forever, so callers must recalibrate before the next Probe().
+  calibrated_ = false;
   int64_t used = 0;
   QREG_ASSIGN_OR_RETURN(baseline_rmse_, MeasureRmse(model, engine, workload, &used));
   calibrated_ = true;
@@ -51,6 +59,9 @@ util::Result<DriftReport> DriftMonitor::Probe(
   report.baseline_rmse = baseline_rmse_;
   const double threshold = std::max(config_.absolute_threshold,
                                     config_.degradation_factor * baseline_rmse_);
+  // Strictly greater: a probe whose RMSE lands exactly on the threshold
+  // (e.g. an identical probe stream against unchanged data with
+  // degradation_factor = 1) is steady state, not drift.
   report.drifted = report.rmse > threshold;
   return report;
 }

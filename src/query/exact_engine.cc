@@ -26,6 +26,27 @@ MeanValueResult MakeMeanResult(double sum, int64_t count) {
   return r;
 }
 
+// Admission-time lifecycle check shared by the query paths: an already
+// expired/cancelled request returns its typed status with zeroed (but
+// timed) stats, before any partition is visited.
+util::Status CheckAdmission(const util::ExecControl* control, ExecStats* stats,
+                            const util::Stopwatch& sw) {
+  if (control == nullptr) return util::Status::OK();
+  util::Status st = control->Check();
+  if (!st.ok() && stats != nullptr) {
+    *stats = ExecStats();
+    stats->nanos = sw.ElapsedNanos();
+  }
+  return st;
+}
+
+// Per-chunk lifecycle check (test hook first, then the real check) shared
+// by the inline loop and the pooled Drain so their ordering never diverges.
+util::Status CheckChunk(const util::ExecControl& control, size_t chunk) {
+  if (control.on_chunk_for_testing) control.on_chunk_for_testing(chunk);
+  return control.Check();
+}
+
 }  // namespace
 
 std::vector<storage::ScanPartition> ExactEngine::PartitionPlan() const {
@@ -49,6 +70,13 @@ struct ChunkState {
   // Only dereferenced for a successfully claimed chunk, and every chunk is
   // claimed and finished before the owning RunChunks call returns.
   const std::function<void(size_t)>* body = nullptr;
+  const util::ExecControl* control = nullptr;  // Null = no lifecycle checks.
+  // First lifecycle failure wins: the exchange on `aborted` elects a single
+  // writer for `abort_status`, and later claimants skip their bodies so the
+  // remaining chunks drain in claim-counter time instead of scan time.
+  std::atomic<bool> aborted{false};
+  util::Status abort_status;
+  std::atomic<size_t> executed{0};
   std::mutex mu;
   std::condition_variable cv;
   size_t completed = 0;
@@ -56,7 +84,16 @@ struct ChunkState {
   void Drain() {
     size_t done_here = 0;
     for (size_t i = next.fetch_add(1); i < chunks; i = next.fetch_add(1)) {
-      (*body)(i);
+      if (control != nullptr && !aborted.load(std::memory_order_acquire)) {
+        util::Status st = CheckChunk(*control, i);
+        if (!st.ok() && !aborted.exchange(true, std::memory_order_acq_rel)) {
+          abort_status = std::move(st);
+        }
+      }
+      if (!aborted.load(std::memory_order_acquire)) {
+        (*body)(i);
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }
       ++done_here;
     }
     if (done_here > 0) {
@@ -69,16 +106,29 @@ struct ChunkState {
 
 }  // namespace
 
-void ExactEngine::RunChunks(size_t chunks,
-                            const std::function<void(size_t)>& body) const {
+ExactEngine::ChunkRunResult ExactEngine::RunChunks(
+    size_t chunks, const std::function<void(size_t)>& body,
+    const util::ExecControl* control) const {
+  ChunkRunResult result;
   util::ThreadPool* pool = parallel_.pool;
   if (pool == nullptr || pool->num_threads() == 0 || chunks <= 1) {
-    for (size_t i = 0; i < chunks; ++i) body(i);
-    return;
+    for (size_t i = 0; i < chunks; ++i) {
+      if (control != nullptr) {
+        util::Status st = CheckChunk(*control, i);
+        if (!st.ok()) {
+          result.status = std::move(st);
+          return result;
+        }
+      }
+      body(i);
+      ++result.executed;
+    }
+    return result;
   }
   auto state = std::make_shared<ChunkState>();
   state->chunks = chunks;
   state->body = &body;
+  state->control = control;
   const size_t helpers = std::min(pool->num_threads(), chunks - 1);
   for (size_t h = 0; h < helpers; ++h) {
     // TrySubmit, never Submit: when the pool is saturated (e.g. this query
@@ -92,15 +142,22 @@ void ExactEngine::RunChunks(size_t chunks,
   state->Drain();
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&state] { return state->completed == state->chunks; });
+  result.executed = state->executed.load(std::memory_order_relaxed);
+  if (state->aborted.load(std::memory_order_acquire)) {
+    result.status = state->abort_status;
+  }
+  return result;
 }
 
-util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
-                                                     ExecStats* stats) const {
+util::Result<MeanValueResult> ExactEngine::MeanValue(
+    const Query& q, ExecStats* stats, const util::ExecControl* control) const {
   util::Stopwatch sw;
   storage::SelectionStats sel;
   double sum = 0.0;
   int64_t count = 0;
-  if (!parallel_enabled()) {
+  ChunkRunResult run;
+  QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
+  if (!parallel_enabled() && control == nullptr) {
     index_.RadiusVisit(
         q.center.data(), q.theta, norm_,
         [&sum, &count](int64_t, const double*, double u) {
@@ -116,21 +173,28 @@ util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
-    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
-      Part& p = parts[i];
-      index_.RadiusVisitPartition(
-          plan[i], q.center.data(), q.theta, norm_,
-          [&p](int64_t, const double*, double u) {
-            p.sum += u;
-            ++p.count;
-          },
-          &p.sel);
-    });
+    run = RunChunks(
+        plan.size(),
+        [this, &q, &plan, &parts](size_t i) {
+          Part& p = parts[i];
+          index_.RadiusVisitPartition(
+              plan[i], q.center.data(), q.theta, norm_,
+              [&p](int64_t, const double*, double u) {
+                p.sum += u;
+                ++p.count;
+              },
+              &p.sel);
+        },
+        control);
     for (const Part& p : parts) {  // Deterministic: always plan order.
       sum += p.sum;
       count += p.count;
       sel.tuples_examined += p.sel.tuples_examined;
       sel.tuples_matched += p.sel.tuples_matched;
+    }
+    if (stats != nullptr) {
+      stats->chunks_completed = static_cast<int64_t>(run.executed);
+      stats->chunks_total = static_cast<int64_t>(plan.size());
     }
   }
   if (stats != nullptr) {
@@ -138,20 +202,23 @@ util::Result<MeanValueResult> ExactEngine::MeanValue(const Query& q,
     stats->tuples_matched = sel.tuples_matched;
     stats->nanos = sw.ElapsedNanos();
   }
+  if (!run.status.ok()) return run.status;
   if (count == 0) {
     return util::Status::NotFound("empty data subspace D(x, theta)");
   }
   return MakeMeanResult(sum, count);
 }
 
-util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
-                                                 ExecStats* stats) const {
+util::Result<MomentsResult> ExactEngine::Moments(
+    const Query& q, ExecStats* stats, const util::ExecControl* control) const {
   util::Stopwatch sw;
   storage::SelectionStats sel;
   double sum = 0.0;
   double sum_sq = 0.0;
   int64_t count = 0;
-  if (!parallel_enabled()) {
+  ChunkRunResult run;
+  QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
+  if (!parallel_enabled() && control == nullptr) {
     index_.RadiusVisit(
         q.center.data(), q.theta, norm_,
         [&sum, &sum_sq, &count](int64_t, const double*, double u) {
@@ -169,17 +236,20 @@ util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
-    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
-      Part& p = parts[i];
-      index_.RadiusVisitPartition(
-          plan[i], q.center.data(), q.theta, norm_,
-          [&p](int64_t, const double*, double u) {
-            p.sum += u;
-            p.sum_sq += u * u;
-            ++p.count;
-          },
-          &p.sel);
-    });
+    run = RunChunks(
+        plan.size(),
+        [this, &q, &plan, &parts](size_t i) {
+          Part& p = parts[i];
+          index_.RadiusVisitPartition(
+              plan[i], q.center.data(), q.theta, norm_,
+              [&p](int64_t, const double*, double u) {
+                p.sum += u;
+                p.sum_sq += u * u;
+                ++p.count;
+              },
+              &p.sel);
+        },
+        control);
     for (const Part& p : parts) {
       sum += p.sum;
       sum_sq += p.sum_sq;
@@ -187,12 +257,17 @@ util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
       sel.tuples_examined += p.sel.tuples_examined;
       sel.tuples_matched += p.sel.tuples_matched;
     }
+    if (stats != nullptr) {
+      stats->chunks_completed = static_cast<int64_t>(run.executed);
+      stats->chunks_total = static_cast<int64_t>(plan.size());
+    }
   }
   if (stats != nullptr) {
     stats->tuples_examined = sel.tuples_examined;
     stats->tuples_matched = sel.tuples_matched;
     stats->nanos = sw.ElapsedNanos();
   }
+  if (!run.status.ok()) return run.status;
   if (count == 0) {
     return util::Status::NotFound("empty data subspace D(x, theta)");
   }
@@ -204,12 +279,14 @@ util::Result<MomentsResult> ExactEngine::Moments(const Query& q,
   return r;
 }
 
-util::Result<linalg::OlsFit> ExactEngine::Regression(const Query& q,
-                                                     ExecStats* stats) const {
+util::Result<linalg::OlsFit> ExactEngine::Regression(
+    const Query& q, ExecStats* stats, const util::ExecControl* control) const {
   util::Stopwatch sw;
   storage::SelectionStats sel;
   linalg::OlsAccumulator acc(table_.dimension());
-  if (!parallel_enabled()) {
+  ChunkRunResult run;
+  QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
+  if (!parallel_enabled() && control == nullptr) {
     index_.RadiusVisit(
         q.center.data(), q.theta, norm_,
         [&acc](int64_t, const double* x, double u) { acc.Add(x, u); }, &sel);
@@ -223,23 +300,32 @@ util::Result<linalg::OlsFit> ExactEngine::Regression(const Query& q,
     std::vector<Part> parts;
     parts.reserve(plan.size());
     for (size_t i = 0; i < plan.size(); ++i) parts.emplace_back(table_.dimension());
-    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
-      Part& p = parts[i];
-      index_.RadiusVisitPartition(
-          plan[i], q.center.data(), q.theta, norm_,
-          [&p](int64_t, const double* x, double u) { p.acc.Add(x, u); },
-          &p.sel);
-    });
+    run = RunChunks(
+        plan.size(),
+        [this, &q, &plan, &parts](size_t i) {
+          Part& p = parts[i];
+          index_.RadiusVisitPartition(
+              plan[i], q.center.data(), q.theta, norm_,
+              [&p](int64_t, const double* x, double u) { p.acc.Add(x, u); },
+              &p.sel);
+        },
+        control);
     for (const Part& p : parts) {  // MADlib-style merge, plan order.
       (void)acc.Merge(p.acc);
       sel.tuples_examined += p.sel.tuples_examined;
       sel.tuples_matched += p.sel.tuples_matched;
     }
+    if (stats != nullptr) {
+      stats->chunks_completed = static_cast<int64_t>(run.executed);
+      stats->chunks_total = static_cast<int64_t>(plan.size());
+    }
   }
-  auto fit = acc.count() == 0
-                 ? util::Result<linalg::OlsFit>(
-                       util::Status::NotFound("empty data subspace D(x, theta)"))
-                 : acc.Solve();
+  auto fit = !run.status.ok()
+                 ? util::Result<linalg::OlsFit>(run.status)
+                 : acc.count() == 0
+                       ? util::Result<linalg::OlsFit>(util::Status::NotFound(
+                             "empty data subspace D(x, theta)"))
+                       : acc.Solve();
   if (stats != nullptr) {
     stats->tuples_examined = sel.tuples_examined;
     stats->tuples_matched = sel.tuples_matched;
@@ -261,13 +347,16 @@ std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
-    RunChunks(plan.size(), [this, &q, &plan, &parts](size_t i) {
-      Part& p = parts[i];
-      index_.RadiusVisitPartition(
-          plan[i], q.center.data(), q.theta, norm_,
-          [&p](int64_t id, const double*, double) { p.ids.push_back(id); },
-          &p.sel);
-    });
+    (void)RunChunks(
+        plan.size(),
+        [this, &q, &plan, &parts](size_t i) {
+          Part& p = parts[i];
+          index_.RadiusVisitPartition(
+              plan[i], q.center.data(), q.theta, norm_,
+              [&p](int64_t id, const double*, double) { p.ids.push_back(id); },
+              &p.sel);
+        },
+        /*control=*/nullptr);
     for (Part& p : parts) {  // Plan order == sequential visit order.
       ids.insert(ids.end(), p.ids.begin(), p.ids.end());
       sel.tuples_examined += p.sel.tuples_examined;

@@ -25,6 +25,7 @@
 #include "query/query.h"
 #include "storage/spatial_index.h"
 #include "storage/table.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -48,11 +49,15 @@ struct ParallelOptions {
   size_t target_partitions = 0;
 };
 
-/// \brief Execution statistics of one exact query.
+/// \brief Execution statistics of one exact query. On a deadline/cancel
+/// abort the tuple counters hold the *partial* work done before the trip,
+/// and `chunks_completed < chunks_total` quantifies how far the scan got.
 struct ExecStats {
   int64_t tuples_examined = 0;
   int64_t tuples_matched = 0;
   int64_t nanos = 0;
+  int64_t chunks_completed = 0;  ///< Partition chunks fully executed.
+  int64_t chunks_total = 0;      ///< Chunks in the plan (0 = unpartitioned).
 
   double millis() const { return static_cast<double>(nanos) / 1e6; }
 };
@@ -81,18 +86,29 @@ class ExactEngine {
       : table_(table), index_(index), norm_(norm) {}
 
   /// Q1: mean of u over D(x, θ). NotFound if the subspace is empty.
-  util::Result<MeanValueResult> MeanValue(const Query& q,
-                                          ExecStats* stats = nullptr) const;
+  ///
+  /// With a non-null `control`, the scan honors the request lifecycle: an
+  /// already-expired deadline (or tripped token) returns the typed status
+  /// without visiting any partition, and a mid-scan trip aborts within one
+  /// chunk-claim, returning kDeadlineExceeded / kCancelled with the partial
+  /// work recorded in `stats`. A control forces the partitioned-reduction
+  /// path (inline when no pool is attached) so checks happen per chunk,
+  /// never per row. Same for Moments and Regression below.
+  util::Result<MeanValueResult> MeanValue(
+      const Query& q, ExecStats* stats = nullptr,
+      const util::ExecControl* control = nullptr) const;
 
   /// Q1 moment extension: mean, second moment and variance of u over
   /// D(x, θ) in one streaming pass. NotFound if the subspace is empty.
-  util::Result<MomentsResult> Moments(const Query& q,
-                                      ExecStats* stats = nullptr) const;
+  util::Result<MomentsResult> Moments(
+      const Query& q, ExecStats* stats = nullptr,
+      const util::ExecControl* control = nullptr) const;
 
   /// Q2: OLS fit of u on x over D(x, θ) (the REG baseline).
   /// NotFound if the subspace is empty.
-  util::Result<linalg::OlsFit> Regression(const Query& q,
-                                          ExecStats* stats = nullptr) const;
+  util::Result<linalg::OlsFit> Regression(
+      const Query& q, ExecStats* stats = nullptr,
+      const util::ExecControl* control = nullptr) const;
 
   /// Row ids inside D(x, θ) (helper for baselines that need raw points).
   std::vector<int64_t> Select(const Query& q, ExecStats* stats = nullptr) const;
@@ -117,10 +133,22 @@ class ExactEngine {
   const storage::LpNorm& norm() const { return norm_; }
 
  private:
+  /// Outcome of a chunked run: how many chunks executed their body, and the
+  /// lifecycle status that aborted the run (OK when it ran to completion).
+  struct ChunkRunResult {
+    size_t executed = 0;
+    util::Status status;
+  };
+
   /// Runs `body(i)` for every i in [0, chunks). Pool workers help through an
   /// atomic claim counter and the caller always participates, so nesting on
   /// a shared pool degrades to inline execution instead of deadlocking.
-  void RunChunks(size_t chunks, const std::function<void(size_t)>& body) const;
+  /// With a non-null `control`, its Check() runs before each chunk's body;
+  /// on failure the remaining chunks are claimed-and-skipped (a fast drain,
+  /// not a hard stop) and the failing status is returned.
+  ChunkRunResult RunChunks(size_t chunks,
+                           const std::function<void(size_t)>& body,
+                           const util::ExecControl* control) const;
 
   const storage::Table& table_;
   const storage::SpatialIndex& index_;

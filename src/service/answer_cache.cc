@@ -245,6 +245,23 @@ void AnswerCache::Insert(const std::string& group_key, CachedAnswer answer) {
   }
 }
 
+size_t AnswerCache::EraseGroupsWithPrefix(const std::string& group_prefix) {
+  size_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->groups.begin(); it != shard->groups.end();) {
+      if (it->first.compare(0, group_prefix.size(), group_prefix) == 0) {
+        erased += it->second.entries.size();
+        shard->size -= it->second.entries.size();
+        it = shard->groups.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return erased;
+}
+
 void AnswerCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -113,6 +113,13 @@ class AnswerCache {
 
   void Clear();
 
+  /// Erases every group whose key starts with `group_prefix` and returns the
+  /// number of cached entries dropped. The router uses this to invalidate a
+  /// dataset's answers after a drift retrain: cache keys carry the model
+  /// generation ("dataset/g<N>/kind"), so a generation swap already stops
+  /// stale entries from being served — this reclaims their memory.
+  size_t EraseGroupsWithPrefix(const std::string& group_prefix);
+
   AnswerCacheStats stats() const;  ///< Aggregated over all shards.
   size_t size() const;             ///< Total entries across groups.
 

@@ -125,6 +125,10 @@ CatalogSnapshot ModelCatalog::MakeSnapshot(
     snap.model = trained->model;
     snap.report = trained->report;
     snap.warm_started = trained->warm_started;
+    snap.generation = trained->generation;
+    // Safe to read e.monitor here: it is written before the trained-state
+    // publication this snapshot observed, never re-pointed afterwards.
+    snap.drift_enabled = e.monitor != nullptr;
     if (snap.model) snap.vigilance = snap.model->config().vigilance;
   }
   return snap;
@@ -160,6 +164,8 @@ util::Status ModelCatalog::TrainEntry(Entry* e) {
       state->report.num_prototypes = model->num_prototypes();
       state->report.converged = model->HasConverged();
       state->warm_started = true;
+      state->generation = 1;
+      SetupDrift(e, *model);
       state->model = std::move(model);
       std::atomic_store(&e->trained,
                         std::shared_ptr<const TrainedState>(std::move(state)));
@@ -181,6 +187,7 @@ util::Status ModelCatalog::TrainEntry(Entry* e) {
   auto state = std::make_shared<TrainedState>();
   state->report = std::move(report).value();
   state->warm_started = false;
+  state->generation = 1;
 
   if (!e->opts.warm_start_path.empty()) {
     util::Status saved =
@@ -190,10 +197,128 @@ util::Status ModelCatalog::TrainEntry(Entry* e) {
                     << e->opts.warm_start_path << "' failed: " << saved;
     }
   }
+  SetupDrift(e, *model);
   state->model = std::move(model);
   std::atomic_store(&e->trained,
                     std::shared_ptr<const TrainedState>(std::move(state)));
   return util::Status::OK();
+}
+
+void ModelCatalog::SetupDrift(Entry* e, const core::LlmModel& model) {
+  if (!e->opts.drift.enabled) return;
+  query::WorkloadConfig probe_cfg = e->opts.workload;
+  probe_cfg.seed = e->opts.drift.probe_seed;
+  auto monitor = std::make_unique<core::DriftMonitor>(e->opts.drift.config);
+  auto probe_gen = std::make_unique<query::WorkloadGenerator>(probe_cfg);
+  util::Status calibrated = monitor->Calibrate(model, *e->engine, probe_gen.get());
+  if (!calibrated.ok()) {
+    QREG_LOG_WARN << "catalog: drift calibration for '" << e->name
+                  << "' failed (" << calibrated
+                  << "); freshness maintenance disabled for this dataset";
+    return;
+  }
+  e->monitor = std::move(monitor);
+  e->probe_gen = std::move(probe_gen);
+}
+
+bool ModelCatalog::ReportObservation(const std::string& name) {
+  std::shared_ptr<Entry> e = FindEntry(name);
+  if (!e || !e->opts.drift.enabled) return false;
+  // Trained-state publication happens-after monitor setup, so a non-null
+  // load here guarantees `monitor` is safely readable.
+  if (std::atomic_load(&e->trained) == nullptr || e->monitor == nullptr) {
+    return false;
+  }
+  const int64_t interval = std::max<int64_t>(1, e->opts.drift.report_interval);
+  const int64_t n = e->observations.fetch_add(1, std::memory_order_relaxed) + 1;
+  return n % interval == 0;
+}
+
+util::Result<RetrainOutcome> ModelCatalog::MaybeRetrain(const std::string& name) {
+  std::shared_ptr<Entry> e = FindEntry(name);
+  if (!e) {
+    return util::Status::NotFound(
+        util::Format("dataset '%s' is not registered", name.c_str()));
+  }
+  auto trained = std::atomic_load(&e->trained);
+  if (!trained || !trained->model) {
+    return util::Status::FailedPrecondition(
+        util::Format("dataset '%s' has no trained model", name.c_str()));
+  }
+  if (!e->monitor) {
+    return util::Status::FailedPrecondition(util::Format(
+        "drift maintenance is not enabled for dataset '%s'", name.c_str()));
+  }
+  std::unique_lock<std::mutex> lock(e->drift_mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // A probe/retrain for this dataset is already running; let it win.
+    RetrainOutcome out;
+    out.generation = trained->generation;
+    return out;
+  }
+  trained = std::atomic_load(&e->trained);  // Re-read under the lock.
+
+  // A previous post-retrain recalibration may have failed (e.g. an empty
+  // probe window); repair the baseline before probing rather than comparing
+  // the current model against a baseline measured on a different one.
+  if (!e->monitor->calibrated()) {
+    QREG_RETURN_NOT_OK(
+        e->monitor->Calibrate(*trained->model, *e->engine, e->probe_gen.get()));
+  }
+
+  RetrainOutcome out;
+  out.generation = trained->generation;
+  auto probe = e->monitor->Probe(*trained->model, *e->engine, e->probe_gen.get());
+  if (!probe.ok()) return probe.status();
+  out.probed = true;
+  out.drift = std::move(probe).value();
+  if (!out.drift.drifted) return out;
+
+  // Retrain a private copy: in-flight readers keep serving the old frozen
+  // model; the swap below is the only publication point.
+  auto fresh = std::make_shared<core::LlmModel>(*trained->model);
+  query::WorkloadConfig retrain_cfg = e->opts.workload;
+  retrain_cfg.seed = e->opts.workload.seed +
+                     static_cast<uint64_t>(trained->generation);  // New stream.
+  query::WorkloadGenerator retrain_gen(retrain_cfg);
+  auto report = e->monitor->Retrain(fresh.get(), *e->engine, &retrain_gen,
+                                    e->opts.drift.retrain_max_pairs);
+  if (!report.ok()) return report.status();
+  if (!fresh->frozen()) fresh->Freeze();
+
+  // Re-baseline so the next probe measures the *new* model against the new
+  // data regime instead of re-tripping on the old baseline forever. On
+  // failure the monitor is left uncalibrated — the fresh model still
+  // publishes (strictly more current than the drifted one), and the next
+  // MaybeRetrain repairs the baseline before probing again, so a stale
+  // baseline can never drive a probe-retrain thrash loop.
+  util::Status recal = e->monitor->Calibrate(*fresh, *e->engine, e->probe_gen.get());
+  if (!recal.ok()) {
+    QREG_LOG_WARN << "catalog: post-retrain recalibration for '" << e->name
+                  << "' failed (" << recal << "); will recalibrate before the "
+                  << "next probe";
+  }
+
+  if (!e->opts.warm_start_path.empty()) {
+    util::Status saved =
+        core::ModelSerializer::SaveToFile(*fresh, e->opts.warm_start_path);
+    if (!saved.ok()) {
+      QREG_LOG_WARN << "catalog: persisting retrained model for '" << e->name
+                    << "' failed: " << saved;
+    }
+  }
+
+  auto state = std::make_shared<TrainedState>();
+  state->report = std::move(report).value();
+  state->warm_started = false;
+  state->generation = trained->generation + 1;
+  state->model = std::move(fresh);
+  out.report = state->report;
+  out.generation = state->generation;
+  out.retrained = true;
+  std::atomic_store(&e->trained,
+                    std::shared_ptr<const TrainedState>(std::move(state)));
+  return out;
 }
 
 util::Result<CatalogSnapshot> ModelCatalog::Get(const std::string& name) const {

@@ -9,16 +9,27 @@
 // which the frozen model is shared immutably with any number of concurrent
 // readers. Models warm-start from a core::ModelSerializer file when
 // `warm_start_path` points at one, and persist back after a fresh train.
+//
+// Model freshness: with a DriftPolicy enabled, each trained model carries a
+// calibrated core::DriftMonitor and a monotonically increasing *generation*.
+// ReportObservation() counts served queries; MaybeRetrain() probes the
+// model's RMSE against fresh exact answers and, when the drift threshold
+// trips, retrains a private copy of the model and atomically publishes it
+// as the next generation — in-flight readers keep their old shared_ptr, new
+// snapshots see the fresh model, and generation-tagged cache keys make every
+// stale δ-overlap answer unreachable.
 
 #ifndef QREG_SERVICE_MODEL_CATALOG_H_
 #define QREG_SERVICE_MODEL_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/drift.h"
 #include "core/llm_model.h"
 #include "core/trainer.h"
 #include "query/exact_engine.h"
@@ -31,11 +42,34 @@
 namespace qreg {
 namespace service {
 
+/// \brief When and how a dataset's model is refreshed as the data moves.
+struct DriftPolicy {
+  /// Off by default: probes execute `probe_queries` *exact* queries, so
+  /// freshness is opt-in per dataset.
+  bool enabled = false;
+
+  /// Probe window and drift threshold (see core::DriftMonitor).
+  core::DriftConfig config;
+
+  /// ReportObservation() returns true (a probe is due) every
+  /// `report_interval` served queries. Clamped to at least 1.
+  int64_t report_interval = 256;
+
+  /// Pair budget for a drift-triggered retrain (Algorithm 1 resumed on the
+  /// new data distribution).
+  int64_t retrain_max_pairs = 10000;
+
+  /// Seed of the probe-query stream — a workload distinct from the training
+  /// stream so probes measure generalization, not memorized pairs.
+  uint64_t probe_seed = 101;
+};
+
 /// \brief Per-dataset training recipe.
 struct CatalogOptions {
   core::LlmConfig llm;                ///< Model hyper-parameters (ρ, γ, ...).
   core::TrainerConfig trainer;        ///< Pair budget / convergence policy.
   query::WorkloadConfig workload;     ///< Training-query distribution.
+  DriftPolicy drift;                  ///< Freshness maintenance (opt-in).
 
   /// When non-empty: load the model from this ModelSerializer file if it
   /// exists (skipping training), and save a freshly trained model back to it.
@@ -59,6 +93,27 @@ struct CatalogSnapshot {
   core::TrainingReport report;                  ///< Zero until trained.
   double vigilance = 0.0;                       ///< ρ of the trained model.
   bool warm_started = false;                    ///< Loaded, not trained.
+
+  /// Model generation: 0 until trained, 1 after the first train / warm
+  /// start, +1 per drift retrain. Tags cache keys so a generation swap
+  /// implicitly invalidates every answer produced by older models.
+  int64_t generation = 0;
+
+  /// True when drift maintenance is live for this dataset (policy enabled
+  /// and the monitor calibrated at training time). Lets callers skip
+  /// ReportObservation entirely on the common drift-free path.
+  bool drift_enabled = false;
+};
+
+/// \brief What one MaybeRetrain() call did.
+struct RetrainOutcome {
+  /// False when another probe/retrain for the dataset was already in flight
+  /// (the call was a no-op; the concurrent one does the work).
+  bool probed = false;
+  bool retrained = false;          ///< A new generation was published.
+  core::DriftReport drift;         ///< Probe measurement (when probed).
+  core::TrainingReport report;     ///< Retrain report (when retrained).
+  int64_t generation = 0;          ///< Current generation after the call.
 };
 
 /// \brief Thread-safe registry of datasets and their trained models.
@@ -98,6 +153,22 @@ class ModelCatalog {
   /// if the dataset has not been trained yet.
   util::Status SaveModel(const std::string& name, const std::string& path);
 
+  /// Counts one served query against the dataset's drift policy. Returns
+  /// true when a drift probe is due (every `report_interval` observations on
+  /// a drift-enabled, trained dataset) — the caller should then schedule
+  /// MaybeRetrain off the hot path. False for unknown, untrained or
+  /// drift-disabled datasets. Lock-free (one relaxed fetch_add).
+  bool ReportObservation(const std::string& name);
+
+  /// Probes the dataset's model for drift and, if the threshold trips,
+  /// retrains a copy off the shared model and atomically publishes it as
+  /// the next generation (recalibrating the monitor's baseline on the new
+  /// model). At most one probe/retrain runs per dataset at a time;
+  /// concurrent calls return immediately with `probed = false`. Errors:
+  /// NotFound (unknown dataset), FailedPrecondition (untrained or drift
+  /// not enabled), or a probe/training failure.
+  util::Result<RetrainOutcome> MaybeRetrain(const std::string& name);
+
   bool Contains(const std::string& name) const;
   std::vector<std::string> Names() const;  ///< Sorted across all shards.
   size_t size() const;
@@ -116,6 +187,7 @@ class ModelCatalog {
     std::shared_ptr<const core::LlmModel> model;
     core::TrainingReport report;
     bool warm_started = false;
+    int64_t generation = 0;
   };
 
   struct Entry {
@@ -126,9 +198,18 @@ class ModelCatalog {
     std::unique_ptr<query::ExactEngine> engine;
 
     std::mutex train_mu;  // Serializes the one-time training.
-    // Written once with atomic_store / read with atomic_load: readers never
-    // block on train_mu, and never see partial training state.
+    // Written with atomic_store / read with atomic_load: readers never
+    // block on train_mu, and never see partial training state. Rewritten
+    // (next generation) by MaybeRetrain under drift_mu.
     std::shared_ptr<const TrainedState> trained;
+
+    // Drift maintenance. `monitor` and `probe_gen` are created before the
+    // first `trained` publication (so any reader that observes a trained
+    // state also observes them) and mutated only under drift_mu thereafter.
+    std::mutex drift_mu;  // Serializes probe + retrain + generation swap.
+    std::unique_ptr<core::DriftMonitor> monitor;        // Null = drift off.
+    std::unique_ptr<query::WorkloadGenerator> probe_gen;
+    std::atomic<int64_t> observations{0};
   };
 
   // One lock shard: the mutex guards this shard's map only, never entry
@@ -141,6 +222,12 @@ class ModelCatalog {
   CatalogSnapshot MakeSnapshot(const Entry& e,
                                std::shared_ptr<const TrainedState> trained) const;
   util::Status TrainEntry(Entry* e);
+
+  /// Creates and calibrates the entry's drift monitor against `model`.
+  /// Called before the first trained-state publication; a calibration
+  /// failure logs a warning and leaves drift maintenance off (the model
+  /// still serves).
+  void SetupDrift(Entry* e, const core::LlmModel& model);
 
   Shard& ShardFor(const std::string& name) const;
   std::shared_ptr<Entry> FindEntry(const std::string& name) const;

@@ -35,7 +35,8 @@ QueryRouter::QueryRouter(ModelCatalog* catalog, RouterConfig config)
       config_(config),
       cache_(config.cache),
       stats_(config.latency_window),
-      pool_(config.num_threads, config.queue_capacity) {
+      pool_(std::make_unique<ThreadPool>(config.num_threads,
+                                         config.queue_capacity)) {
   if (config_.exact_threads > 0) {
     exact_pool_ = std::make_unique<ThreadPool>(config_.exact_threads);
     query::ParallelOptions par;
@@ -46,30 +47,45 @@ QueryRouter::QueryRouter(ModelCatalog* catalog, RouterConfig config)
 }
 
 QueryRouter::~QueryRouter() {
-  // Detach the exact-scan pool before it dies so the catalog's engines
+  // Drain the batch pool first (queued drift probes may still touch the
+  // catalog's engines), then detach the exact-scan pool so the engines
   // never hold a dangling pool pointer.
+  pool_.reset();
   if (exact_pool_) catalog_->SetParallelism(query::ParallelOptions());
 }
 
-std::string QueryRouter::ShardKey(const Request& request) {
-  return request.dataset + "/" + QueryKindName(request.kind);
+std::string QueryRouter::ShardKey(const Request& request, int64_t generation) {
+  return request.dataset + "/g" + std::to_string(generation) + "/" +
+         QueryKindName(request.kind);
 }
 
 util::Result<Answer> QueryRouter::Execute(const Request& request) {
   util::Stopwatch watch;
   util::Result<Answer> result = ExecuteUnrecorded(request);
   const int64_t nanos = watch.ElapsedNanos();
+  QueryOutcome o;
+  o.latency_nanos = nanos;
+  o.ok = result.ok();
   if (result.ok()) {
     result->exec.nanos = nanos;
-    stats_.Record(nanos, result->source == AnswerSource::kCache,
-                  result->source == AnswerSource::kExact, /*ok=*/true);
+    o.cache_hit = result->source == AnswerSource::kCache;
+    o.used_exact = result->source == AnswerSource::kExact;
+    o.degraded = result->used_fallback;
   } else {
-    stats_.Record(nanos, /*cache_hit=*/false, /*used_exact=*/false, /*ok=*/false);
+    o.deadline_exceeded =
+        result.status().code() == util::StatusCode::kDeadlineExceeded;
+    o.cancelled = result.status().code() == util::StatusCode::kCancelled;
   }
+  stats_.Record(o);
   return result;
 }
 
 util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
+  // A request cancelled before admission does no work at all.
+  if (request.cancel.cancelled()) {
+    return util::Status::Cancelled("request cancelled before execution");
+  }
+
   // kExactOnly never consults the model: use Get() so an exact-only router
   // neither blocks on lazy training nor fails when training is impossible.
   CatalogSnapshot snap;
@@ -85,10 +101,11 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
         snap.engine->table().dimension()));
   }
 
-  const std::string shard = ShardKey(request);
+  const std::string shard = ShardKey(request, snap.generation);
   if (config_.enable_cache) {
     CachedAnswer cached;
     if (cache_.Lookup(shard, request.q, &cached)) {
+      MaybeReportObservation(request, snap);
       return AnswerFromCache(request.kind, std::move(cached));
     }
   }
@@ -121,16 +138,56 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
   util::Result<Answer> result =
       use_model ? ExecuteModel(request, *snap.model)
                 : ExecuteExact(request, *snap.engine);
+
+  // Deadline pressure on the exact path degrades to the model's microsecond
+  // answer (flagged) when the policy permits one; cancellation never does.
+  if (!result.ok() &&
+      result.status().code() == util::StatusCode::kDeadlineExceeded &&
+      config_.policy != RoutePolicy::kExactOnly && snap.model != nullptr &&
+      snap.model->num_prototypes() > 0) {
+    util::Result<Answer> fallback = ExecuteModel(request, *snap.model);
+    if (fallback.ok()) {
+      fallback->used_fallback = true;
+      result = std::move(fallback);
+    }
+  }
   if (!result.ok()) return result;
 
-  if (config_.enable_cache) {
-    CachedAnswer to_cache;
-    to_cache.q = request.q;
-    to_cache.mean = result->mean;
-    to_cache.pieces = result->pieces;
-    cache_.Insert(shard, std::move(to_cache));
+  // Fallback answers are possibly out-of-region extrapolations served under
+  // duress — don't let them seed the cache for healthy requests. On a
+  // drift-enabled dataset, also skip the insert when a retrain published a
+  // new generation while this request was in flight: the old-generation
+  // group was just erased and its keys are unreachable. (The residual
+  // check-then-insert race is harmless — a resurrected entry can never be
+  // served and group capacity is per-group, so it steals nothing from the
+  // live generation.)
+  if (config_.enable_cache && !result->used_fallback) {
+    bool stale_generation = false;
+    if (snap.drift_enabled) {
+      auto now = catalog_->Get(request.dataset);
+      stale_generation = !now.ok() || now->generation != snap.generation;
+    }
+    if (!stale_generation) {
+      CachedAnswer to_cache;
+      to_cache.q = request.q;
+      to_cache.mean = result->mean;
+      to_cache.pieces = result->pieces;
+      cache_.Insert(shard, std::move(to_cache));
+    }
   }
+  MaybeReportObservation(request, snap);
   return result;
+}
+
+void QueryRouter::MaybeReportObservation(const Request& request,
+                                         const CatalogSnapshot& snap) {
+  // Freshness maintenance, off the serving path: every report_interval
+  // successful answers of a drift-enabled dataset, probe it on the pool.
+  // The snapshot flag keeps the common drift-free path free of a second
+  // catalog lookup per query.
+  if (snap.drift_enabled && catalog_->ReportObservation(request.dataset)) {
+    ScheduleDriftProbe(request.dataset);
+  }
 }
 
 util::Result<Answer> QueryRouter::ExecuteModel(
@@ -151,13 +208,20 @@ util::Result<Answer> QueryRouter::ExecuteExact(
   Answer a;
   a.kind = request.kind;
   a.source = AnswerSource::kExact;
+  // Only thread a control through the scan when it can actually trip: the
+  // lifecycle-free path keeps the engine's classic (unpartitioned) execution
+  // and its bit-for-bit answers.
+  util::ExecControl control;
+  control.deadline = request.deadline;
+  control.cancel = request.cancel;
+  const util::ExecControl* ctl = control.active() ? &control : nullptr;
   if (request.kind == QueryKind::kQ1MeanValue) {
     QREG_ASSIGN_OR_RETURN(query::MeanValueResult r,
-                          engine.MeanValue(request.q, &a.exec));
+                          engine.MeanValue(request.q, &a.exec, ctl));
     a.mean = r.mean;
   } else {
     QREG_ASSIGN_OR_RETURN(linalg::OlsFit fit,
-                          engine.Regression(request.q, &a.exec));
+                          engine.Regression(request.q, &a.exec, ctl));
     // The exact Q2 answer is a single global plane over D(x, θ): the REG
     // baseline expressed in the same list-S shape as the model's answer.
     core::LocalLinearModel m;
@@ -172,20 +236,54 @@ util::Result<Answer> QueryRouter::ExecuteExact(
 
 util::Result<Answer> QueryRouter::ExecuteShed(const Request& request) {
   util::Stopwatch watch;
+  QueryOutcome o;
+  o.shed = true;
+  // Same invariant as the normal path: a cancelled request gets no answer,
+  // cached or otherwise — its outcome must not depend on pool load.
+  if (request.cancel.cancelled()) {
+    o.latency_nanos = watch.ElapsedNanos();
+    o.cancelled = true;
+    stats_.Record(o);
+    return util::Status::Cancelled("request cancelled before execution");
+  }
   if (config_.enable_cache) {
+    // Generation lookup via Get(): cheap (no training), and a shed request
+    // must never read a stale generation's answers either.
+    auto snap = catalog_->Get(request.dataset);
     CachedAnswer cached;
-    if (cache_.Lookup(ShardKey(request), request.q, &cached)) {
+    if (snap.ok() &&
+        cache_.Lookup(ShardKey(request, snap->generation), request.q, &cached)) {
       Answer a = AnswerFromCache(request.kind, std::move(cached));
       a.exec.nanos = watch.ElapsedNanos();
-      stats_.Record(a.exec.nanos, /*cache_hit=*/true, /*used_exact=*/false,
-                    /*ok=*/true, /*shed=*/true);
+      o.latency_nanos = a.exec.nanos;
+      o.ok = true;
+      o.cache_hit = true;
+      stats_.Record(o);
       return a;
     }
   }
-  stats_.Record(watch.ElapsedNanos(), /*cache_hit=*/false, /*used_exact=*/false,
-                /*ok=*/false, /*shed=*/true);
+  o.latency_nanos = watch.ElapsedNanos();
+  stats_.Record(o);
   return util::Status::ResourceExhausted(
       "router worker queue is saturated and the answer is not cached");
+}
+
+util::Result<RetrainOutcome> QueryRouter::MaybeRetrain(const std::string& dataset) {
+  util::Result<RetrainOutcome> out = catalog_->MaybeRetrain(dataset);
+  if (out.ok() && out->retrained) {
+    stats_.RecordRetrain();
+    // The new generation's keys can never admit the old entries; drop the
+    // dead groups so their memory follows the old model out.
+    if (config_.enable_cache) cache_.EraseGroupsWithPrefix(dataset + "/");
+  }
+  return out;
+}
+
+void QueryRouter::ScheduleDriftProbe(const std::string& dataset) {
+  // TrySubmit, never Submit: a saturated pool just skips this probe — the
+  // observation counter makes another one due an interval later. With a
+  // synchronous pool the probe runs inline (deterministic, test-friendly).
+  (void)pool_->TrySubmit([this, dataset] { (void)MaybeRetrain(dataset); });
 }
 
 std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
@@ -193,7 +291,7 @@ std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
   std::vector<util::Result<Answer>> results(
       batch.size(),
       util::Result<Answer>(util::Status::Internal("request not executed")));
-  if (pool_.num_threads() == 0) {
+  if (pool_->num_threads() == 0) {
     for (size_t i = 0; i < batch.size(); ++i) results[i] = Execute(batch[i]);
     return results;
   }
@@ -204,8 +302,8 @@ std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
       done.DecrementCount();
     };
     if (config_.overload == OverloadPolicy::kBlock) {
-      pool_.Submit(task);
-    } else if (!pool_.TrySubmit(task)) {
+      pool_->Submit(task);
+    } else if (!pool_->TrySubmit(task)) {
       // Graceful degradation: serve stale-but-bounded answers from the
       // δ-cache, or fail fast with a typed status — never block the batch.
       results[i] = ExecuteShed(batch[i]);

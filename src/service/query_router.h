@@ -28,6 +28,7 @@
 #include "service/model_catalog.h"
 #include "service/service_stats.h"
 #include "service/thread_pool.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace qreg {
@@ -96,16 +97,27 @@ struct RouterConfig {
 };
 
 /// \brief One query against a registered dataset.
+///
+/// The optional lifecycle fields bound how long the request may run: an
+/// expired `deadline` or tripped `cancel` token aborts the exact scan within
+/// one partition-chunk claim. On deadline pressure the router degrades
+/// gracefully — cache answer if present, else model answer flagged
+/// `used_fallback` — before failing with the typed kDeadlineExceeded.
+/// Cancellation never degrades: the caller asked for no answer at all.
 struct Request {
   std::string dataset;
   QueryKind kind = QueryKind::kQ1MeanValue;
   query::Query q;
+  util::Deadline deadline;            ///< Default: no deadline.
+  util::CancellationToken cancel;     ///< Default: not cancellable.
 
   static Request Q1(std::string dataset, query::Query q) {
-    return Request{std::move(dataset), QueryKind::kQ1MeanValue, std::move(q)};
+    return Request{std::move(dataset), QueryKind::kQ1MeanValue, std::move(q),
+                   util::Deadline(), util::CancellationToken()};
   }
   static Request Q2(std::string dataset, query::Query q) {
-    return Request{std::move(dataset), QueryKind::kQ2Regression, std::move(q)};
+    return Request{std::move(dataset), QueryKind::kQ2Regression, std::move(q),
+                   util::Deadline(), util::CancellationToken()};
   }
 };
 
@@ -123,8 +135,16 @@ struct Answer {
   /// δ(q, q') of the admitting cache entry when source == kCache.
   double cache_delta = 0.0;
 
+  /// True when the exact path ran out of deadline mid-scan and this answer
+  /// is the model's approximation served in its place (source == kModel).
+  bool used_fallback = false;
+
   /// Exact-path selection statistics (zero for model/cache answers) plus
-  /// total serving latency in `exec.nanos`.
+  /// total serving latency in `exec.nanos`. Note: an aborted exact attempt
+  /// never surfaces here — a failed request returns only a Status, and a
+  /// degraded answer's exec reflects the model fallback (zero scan work).
+  /// Partial-work chunk accounting is observable at the ExactEngine level
+  /// (see ExecStats); threading it through router errors is a ROADMAP item.
   query::ExecStats exec;
 };
 
@@ -149,6 +169,16 @@ class QueryRouter {
   /// exact path) are returned in-slot, never thrown across the batch.
   std::vector<util::Result<Answer>> ExecuteBatch(const std::vector<Request>& batch);
 
+  /// Drift maintenance: probes the dataset's model and, when the drift
+  /// threshold trips, retrains and publishes the next model generation
+  /// (see ModelCatalog::MaybeRetrain). On a generation swap the router
+  /// counts a retrain and drops the dataset's cached answers (their
+  /// generation-tagged keys are unreachable anyway). Execute() schedules
+  /// this automatically on the worker pool every
+  /// DriftPolicy::report_interval served queries of a drift-enabled
+  /// dataset; call it directly to force a probe.
+  util::Result<RetrainOutcome> MaybeRetrain(const std::string& dataset);
+
   /// Aggregated serving metrics since construction or ResetStats().
   ServiceSnapshot Stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
@@ -159,7 +189,7 @@ class QueryRouter {
   ModelCatalog* catalog() const { return catalog_; }
 
   /// The batch worker pool — exposed so tests can saturate it on purpose.
-  ThreadPool* pool_for_testing() { return &pool_; }
+  ThreadPool* pool_for_testing() { return pool_.get(); }
 
  private:
   util::Result<Answer> ExecuteUnrecorded(const Request& request);
@@ -172,13 +202,28 @@ class QueryRouter {
   /// kResourceExhausted — never touches the engines. Records stats.
   util::Result<Answer> ExecuteShed(const Request& request);
 
-  static std::string ShardKey(const Request& request);
+  /// Fire-and-forget drift probe on the worker pool (inline when the pool
+  /// is synchronous; dropped when the pool is saturated — the next interval
+  /// re-triggers it).
+  void ScheduleDriftProbe(const std::string& dataset);
+
+  /// Counts a served answer toward the dataset's drift policy and schedules
+  /// a probe when one is due. No-op unless the snapshot says drift
+  /// maintenance is live.
+  void MaybeReportObservation(const Request& request,
+                              const CatalogSnapshot& snap);
+
+  /// Cache-group key "dataset/g<generation>/kind": the generation tag makes
+  /// every pre-retrain entry unreachable the moment a new model publishes.
+  static std::string ShardKey(const Request& request, int64_t generation);
 
   ModelCatalog* catalog_;
   RouterConfig config_;
   AnswerCache cache_;
   ServiceStats stats_;
-  ThreadPool pool_;
+  // Owned via pointer so ~QueryRouter can drain in-flight batch tasks and
+  // drift probes *before* detaching the exact pool from the catalog.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ThreadPool> exact_pool_;  // Only with exact_threads > 0.
 };
 

@@ -14,22 +14,29 @@ ServiceStats::ServiceStats(size_t latency_window)
   latencies_.reserve(std::min<size_t>(window_, 4096));
 }
 
-void ServiceStats::Record(int64_t latency_nanos, bool cache_hit,
-                          bool used_exact, bool ok, bool shed) {
+void ServiceStats::Record(const QueryOutcome& o) {
   std::lock_guard<std::mutex> lock(mu_);
   ++total_;
-  if (!ok) ++errors_;
-  if (cache_hit) ++cache_hits_;
-  if (used_exact) ++exact_;
-  if (shed) ++shed_;
-  if (ok && !cache_hit && !used_exact) ++model_;
-  latency_sum_nanos_ += latency_nanos;
+  if (!o.ok) ++errors_;
+  if (o.cache_hit) ++cache_hits_;
+  if (o.used_exact) ++exact_;
+  if (o.shed) ++shed_;
+  if (o.deadline_exceeded) ++deadline_exceeded_;
+  if (o.cancelled) ++cancelled_;
+  if (o.degraded) ++degraded_;
+  if (o.ok && !o.cache_hit && !o.used_exact) ++model_;
+  latency_sum_nanos_ += o.latency_nanos;
   if (latencies_.size() < window_) {
-    latencies_.push_back(latency_nanos);
+    latencies_.push_back(o.latency_nanos);
   } else {
-    latencies_[next_] = latency_nanos;
+    latencies_[next_] = o.latency_nanos;
     next_ = (next_ + 1) % window_;
   }
+}
+
+void ServiceStats::RecordRetrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retrains_;
 }
 
 ServiceSnapshot ServiceStats::Snapshot() const {
@@ -41,6 +48,10 @@ ServiceSnapshot ServiceStats::Snapshot() const {
   s.exact_fallbacks = exact_;
   s.model_answers = model_;
   s.shed = shed_;
+  s.deadline_exceeded = deadline_exceeded_;
+  s.cancelled = cancelled_;
+  s.degraded = degraded_;
+  s.retrains = retrains_;
   s.elapsed_seconds = clock_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(total_) / s.elapsed_seconds
@@ -64,6 +75,7 @@ void ServiceStats::Reset() {
   latencies_.clear();
   next_ = 0;
   total_ = errors_ = cache_hits_ = exact_ = model_ = shed_ = 0;
+  deadline_exceeded_ = cancelled_ = degraded_ = retrains_ = 0;
   latency_sum_nanos_ = 0;
 }
 
@@ -72,6 +84,12 @@ void ServiceSnapshot::PrintTo(std::ostream& os) const {
   t.AddRow({"queries", util::Format("%lld", static_cast<long long>(total_queries))});
   t.AddRow({"errors", util::Format("%lld", static_cast<long long>(errors))});
   t.AddRow({"shed", util::Format("%lld", static_cast<long long>(shed))});
+  t.AddRow({"deadline exceeded",
+            util::Format("%lld", static_cast<long long>(deadline_exceeded))});
+  t.AddRow({"cancelled", util::Format("%lld", static_cast<long long>(cancelled))});
+  t.AddRow({"degraded (fallback)",
+            util::Format("%lld", static_cast<long long>(degraded))});
+  t.AddRow({"retrains", util::Format("%lld", static_cast<long long>(retrains))});
   t.AddRow({"qps", util::Format("%.1f", qps)});
   t.AddRow({"mean latency (ms)", util::Format("%.4f", mean_ms)});
   t.AddRow({"p50 latency (ms)", util::Format("%.4f", p50_ms)});

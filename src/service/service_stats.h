@@ -1,5 +1,7 @@
-// Aggregated serving metrics: QPS, latency percentiles, cache hit rate and
-// exact-fallback rate — the operator's view of the analytics service.
+// Aggregated serving metrics: QPS, latency percentiles, cache hit rate,
+// exact-fallback rate and request-lifecycle counters (deadline expiries,
+// cancellations, deadline-degraded answers, drift retrains) — the
+// operator's view of the analytics service.
 
 #ifndef QREG_SERVICE_SERVICE_STATS_H_
 #define QREG_SERVICE_SERVICE_STATS_H_
@@ -23,6 +25,13 @@ struct ServiceSnapshot {
   int64_t model_answers = 0;    ///< Queries answered by the LLM model.
   int64_t shed = 0;  ///< Queries shed under saturation (cache-served or rejected).
 
+  // Request-lifecycle counters.
+  int64_t deadline_exceeded = 0;  ///< Returned kDeadlineExceeded to the caller.
+  int64_t cancelled = 0;          ///< Returned kCancelled to the caller.
+  int64_t degraded = 0;  ///< Answered by the model fallback under deadline
+                         ///< pressure (Answer::used_fallback).
+  int64_t retrains = 0;  ///< Drift-triggered model retrains (generation swaps).
+
   double elapsed_seconds = 0.0;  ///< Since construction or Reset().
   double qps = 0.0;
   double mean_ms = 0.0;
@@ -44,6 +53,20 @@ struct ServiceSnapshot {
   void PrintTo(std::ostream& os) const;
 };
 
+/// \brief One served (or failed) query, as the router classified it.
+/// `cache_hit` and `used_exact` are mutually exclusive answering paths; an
+/// ok answer that is neither counts as a model answer.
+struct QueryOutcome {
+  int64_t latency_nanos = 0;
+  bool ok = false;
+  bool cache_hit = false;
+  bool used_exact = false;
+  bool shed = false;               ///< Handled on the saturation path.
+  bool deadline_exceeded = false;  ///< Failed with kDeadlineExceeded.
+  bool cancelled = false;          ///< Failed with kCancelled.
+  bool degraded = false;           ///< Model fallback under deadline pressure.
+};
+
 /// \brief Thread-safe collector behind the router. Latencies are kept in a
 /// fixed ring (most recent `latency_window` samples) so memory stays bounded
 /// under sustained traffic; percentiles are over that window.
@@ -54,11 +77,11 @@ class ServiceStats {
   ServiceStats(const ServiceStats&) = delete;
   ServiceStats& operator=(const ServiceStats&) = delete;
 
-  /// Records one served query. `used_exact`/`cache_hit` are mutually
-  /// exclusive classifications of the answering path. `shed` marks queries
-  /// handled on the saturation path (either cache-served or rejected).
-  void Record(int64_t latency_nanos, bool cache_hit, bool used_exact, bool ok,
-              bool shed = false);
+  /// Records one query's outcome.
+  void Record(const QueryOutcome& outcome);
+
+  /// Records one drift-triggered retrain (a model-generation swap).
+  void RecordRetrain();
 
   ServiceSnapshot Snapshot() const;
 
@@ -77,6 +100,10 @@ class ServiceStats {
   int64_t exact_ = 0;
   int64_t model_ = 0;
   int64_t shed_ = 0;
+  int64_t deadline_exceeded_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t degraded_ = 0;
+  int64_t retrains_ = 0;
   int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
 };
 

@@ -1,0 +1,38 @@
+// Injectable time source. Production code reads the monotonic system clock;
+// tests substitute a FakeClock so deadline behavior is deterministic (no
+// sleeps, no real elapsed time — see tests/test_support.h).
+
+#ifndef QREG_UTIL_CLOCK_H_
+#define QREG_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+#include "util/timer.h"
+
+namespace qreg {
+namespace util {
+
+/// \brief Abstract monotonic time source (nanoseconds since an arbitrary
+/// epoch). Implementations must be safe to call from multiple threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// \brief The real monotonic clock (std::chrono::steady_clock).
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return util::NowNanos(); }
+
+  /// A process-wide instance, used whenever no clock is injected.
+  static const SystemClock& Default() {
+    static const SystemClock clock;
+    return clock;
+  }
+};
+
+}  // namespace util
+}  // namespace qreg
+
+#endif  // QREG_UTIL_CLOCK_H_

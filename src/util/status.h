@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kNotImplemented = 7,
   kInternal = 8,
   kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// \brief Human-readable name for a StatusCode ("OK", "Invalid argument", ...).
@@ -70,6 +72,14 @@ class Status {
   /// A bounded resource (queue, pool) is saturated; the caller may retry.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The request's deadline passed before the work completed.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The caller cancelled the request (util::CancellationToken).
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

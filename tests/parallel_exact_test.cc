@@ -15,41 +15,27 @@
 #include <numeric>
 #include <vector>
 
-#include "data/generator.h"
 #include "query/exact_engine.h"
 #include "query/workload.h"
 #include "storage/kdtree.h"
 #include "storage/scan_index.h"
+#include "test_support.h"
 #include "util/thread_pool.h"
 
 namespace qreg {
 namespace query {
 namespace {
 
-constexpr int64_t kRows = 20000;
+constexpr int64_t kRows = 20000;  // Row count of SharedParallelFixture.
 
-struct Fixture {
-  std::unique_ptr<data::Dataset> dataset;
-  std::unique_ptr<storage::KdTree> kdtree;
-  std::unique_ptr<storage::ScanIndex> scan;
-};
+// Fixture and query stream live in test_support.h, shared with
+// service_test.cc and lifecycle_test.cc.
+using Fixture = testsupport::EngineFixture;
 
-Fixture* SharedFixture() {
-  static Fixture* f = [] {
-    auto* fx = new Fixture();
-    auto ds = data::MakeR1(/*d=*/2, kRows, /*seed=*/19);
-    EXPECT_TRUE(ds.ok());
-    fx->dataset = std::make_unique<data::Dataset>(std::move(ds).value());
-    fx->kdtree = std::make_unique<storage::KdTree>(fx->dataset->table);
-    fx->scan = std::make_unique<storage::ScanIndex>(fx->dataset->table);
-    return fx;
-  }();
-  return f;
-}
+Fixture* SharedFixture() { return testsupport::SharedParallelFixture(); }
 
 std::vector<Query> TestQueries(int64_t n, uint64_t seed) {
-  WorkloadGenerator gen(WorkloadConfig::Cube(2, 0.05, 0.95, 0.15, 0.05, seed));
-  return gen.Generate(n);
+  return testsupport::ParallelTestQueries(n, seed);
 }
 
 std::vector<const storage::SpatialIndex*> BothIndexes() {

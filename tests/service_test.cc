@@ -16,7 +16,6 @@
 #include <thread>
 #include <vector>
 
-#include "data/generator.h"
 #include "eval/metrics.h"
 #include "query/workload.h"
 #include "service/answer_cache.h"
@@ -24,67 +23,24 @@
 #include "service/query_router.h"
 #include "service/service_stats.h"
 #include "service/thread_pool.h"
-#include "storage/kdtree.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace qreg {
 namespace service {
 namespace {
 
-// ---------- Shared fixture data (built once per process) ----------
+// Fixtures, catalog recipe and workload builders live in test_support.h,
+// shared with parallel_exact_test.cc and lifecycle_test.cc.
+using testsupport::DefaultCatalogOptions;
+using testsupport::MixedWorkload;
+using testsupport::RandomQueries;
+using testsupport::SharedCatalog;
+using TestData = testsupport::EngineFixture;
 
-struct TestData {
-  std::unique_ptr<data::Dataset> dataset;
-  std::unique_ptr<storage::KdTree> index;
-  std::unique_ptr<query::ExactEngine> engine;
-};
+TestData* SharedData() { return testsupport::SharedServiceFixture(); }
 
-TestData* SharedData() {
-  static TestData* data = [] {
-    auto* d = new TestData();
-    auto ds = data::MakeR1(/*d=*/2, /*n=*/6000, /*seed=*/3);
-    EXPECT_TRUE(ds.ok());
-    d->dataset = std::make_unique<data::Dataset>(std::move(ds).value());
-    d->index = std::make_unique<storage::KdTree>(d->dataset->table);
-    d->engine =
-        std::make_unique<query::ExactEngine>(d->dataset->table, *d->index);
-    return d;
-  }();
-  return data;
-}
-
-CatalogOptions TestOptions() {
-  return CatalogOptions::ForCube(/*d=*/2, /*lo=*/0.0, /*hi=*/1.0,
-                                 /*theta_mean=*/0.12, /*theta_stddev=*/0.02,
-                                 /*a=*/0.15, /*max_pairs=*/2500, /*seed=*/7);
-}
-
-// A catalog with the shared dataset registered as "r1" and trained once.
-ModelCatalog* SharedCatalog() {
-  static ModelCatalog* catalog = [] {
-    auto* c = new ModelCatalog();
-    TestData* d = SharedData();
-    EXPECT_TRUE(
-        c->Register("r1", &d->dataset->table, d->index.get(), TestOptions()).ok());
-    EXPECT_TRUE(c->TrainAll().ok());
-    return c;
-  }();
-  return catalog;
-}
-
-std::vector<Request> MixedWorkload(int64_t n, uint64_t seed,
-                                   double lo = 0.1, double hi = 0.9) {
-  query::WorkloadGenerator gen(
-      query::WorkloadConfig::Cube(2, lo, hi, 0.12, 0.02, seed));
-  std::vector<Request> reqs;
-  reqs.reserve(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    query::Query q = gen.Next();
-    reqs.push_back(i % 2 == 0 ? Request::Q1("r1", std::move(q))
-                              : Request::Q2("r1", std::move(q)));
-  }
-  return reqs;
-}
+CatalogOptions TestOptions() { return DefaultCatalogOptions(); }
 
 // ---------- ThreadPool ----------
 
@@ -141,13 +97,13 @@ TEST(ModelCatalogTest, RegistrationValidation) {
   TestData* d = SharedData();
   ModelCatalog catalog;
   EXPECT_TRUE(
-      catalog.Register("a", &d->dataset->table, d->index.get(), TestOptions()).ok());
+      catalog.Register("a", &d->dataset->table, d->kdtree.get(), TestOptions()).ok());
   // Duplicate name.
-  auto dup = catalog.Register("a", &d->dataset->table, d->index.get(), TestOptions());
+  auto dup = catalog.Register("a", &d->dataset->table, d->kdtree.get(), TestOptions());
   EXPECT_EQ(dup.code(), util::StatusCode::kAlreadyExists);
   // Dimension mismatch between workload and table.
   CatalogOptions bad = CatalogOptions::ForCube(3, 0.0, 1.0, 0.1, 0.02);
-  auto mismatch = catalog.Register("b", &d->dataset->table, d->index.get(), bad);
+  auto mismatch = catalog.Register("b", &d->dataset->table, d->kdtree.get(), bad);
   EXPECT_EQ(mismatch.code(), util::StatusCode::kInvalidArgument);
   // Unknown dataset.
   EXPECT_EQ(catalog.GetOrTrain("nope").status().code(),
@@ -160,7 +116,7 @@ TEST(ModelCatalogTest, LazyTrainingHappensExactlyOnce) {
   TestData* d = SharedData();
   ModelCatalog catalog;
   ASSERT_TRUE(
-      catalog.Register("ds", &d->dataset->table, d->index.get(), TestOptions()).ok());
+      catalog.Register("ds", &d->dataset->table, d->kdtree.get(), TestOptions()).ok());
 
   // Before training: snapshot has no model.
   auto before = catalog.Get("ds");
@@ -186,7 +142,7 @@ TEST(ModelCatalogTest, ConcurrentGetOrTrainYieldsOneModel) {
   CatalogOptions opts = TestOptions();
   opts.trainer.max_pairs = 600;  // Keep the race window short.
   ASSERT_TRUE(
-      catalog.Register("ds", &d->dataset->table, d->index.get(), opts).ok());
+      catalog.Register("ds", &d->dataset->table, d->kdtree.get(), opts).ok());
 
   constexpr int kThreads = 4;
   std::vector<std::shared_ptr<const core::LlmModel>> models(kThreads);
@@ -213,14 +169,14 @@ TEST(ModelCatalogTest, WarmStartSkipsTrainingAndMatchesPredictions) {
   opts.warm_start_path = path;
 
   ModelCatalog cold;
-  ASSERT_TRUE(cold.Register("ds", &d->dataset->table, d->index.get(), opts).ok());
+  ASSERT_TRUE(cold.Register("ds", &d->dataset->table, d->kdtree.get(), opts).ok());
   auto trained = cold.GetOrTrain("ds");
   ASSERT_TRUE(trained.ok());
   EXPECT_FALSE(trained->warm_started);
   EXPECT_GT(trained->report.pairs_used, 0);
 
   ModelCatalog warm;
-  ASSERT_TRUE(warm.Register("ds", &d->dataset->table, d->index.get(), opts).ok());
+  ASSERT_TRUE(warm.Register("ds", &d->dataset->table, d->kdtree.get(), opts).ok());
   auto loaded = warm.GetOrTrain("ds");
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->warm_started);
@@ -345,18 +301,7 @@ TEST(AnswerCacheTest, LookupTouchesLruOrder) {
 }
 
 // ---------- AnswerCache: sharding + grid δ-lookup equivalence ----------
-
-// Random query stream shared by the equivalence tests below.
-std::vector<query::Query> RandomQueries(int64_t n, uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<query::Query> qs;
-  qs.reserve(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    qs.emplace_back(std::vector<double>{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)},
-                    rng.Uniform(0.05, 0.2));
-  }
-  return qs;
-}
+// (Random query stream comes from testsupport::RandomQueries.)
 
 TEST(AnswerCacheShardingTest, ShardCountDoesNotChangeBehavior) {
   // Hit/miss/eviction per group only depends on that group's op sequence,
@@ -491,7 +436,7 @@ TEST(ModelCatalogShardingTest, ManyDatasetsAcrossShards) {
   for (int i = 0; i < 12; ++i) names.push_back("ds" + std::to_string(i));
   for (const std::string& n : names) {
     ASSERT_TRUE(
-        catalog.Register(n, &d->dataset->table, d->index.get(), TestOptions()).ok());
+        catalog.Register(n, &d->dataset->table, d->kdtree.get(), TestOptions()).ok());
   }
   EXPECT_EQ(catalog.size(), names.size());
   std::vector<std::string> sorted_names = names;
@@ -570,7 +515,7 @@ TEST(QueryRouterTest, ExactOnlyPolicyNeverTriggersTraining) {
   TestData* d = SharedData();
   ModelCatalog catalog;
   ASSERT_TRUE(
-      catalog.Register("ds", &d->dataset->table, d->index.get(), TestOptions()).ok());
+      catalog.Register("ds", &d->dataset->table, d->kdtree.get(), TestOptions()).ok());
   RouterConfig cfg;
   cfg.policy = RoutePolicy::kExactOnly;
   cfg.enable_cache = false;
@@ -706,7 +651,7 @@ TEST(QueryRouterTest, ExactParallelismMatchesStandaloneEngine) {
   TestData* d = SharedData();
   ModelCatalog catalog;
   ASSERT_TRUE(
-      catalog.Register("ds", &d->dataset->table, d->index.get(), TestOptions()).ok());
+      catalog.Register("ds", &d->dataset->table, d->kdtree.get(), TestOptions()).ok());
   RouterConfig cfg;
   cfg.policy = RoutePolicy::kExactOnly;
   cfg.enable_cache = false;
@@ -834,8 +779,12 @@ TEST(AnswerCacheAccuracyTest, DeltaAdmissionKeepsFvuWithinBound) {
 TEST(ServiceStatsTest, SnapshotAggregatesCounters) {
   ServiceStats stats(/*latency_window=*/8);
   for (int i = 0; i < 10; ++i) {
-    stats.Record(/*latency_nanos=*/1000000, /*cache_hit=*/i % 2 == 0,
-                 /*used_exact=*/i % 2 == 1, /*ok=*/true);
+    QueryOutcome o;
+    o.latency_nanos = 1000000;
+    o.ok = true;
+    o.cache_hit = i % 2 == 0;
+    o.used_exact = i % 2 == 1;
+    stats.Record(o);
   }
   ServiceSnapshot s = stats.Snapshot();
   EXPECT_EQ(s.total_queries, 10);
@@ -849,6 +798,44 @@ TEST(ServiceStatsTest, SnapshotAggregatesCounters) {
 
   stats.Reset();
   EXPECT_EQ(stats.Snapshot().total_queries, 0);
+}
+
+TEST(ServiceStatsTest, LifecycleCountersRoundTripThroughSnapshot) {
+  ServiceStats stats;
+
+  QueryOutcome deadline;
+  deadline.ok = false;
+  deadline.deadline_exceeded = true;
+  stats.Record(deadline);
+
+  QueryOutcome cancelled;
+  cancelled.ok = false;
+  cancelled.cancelled = true;
+  stats.Record(cancelled);
+
+  QueryOutcome degraded;  // Model fallback under deadline pressure: still ok.
+  degraded.ok = true;
+  degraded.degraded = true;
+  stats.Record(degraded);
+
+  stats.RecordRetrain();
+  stats.RecordRetrain();
+
+  ServiceSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.total_queries, 3);
+  EXPECT_EQ(s.errors, 2);
+  EXPECT_EQ(s.deadline_exceeded, 1);
+  EXPECT_EQ(s.cancelled, 1);
+  EXPECT_EQ(s.degraded, 1);
+  EXPECT_EQ(s.model_answers, 1);  // The degraded answer came from the model.
+  EXPECT_EQ(s.retrains, 2);
+
+  stats.Reset();
+  ServiceSnapshot zero = stats.Snapshot();
+  EXPECT_EQ(zero.deadline_exceeded, 0);
+  EXPECT_EQ(zero.cancelled, 0);
+  EXPECT_EQ(zero.degraded, 0);
+  EXPECT_EQ(zero.retrains, 0);
 }
 
 }  // namespace
