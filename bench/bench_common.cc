@@ -180,7 +180,7 @@ Q2Eval EvalQ2(const core::LlmModel& model, const DataBundle& bundle, int64_t m,
   while (out.queries < m && attempts < 100 * m) {
     ++attempts;
     const query::Query q = gen.Next();
-    auto ids = bundle.engine->Select(q);
+    auto ids = bundle.engine->Select(q).value();
     // Need enough tuples for a meaningful fit comparison.
     if (static_cast<int64_t>(ids.size()) < static_cast<int64_t>(4 * (d + 1))) {
       continue;

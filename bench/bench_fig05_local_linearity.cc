@@ -58,7 +58,7 @@ void Run() {
 
   // The Figure-5 subspace D(0.5, 0.5) = the whole domain.
   const query::Query ball({0.5}, 0.5);
-  auto ids = engine.Select(ball);
+  auto ids = engine.Select(ball).value();
   auto reg = engine.Regression(ball);
 
   // PLR: MARS capped at the same number of linear pieces.

@@ -44,7 +44,7 @@ A2Result EvalA2(const core::LlmModel& model, const DataBundle& bundle,
     // PLR is far too expensive to fit per point at full |V|; evaluate it on
     // a budgeted prefix (documented in EXPERIMENTS.md).
     if (plr_acc.count() < plr_budget) {
-      auto ids = bundle.engine->Select(q);
+      auto ids = bundle.engine->Select(q).value();
       if (static_cast<int64_t>(ids.size()) >= static_cast<int64_t>(4 * (d + 1))) {
         linalg::Matrix xm(ids.size(), d);
         std::vector<double> u(ids.size());

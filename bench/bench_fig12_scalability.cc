@@ -83,7 +83,7 @@ Timings Measure(const DataBundle& bundle, const core::LlmModel& model,
     sw.Restart();
     for (const auto& q : qs) {
       if (done >= plr_reps) break;
-      auto ids = bundle.engine->Select(q);
+      auto ids = bundle.engine->Select(q).value();
       if (static_cast<int64_t>(ids.size()) < static_cast<int64_t>(4 * (d + 1))) {
         continue;
       }

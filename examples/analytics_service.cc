@@ -94,15 +94,34 @@ int main() {
   std::printf("\nburst: %lld/%zu answered\n", static_cast<long long>(ok),
               answers.size());
 
-  // Request lifecycle: a deadline bounds the exact fallback. An expired
-  // deadline on an out-of-region query degrades to the model's microsecond
-  // answer (flagged used_fallback) instead of burning cores on the scan.
+  // Request lifecycle: a deadline bounds everything — lazy training, the
+  // exact scan, even the wait behind another request's training. A request
+  // that is already expired is rejected at admission with the typed status
+  // (a cache hit never masks it), and the partial work the service did
+  // anyway comes back through Execute's error_stats out-param.
   service::Request bounded =
       service::Request::Q1("sensors", query::Query({1.4, 1.4}, 1.0));
   bounded.deadline = util::Deadline::AfterNanos(0);  // Already expired.
-  auto degraded = router.Execute(bounded);
+  query::ExecStats partial;
+  auto bounded_answer = router.Execute(bounded, &partial);
+  if (!bounded_answer.ok()) {
+    std::printf("\ndeadline-bounded Q1: %s (partial work: %lld/%lld chunks, "
+                "%lld tuples)\n",
+                bounded_answer.status().ToString().c_str(),
+                static_cast<long long>(partial.chunks_completed),
+                static_cast<long long>(partial.chunks_total),
+                static_cast<long long>(partial.tuples_examined));
+  }
+
+  // With budget remaining, a mid-scan expiry on an out-of-region query
+  // degrades to the model's microsecond answer (flagged used_fallback)
+  // instead of burning cores on the rest of the scan.
+  service::Request tight =
+      service::Request::Q1("sensors", query::Query({1.4, 1.4}, 1.0));
+  tight.deadline = util::Deadline::AfterMillis(2);
+  auto degraded = router.Execute(tight);
   if (degraded.ok()) {
-    std::printf("\ndeadline-bounded Q1: mean = %.4f  [%s%s]\n", degraded->mean,
+    std::printf("deadline-bounded Q1: mean = %.4f  [%s%s]\n", degraded->mean,
                 degraded->source == service::AnswerSource::kModel ? "model"
                                                                   : "exact",
                 degraded->used_fallback ? ", deadline fallback" : "");

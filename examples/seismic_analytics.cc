@@ -85,7 +85,7 @@ int main() {
 
   // --- Q2 across the fault: one line vs the local pieces. -----------------
   query::Query across_fault({0.55, 0.5}, 0.25);
-  auto ids = engine.Select(across_fault);
+  auto ids = engine.Select(across_fault).value();
   auto reg = engine.Regression(across_fault);
   auto pieces = model.RegressionQuery(across_fault);
   if (!reg.ok() || !pieces.ok()) return 1;

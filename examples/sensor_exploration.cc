@@ -55,7 +55,7 @@ int main() {
     if (!pieces.ok()) continue;
 
     // The analyst validates the model's two most promising probes exactly.
-    auto ids = engine.Select(probe);
+    auto ids = engine.Select(probe).value();
     double exact_cod = 0.0;
     double model_cod = 0.0;
     if (!ids.empty()) {

@@ -5,8 +5,25 @@
 namespace qreg {
 namespace core {
 
+namespace {
+
+// Snapshots the abort-time model state into the partial report so the caller
+// sees exactly how far training got (pairs fed, prototypes grown) before the
+// lifecycle trip.
+util::Status AbortTraining(util::Status status, const LlmModel& model,
+                           TrainingReport* report, TrainingReport* partial) {
+  report->final_gamma = model.CurrentGamma();
+  report->num_prototypes = model.num_prototypes();
+  if (partial != nullptr) *partial = std::move(*report);
+  return status;
+}
+
+}  // namespace
+
 util::Result<TrainingReport> Trainer::Train(query::WorkloadGenerator* workload,
-                                            LlmModel* model) const {
+                                            LlmModel* model,
+                                            const util::ExecControl* control,
+                                            TrainingReport* partial) const {
   if (workload == nullptr || model == nullptr) {
     return util::Status::InvalidArgument("null workload or model");
   }
@@ -14,14 +31,27 @@ util::Result<TrainingReport> Trainer::Train(query::WorkloadGenerator* workload,
   util::Stopwatch sw;
 
   while (report.pairs_used < config_.max_pairs) {
+    // Per-query lifecycle boundary: an expired or cancelled request stops
+    // streaming pairs before the next exact scan starts.
+    if (config_.on_pair_for_testing) config_.on_pair_for_testing(report.pairs_used);
+    if (control != nullptr) {
+      util::Status st = control->Check();
+      if (!st.ok()) return AbortTraining(std::move(st), *model, &report, partial);
+    }
     const query::Query q = workload->Next();
 
     sw.Restart();
     query::ExecStats stats;
-    auto mean = engine_.MeanValue(q, &stats);
+    auto mean = engine_.MeanValue(q, &stats, control);
     report.query_exec_nanos += sw.ElapsedNanos();
 
     if (!mean.ok()) {
+      const util::StatusCode code = mean.status().code();
+      if (code == util::StatusCode::kDeadlineExceeded ||
+          code == util::StatusCode::kCancelled) {
+        // The trip happened mid-scan; the partial scan taught us nothing.
+        return AbortTraining(mean.status(), *model, &report, partial);
+      }
       // Empty subspace: the DBMS returns NULL; nothing to learn from.
       ++report.pairs_skipped;
       continue;

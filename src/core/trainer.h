@@ -4,17 +4,23 @@
 //
 // The trainer instruments where wall time goes (query execution vs model
 // update), reproducing the paper's claim that ~99.6% of training cost is the
-// unavoidable exact query execution.
+// unavoidable exact query execution. Because that cost is a stream of exact
+// scans, Train() honors an optional util::ExecControl: the lifecycle is
+// checked once per training query (and inside each scan via the engine's
+// chunk-claim loop), so an expired or cancelled request stops training
+// within one query boundary and reports the partial work done so far.
 
 #ifndef QREG_CORE_TRAINER_H_
 #define QREG_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/llm_model.h"
 #include "query/exact_engine.h"
 #include "query/workload.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace qreg {
@@ -29,6 +35,12 @@ struct TrainerConfig {
   int64_t trace_every = 0;
   /// Freeze the model once converged (Algorithm 1 semantics).
   bool freeze_on_convergence = true;
+
+  /// Test-only: invoked with the pairs completed so far immediately before
+  /// each training query's lifecycle check. Lets deterministic tests trip a
+  /// deadline/token at an exact point in the training stream (a gate, a
+  /// FakeClock advance) without sleeps.
+  std::function<void(int64_t pairs_done)> on_pair_for_testing;
 };
 
 /// \brief Outcome of a training run.
@@ -61,8 +73,18 @@ class Trainer {
 
   /// Streams queries from `workload` into `model` until convergence or the
   /// pair budget. The model is mutated in place.
+  ///
+  /// With a non-null `control`, the request lifecycle is checked once per
+  /// training query (and inside each exact scan, per partition chunk): a
+  /// trip returns the typed kDeadlineExceeded / kCancelled status within one
+  /// query boundary, and — when `partial` is non-null — fills `*partial`
+  /// with the work completed before the abort (pairs fed, prototypes grown,
+  /// where the wall time went). The model keeps the pairs it has already
+  /// absorbed, so an aborted run is resumable, never corrupt.
   util::Result<TrainingReport> Train(query::WorkloadGenerator* workload,
-                                     LlmModel* model) const;
+                                     LlmModel* model,
+                                     const util::ExecControl* control = nullptr,
+                                     TrainingReport* partial = nullptr) const;
 
   /// Trains from pre-computed pairs (used by benches that reuse workloads).
   util::Result<TrainingReport> TrainFromPairs(

@@ -334,11 +334,14 @@ util::Result<linalg::OlsFit> ExactEngine::Regression(
   return fit;
 }
 
-std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const {
+util::Result<std::vector<int64_t>> ExactEngine::Select(
+    const Query& q, ExecStats* stats, const util::ExecControl* control) const {
   util::Stopwatch sw;
   storage::SelectionStats sel;
   std::vector<int64_t> ids;
-  if (!parallel_enabled()) {
+  ChunkRunResult run;
+  QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
+  if (!parallel_enabled() && control == nullptr) {
     ids = index_.RadiusSearch(q.center.data(), q.theta, norm_, &sel);
   } else {
     const std::vector<storage::ScanPartition> plan = PartitionPlan();
@@ -347,7 +350,7 @@ std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
-    (void)RunChunks(
+    run = RunChunks(
         plan.size(),
         [this, &q, &plan, &parts](size_t i) {
           Part& p = parts[i];
@@ -356,11 +359,15 @@ std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const
               [&p](int64_t id, const double*, double) { p.ids.push_back(id); },
               &p.sel);
         },
-        /*control=*/nullptr);
+        control);
     for (Part& p : parts) {  // Plan order == sequential visit order.
       ids.insert(ids.end(), p.ids.begin(), p.ids.end());
       sel.tuples_examined += p.sel.tuples_examined;
       sel.tuples_matched += p.sel.tuples_matched;
+    }
+    if (stats != nullptr) {
+      stats->chunks_completed = static_cast<int64_t>(run.executed);
+      stats->chunks_total = static_cast<int64_t>(plan.size());
     }
   }
   if (stats != nullptr) {
@@ -368,6 +375,7 @@ std::vector<int64_t> ExactEngine::Select(const Query& q, ExecStats* stats) const
     stats->tuples_matched = sel.tuples_matched;
     stats->nanos = sw.ElapsedNanos();
   }
+  if (!run.status.ok()) return run.status;
   return ids;
 }
 

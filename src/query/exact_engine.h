@@ -111,7 +111,14 @@ class ExactEngine {
       const util::ExecControl* control = nullptr) const;
 
   /// Row ids inside D(x, θ) (helper for baselines that need raw points).
-  std::vector<int64_t> Select(const Query& q, ExecStats* stats = nullptr) const;
+  /// An empty subspace yields an empty vector, not NotFound. Honors the
+  /// request lifecycle exactly like MeanValue: on a deadline/cancel trip the
+  /// typed status returns within one chunk-claim with partial work in
+  /// `stats` (the partially collected ids are discarded — a truncated
+  /// selection is not a usable answer).
+  util::Result<std::vector<int64_t>> Select(
+      const Query& q, ExecStats* stats = nullptr,
+      const util::ExecControl* control = nullptr) const;
 
   /// Attaches (or, with a default-constructed value, detaches) intra-query
   /// parallelism. Not thread-safe against in-flight queries: configure

@@ -3,6 +3,8 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <functional>
 #include <utility>
 
@@ -19,6 +21,18 @@ bool FileExists(const std::string& path) {
   struct stat st;
   return !path.empty() && ::stat(path.c_str(), &st) == 0;
 }
+
+// Wait granularity for a lifecycle-bounded GetOrTrain waiter whose token is
+// cancellable: a CancellationToken has no notification channel (any copy
+// can trip it from any thread), so such a waiter re-checks its control at
+// bounded slices instead of sleeping on the condition variable
+// indefinitely. 1ms keeps the poll cost invisible next to a multi-second
+// training while bounding how long a tripped waiter lingers. Deadline-only
+// waiters sleep their whole remaining budget, capped at
+// kTrainWaitMaxSliceNanos so the duration arithmetic inside wait_for can
+// never overflow a steady_clock time_point.
+constexpr int64_t kTrainWaitSliceNanos = 1000000;
+constexpr int64_t kTrainWaitMaxSliceNanos = 3600LL * 1000000000;  // 1 hour.
 
 }  // namespace
 
@@ -134,25 +148,67 @@ CatalogSnapshot ModelCatalog::MakeSnapshot(
   return snap;
 }
 
-util::Result<CatalogSnapshot> ModelCatalog::GetOrTrain(const std::string& name) {
+util::Result<CatalogSnapshot> ModelCatalog::GetOrTrain(
+    const std::string& name, const util::ExecControl* control) {
   std::shared_ptr<Entry> e = FindEntry(name);
   if (!e) {
     return util::Status::NotFound(
         util::Format("dataset '%s' is not registered", name.c_str()));
   }
-  // Fast path: training state already published.
+  // Fast path: training state already published. No lifecycle check — the
+  // snapshot is a handful of shared_ptr copies, not work worth aborting.
   if (auto trained = std::atomic_load(&e->trained)) {
     return MakeSnapshot(*e, std::move(trained));
   }
-  std::lock_guard<std::mutex> train_lock(e->train_mu);
-  if (auto trained = std::atomic_load(&e->trained)) {  // Lost the race.
+  // Untrained: from here on every outcome costs real work (training, or
+  // waiting on someone else's), so an expired/cancelled request exits now —
+  // before a single training query runs.
+  if (control != nullptr) QREG_RETURN_NOT_OK(control->Check());
+
+  std::unique_lock<std::mutex> lock(e->train_mu);
+  while (e->training) {
+    // A control that can never trip asynchronously waits on the cv alone.
+    if (control == nullptr ||
+        (control->deadline.infinite() && !control->cancel.cancellable())) {
+      e->train_cv.wait(lock);
+      continue;
+    }
+    // Deadline-bounded wait: a request whose control trips abandons the
+    // wait with the typed status instead of blocking behind a training it
+    // would abandon anyway; the elected trainer keeps going for the
+    // waiters that are still live. A deadline-only control sleeps its
+    // whole remaining budget in one wait_for (the publication notify still
+    // wakes it early); a cancellable token has no notification channel, so
+    // it is re-polled once per slice.
+    int64_t slice = std::min(control->deadline.remaining_nanos(),
+                             kTrainWaitMaxSliceNanos);
+    if (control->cancel.cancellable()) {
+      slice = std::min(slice, kTrainWaitSliceNanos);
+    }
+    e->train_cv.wait_for(lock,
+                         std::chrono::nanoseconds(std::max<int64_t>(slice, 1)));
+    util::Status st = control->Check();
+    if (!st.ok()) return st;
+  }
+  if (auto trained = std::atomic_load(&e->trained)) {  // Someone trained.
     return MakeSnapshot(*e, std::move(trained));
   }
-  QREG_RETURN_NOT_OK(TrainEntry(e.get()));
+  // We are the elected trainer. Training runs outside train_mu so waiters
+  // can observe their own deadlines while it is in flight.
+  e->training = true;
+  lock.unlock();
+  util::Status st = TrainEntry(e.get(), control);
+  lock.lock();
+  e->training = false;
+  lock.unlock();
+  e->train_cv.notify_all();
+  // An aborted training leaves the entry untrained, not poisoned: `trained`
+  // was never published, so the next GetOrTrain retries from scratch.
+  QREG_RETURN_NOT_OK(st);
   return MakeSnapshot(*e, std::atomic_load(&e->trained));
 }
 
-util::Status ModelCatalog::TrainEntry(Entry* e) {
+util::Status ModelCatalog::TrainEntry(Entry* e, const util::ExecControl* control) {
   // Warm start: a previously persisted parameter set α skips training
   // entirely (Algorithm 1 freezes α, so the file is authoritative).
   if (FileExists(e->opts.warm_start_path)) {
@@ -181,8 +237,19 @@ util::Status ModelCatalog::TrainEntry(Entry* e) {
   auto model = std::make_shared<core::LlmModel>(e->opts.llm);
   query::WorkloadGenerator workload(e->opts.workload);
   core::Trainer trainer(*e->engine, e->opts.trainer);
-  auto report = trainer.Train(&workload, model.get());
-  if (!report.ok()) return report.status();
+  core::TrainingReport partial;
+  auto report = trainer.Train(&workload, model.get(), control, &partial);
+  if (!report.ok()) {
+    const util::StatusCode code = report.status().code();
+    if (code == util::StatusCode::kDeadlineExceeded ||
+        code == util::StatusCode::kCancelled) {
+      QREG_LOG_WARN << "catalog: training for '" << e->name << "' aborted ("
+                    << report.status() << ") after " << partial.pairs_used
+                    << " pairs / " << partial.num_prototypes
+                    << " prototypes; entry stays untrained and retryable";
+    }
+    return report.status();
+  }
   if (!model->frozen()) model->Freeze();
   auto state = std::make_shared<TrainedState>();
   state->report = std::move(report).value();
@@ -222,6 +289,15 @@ void ModelCatalog::SetupDrift(Entry* e, const core::LlmModel& model) {
 }
 
 bool ModelCatalog::ReportObservation(const std::string& name) {
+  return ReportObservationImpl(name, nullptr);
+}
+
+bool ModelCatalog::ReportObservation(const std::string& name, double residual) {
+  return ReportObservationImpl(name, &residual);
+}
+
+bool ModelCatalog::ReportObservationImpl(const std::string& name,
+                                         const double* residual) {
   std::shared_ptr<Entry> e = FindEntry(name);
   if (!e || !e->opts.drift.enabled) return false;
   // Trained-state publication happens-after monitor setup, so a non-null
@@ -229,9 +305,47 @@ bool ModelCatalog::ReportObservation(const std::string& name) {
   if (std::atomic_load(&e->trained) == nullptr || e->monitor == nullptr) {
     return false;
   }
+  if (residual != nullptr && std::isfinite(*residual)) {
+    std::lock_guard<std::mutex> lock(e->residual_mu);
+    e->residual_sse += *residual * *residual;
+    ++e->residual_count;
+  }
   const int64_t interval = std::max<int64_t>(1, e->opts.drift.report_interval);
   const int64_t n = e->observations.fetch_add(1, std::memory_order_relaxed) + 1;
-  return n % interval == 0;
+  if (n % interval != 0) return false;
+  return ProbeStillWorthRunning(e.get());
+}
+
+bool ModelCatalog::ProbeStillWorthRunning(Entry* e) {
+  // If drift_mu is taken, a probe/retrain is already in flight: scheduling
+  // another is pointless, and the window must stay *unconsumed* — its
+  // residuals are evidence for the next boundary, not this one's to burn.
+  // (Lock order drift_mu → residual_mu matches MaybeRetrain's reset.)
+  std::unique_lock<std::mutex> drift_lock(e->drift_mu, std::try_to_lock);
+  if (!drift_lock.owns_lock()) return false;
+  double sse = 0.0;
+  int64_t count = 0;
+  {
+    // Consume the window: this boundary judges the residuals so far.
+    std::lock_guard<std::mutex> lock(e->residual_mu);
+    sse = e->residual_sse;
+    count = e->residual_count;
+    e->residual_sse = 0.0;
+    e->residual_count = 0;
+  }
+  const int64_t min_metered = e->opts.drift.min_metered_residuals;
+  if (min_metered <= 0 || count < min_metered) {
+    return true;  // No (or not enough) free evidence: probe as before.
+  }
+  if (!e->monitor->calibrated()) return true;  // Probe repairs the baseline.
+  const double metered_rmse = std::sqrt(sse / static_cast<double>(count));
+  const double threshold =
+      std::max(e->opts.drift.config.absolute_threshold,
+               e->opts.drift.config.degradation_factor * e->monitor->baseline_rmse());
+  // Same strictly-greater criterion as DriftMonitor::Probe: residuals at or
+  // under the drift threshold are steady state, and the window's probe is
+  // skipped — its `probe_queries` exact scans never reach the worker pool.
+  return metered_rmse > threshold;
 }
 
 util::Result<RetrainOutcome> ModelCatalog::MaybeRetrain(const std::string& name) {
@@ -318,6 +432,13 @@ util::Result<RetrainOutcome> ModelCatalog::MaybeRetrain(const std::string& name)
   out.retrained = true;
   std::atomic_store(&e->trained,
                     std::shared_ptr<const TrainedState>(std::move(state)));
+  {
+    // Residuals metered against the old generation say nothing about the
+    // fresh model; start the next gating window clean.
+    std::lock_guard<std::mutex> residual_lock(e->residual_mu);
+    e->residual_sse = 0.0;
+    e->residual_count = 0;
+  }
   return out;
 }
 

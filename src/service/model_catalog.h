@@ -9,6 +9,11 @@
 // which the frozen model is shared immutably with any number of concurrent
 // readers. Models warm-start from a core::ModelSerializer file when
 // `warm_start_path` points at one, and persist back after a fresh train.
+// Lazy training is lifecycle-bounded: GetOrTrain threads the requesting
+// query's util::ExecControl into the trainer, so an expired or cancelled
+// request aborts training at a query boundary and leaves the entry
+// untrained (retryable), and waiters never block behind a training their
+// own deadline would abandon.
 //
 // Model freshness: with a DriftPolicy enabled, each trained model carries a
 // calibrated core::DriftMonitor and a monotonically increasing *generation*.
@@ -23,6 +28,7 @@
 #define QREG_SERVICE_MODEL_CATALOG_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +43,7 @@
 #include "storage/lp_norm.h"
 #include "storage/spatial_index.h"
 #include "storage/table.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace qreg {
@@ -62,6 +69,18 @@ struct DriftPolicy {
   /// Seed of the probe-query stream — a workload distinct from the training
   /// stream so probes measure generalization, not memorized pairs.
   uint64_t probe_seed = 101;
+
+  /// Metered-residual probe gating. Served *exact* answers carry a free
+  /// drift signal: the residual between the exact answer and the model's
+  /// prediction for the same query, reported via
+  /// ReportObservation(name, residual). When at least this many residuals
+  /// arrived in an interval window, the window's scheduled probe is skipped
+  /// unless the metered RMSE already exceeds the drift threshold — the
+  /// `probe_queries` exact scans then only run to *confirm* drift on the
+  /// calibrated stream, not to discover it. With fewer samples (e.g. a
+  /// model-only router that never executes exactly) probes fire every
+  /// interval as before. <= 0 disables gating entirely.
+  int64_t min_metered_residuals = 16;
 };
 
 /// \brief Per-dataset training recipe.
@@ -138,9 +157,25 @@ class ModelCatalog {
                         storage::LpNorm norm = storage::LpNorm::L2());
 
   /// Snapshot of a registered dataset; trains (or warm-loads) the model on
-  /// first call. Concurrent callers for the same dataset serialize on a
-  /// per-entry mutex; only one trains. NotFound for unknown names.
-  util::Result<CatalogSnapshot> GetOrTrain(const std::string& name);
+  /// first call. Concurrent callers for the same dataset elect one trainer;
+  /// the rest wait for its publication. NotFound for unknown names.
+  ///
+  /// With a non-null `control`, the whole call is lifecycle-bounded:
+  ///  - an already-trained entry returns its snapshot unconditionally (the
+  ///    fast path does no work worth aborting);
+  ///  - an untrained entry with an expired/cancelled control returns the
+  ///    typed status without running a single training query;
+  ///  - a caller that would have to *wait* for another request's training
+  ///    waits in deadline-bounded slices and abandons the wait with the
+  ///    typed status the moment its control trips — it never blocks behind
+  ///    a training it would abandon anyway;
+  ///  - the elected trainer threads `control` into core::Trainer::Train, so
+  ///    a mid-train trip aborts within one training-query boundary. The
+  ///    entry is left *untrained* (never poisoned): the next GetOrTrain
+  ///    simply retries, and concurrent waiters with live controls keep
+  ///    waiting for whoever trains next.
+  util::Result<CatalogSnapshot> GetOrTrain(
+      const std::string& name, const util::ExecControl* control = nullptr);
 
   /// Snapshot without triggering training (model may be null). NotFound for
   /// unknown names.
@@ -155,10 +190,21 @@ class ModelCatalog {
 
   /// Counts one served query against the dataset's drift policy. Returns
   /// true when a drift probe is due (every `report_interval` observations on
-  /// a drift-enabled, trained dataset) — the caller should then schedule
-  /// MaybeRetrain off the hot path. False for unknown, untrained or
-  /// drift-disabled datasets. Lock-free (one relaxed fetch_add).
+  /// a drift-enabled, trained dataset, subject to the metered-residual gate
+  /// below) — the caller should then schedule MaybeRetrain off the hot
+  /// path. False for unknown, untrained or drift-disabled datasets. Off
+  /// interval boundaries the cost is one relaxed fetch_add.
   bool ReportObservation(const std::string& name);
+
+  /// Same, but additionally meters `residual` — the signed difference
+  /// between a served *exact* answer and the model's prediction for the
+  /// same query, a free drift sample the serving path already paid for.
+  /// When an interval window accumulated at least
+  /// DriftPolicy::min_metered_residuals of these, the boundary returns true
+  /// (probe due) only if the window's residual RMSE exceeds the drift
+  /// threshold — healthy metered traffic keeps `probe_queries` exact scans
+  /// off the worker pool entirely.
+  bool ReportObservation(const std::string& name, double residual);
 
   /// Probes the dataset's model for drift and, if the threshold trips,
   /// retrains a copy off the shared model and atomically publishes it as
@@ -197,7 +243,13 @@ class ModelCatalog {
     CatalogOptions opts;
     std::unique_ptr<query::ExactEngine> engine;
 
-    std::mutex train_mu;  // Serializes the one-time training.
+    // Trainer election. `training` (guarded by train_mu) is true while one
+    // GetOrTrain call runs the trainer; others wait on train_cv in
+    // deadline-bounded slices so an expired waiter abandons the wait
+    // instead of blocking on a mutex the trainer holds for seconds.
+    std::mutex train_mu;
+    std::condition_variable train_cv;
+    bool training = false;
     // Written with atomic_store / read with atomic_load: readers never
     // block on train_mu, and never see partial training state. Rewritten
     // (next generation) by MaybeRetrain under drift_mu.
@@ -210,6 +262,14 @@ class ModelCatalog {
     std::unique_ptr<core::DriftMonitor> monitor;        // Null = drift off.
     std::unique_ptr<query::WorkloadGenerator> probe_gen;
     std::atomic<int64_t> observations{0};
+
+    // Metered-residual window (see ReportObservation(name, residual)).
+    // Guarded by residual_mu — held only for a few arithmetic ops, and
+    // never while acquiring drift_mu. Reset at every interval boundary and
+    // on a generation swap (old-model residuals say nothing about the new).
+    std::mutex residual_mu;
+    double residual_sse = 0.0;
+    int64_t residual_count = 0;
   };
 
   // One lock shard: the mutex guards this shard's map only, never entry
@@ -221,7 +281,15 @@ class ModelCatalog {
 
   CatalogSnapshot MakeSnapshot(const Entry& e,
                                std::shared_ptr<const TrainedState> trained) const;
-  util::Status TrainEntry(Entry* e);
+  util::Status TrainEntry(Entry* e, const util::ExecControl* control);
+
+  /// Shared implementation of the two ReportObservation overloads
+  /// (`residual` null = unmetered observation).
+  bool ReportObservationImpl(const std::string& name, const double* residual);
+
+  /// Interval-boundary decision: should the due probe actually fire?
+  /// Consumes (and resets) the entry's metered-residual window.
+  bool ProbeStillWorthRunning(Entry* e);
 
   /// Creates and calibrates the entry's drift monitor against `model`.
   /// Called before the first trained-state publication; a calibration

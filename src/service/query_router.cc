@@ -60,10 +60,16 @@ std::string QueryRouter::ShardKey(const Request& request, int64_t generation) {
 }
 
 util::Result<Answer> QueryRouter::Execute(const Request& request) {
+  return Execute(request, nullptr);
+}
+
+util::Result<Answer> QueryRouter::Execute(const Request& request,
+                                          query::ExecStats* error_stats) {
   util::Stopwatch watch;
-  util::Result<Answer> result = ExecuteUnrecorded(request);
-  const int64_t nanos = watch.ElapsedNanos();
   QueryOutcome o;
+  query::ExecStats partial;
+  util::Result<Answer> result = ExecuteUnrecorded(request, &o, &partial);
+  const int64_t nanos = watch.ElapsedNanos();
   o.latency_nanos = nanos;
   o.ok = result.ok();
   if (result.ok()) {
@@ -75,16 +81,34 @@ util::Result<Answer> QueryRouter::Execute(const Request& request) {
     o.deadline_exceeded =
         result.status().code() == util::StatusCode::kDeadlineExceeded;
     o.cancelled = result.status().code() == util::StatusCode::kCancelled;
+    // Partial-work evidence travels with the error instead of vanishing
+    // with the discarded Answer.
+    partial.nanos = nanos;
+    if (error_stats != nullptr) *error_stats = partial;
   }
   stats_.Record(o);
   return result;
 }
 
-util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
-  // A request cancelled before admission does no work at all.
+util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request,
+                                                    QueryOutcome* outcome,
+                                                    query::ExecStats* error_stats) {
+  // Admission: a request already cancelled or past its deadline does no
+  // work at all — not even a δ-cache lookup. A cache hit for an expired
+  // request would make its outcome depend on what other queries ran before
+  // it, inconsistent with the exact path's typed rejection.
   if (request.cancel.cancelled()) {
     return util::Status::Cancelled("request cancelled before execution");
   }
+  if (request.deadline.expired()) {
+    return util::Status::DeadlineExceeded(
+        "request deadline expired before execution");
+  }
+  util::ExecControl control;
+  control.deadline = request.deadline;
+  control.cancel = request.cancel;
+  control.on_chunk_for_testing = request.on_chunk_for_testing;
+  const util::ExecControl* ctl = control.active() ? &control : nullptr;
 
   // kExactOnly never consults the model: use Get() so an exact-only router
   // neither blocks on lazy training nor fails when training is impossible.
@@ -92,7 +116,22 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
   if (config_.policy == RoutePolicy::kExactOnly) {
     QREG_ASSIGN_OR_RETURN(snap, catalog_->Get(request.dataset));
   } else {
-    QREG_ASSIGN_OR_RETURN(snap, catalog_->GetOrTrain(request.dataset));
+    // Lazy training is lifecycle-bounded: the control threads through
+    // Trainer::Train, and a waiter behind another request's training
+    // abandons the wait when its own control trips. Admission was checked
+    // above, so a lifecycle failure here means the trip happened *in* the
+    // training path — record it as a train abort.
+    auto trained = catalog_->GetOrTrain(request.dataset, ctl);
+    if (!trained.ok()) {
+      const util::StatusCode code = trained.status().code();
+      if (outcome != nullptr &&
+          (code == util::StatusCode::kDeadlineExceeded ||
+           code == util::StatusCode::kCancelled)) {
+        outcome->train_aborted = true;
+      }
+      return trained.status();
+    }
+    snap = std::move(trained).value();
   }
   if (request.q.dimension() != snap.engine->table().dimension()) {
     return util::Status::InvalidArgument(util::Format(
@@ -105,13 +144,18 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
   if (config_.enable_cache) {
     CachedAnswer cached;
     if (cache_.Lookup(shard, request.q, &cached)) {
-      MaybeReportObservation(request, snap);
-      return AnswerFromCache(request.kind, std::move(cached));
+      Answer a = AnswerFromCache(request.kind, std::move(cached));
+      MaybeReportObservation(request, snap, &a, /*in_region=*/nullptr);
+      return a;
     }
   }
 
-  // Accuracy policy: pick the answering path.
+  // Accuracy policy: pick the answering path. When the hybrid policy runs
+  // the vigilance test, its verdict is remembered for the drift-metering
+  // decision below (same query, same test — never scan prototypes twice).
   bool use_model = false;
+  bool in_region = false;
+  bool in_region_known = false;
   switch (config_.policy) {
     case RoutePolicy::kModelOnly:
       if (!snap.model) {
@@ -130,6 +174,8 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
       if (use_model && snap.vigilance > 0.0) {
         const double dist = snap.model->NearestPrototypeDistance(request.q);
         use_model = dist <= config_.rho_scale * snap.vigilance;
+        in_region = use_model;
+        in_region_known = true;
       }
       break;
     }
@@ -137,7 +183,7 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
 
   util::Result<Answer> result =
       use_model ? ExecuteModel(request, *snap.model)
-                : ExecuteExact(request, *snap.engine);
+                : ExecuteExact(request, *snap.engine, ctl, error_stats);
 
   // Deadline pressure on the exact path degrades to the model's microsecond
   // answer (flagged) when the policy permits one; cancellation never does.
@@ -148,6 +194,9 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
     util::Result<Answer> fallback = ExecuteModel(request, *snap.model);
     if (fallback.ok()) {
       fallback->used_fallback = true;
+      // Keep the killed exact attempt's partial scan work visible on the
+      // degraded answer (Execute overwrites only exec.nanos).
+      if (error_stats != nullptr) fallback->exec = *error_stats;
       result = std::move(fallback);
     }
   }
@@ -175,19 +224,48 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request) {
       cache_.Insert(shard, std::move(to_cache));
     }
   }
-  MaybeReportObservation(request, snap);
+  MaybeReportObservation(request, snap, &result.value(),
+                         in_region_known ? &in_region : nullptr);
   return result;
 }
 
 void QueryRouter::MaybeReportObservation(const Request& request,
-                                         const CatalogSnapshot& snap) {
+                                         const CatalogSnapshot& snap,
+                                         const Answer* answer,
+                                         const bool* in_region) {
   // Freshness maintenance, off the serving path: every report_interval
   // successful answers of a drift-enabled dataset, probe it on the pool.
   // The snapshot flag keeps the common drift-free path free of a second
   // catalog lookup per query.
-  if (snap.drift_enabled && catalog_->ReportObservation(request.dataset)) {
-    ScheduleDriftProbe(request.dataset);
+  if (!snap.drift_enabled) return;
+  bool due = false;
+  // A served exact Q1 answer is a free drift sample: the scan already paid
+  // for the ground truth, so one microsecond model prediction turns it into
+  // a residual that lets the catalog skip probes while traffic looks
+  // healthy. Fallback answers are excluded (their exact attempt died), and
+  // so are out-of-region queries: the drift threshold was calibrated on an
+  // in-distribution probe stream, and extrapolation error past the
+  // vigilance radius would read as perpetual "drift" under a hybrid policy
+  // (which routes exactly *because* the query is out of region). Under
+  // kHybrid this leaves metering to the rare in-region exact answer, so
+  // such datasets simply keep the unmetered every-interval probes.
+  if (answer != nullptr && answer->source == AnswerSource::kExact &&
+      !answer->used_fallback && request.kind == QueryKind::kQ1MeanValue &&
+      snap.model != nullptr && snap.model->num_prototypes() > 0 &&
+      (in_region != nullptr
+           ? *in_region
+           : snap.vigilance <= 0.0 ||
+                 snap.model->NearestPrototypeDistance(request.q) <=
+                     config_.rho_scale * snap.vigilance)) {
+    auto predicted = snap.model->PredictMean(request.q);
+    due = predicted.ok()
+              ? catalog_->ReportObservation(request.dataset,
+                                            answer->mean - *predicted)
+              : catalog_->ReportObservation(request.dataset);
+  } else {
+    due = catalog_->ReportObservation(request.dataset);
   }
+  if (due) ScheduleDriftProbe(request.dataset);
 }
 
 util::Result<Answer> QueryRouter::ExecuteModel(
@@ -204,29 +282,33 @@ util::Result<Answer> QueryRouter::ExecuteModel(
 }
 
 util::Result<Answer> QueryRouter::ExecuteExact(
-    const Request& request, const query::ExactEngine& engine) const {
+    const Request& request, const query::ExactEngine& engine,
+    const util::ExecControl* control, query::ExecStats* error_stats) const {
   Answer a;
   a.kind = request.kind;
   a.source = AnswerSource::kExact;
-  // Only thread a control through the scan when it can actually trip: the
-  // lifecycle-free path keeps the engine's classic (unpartitioned) execution
-  // and its bit-for-bit answers.
-  util::ExecControl control;
-  control.deadline = request.deadline;
-  control.cancel = request.cancel;
-  const util::ExecControl* ctl = control.active() ? &control : nullptr;
+  // `control` is null on the lifecycle-free path, which keeps the engine's
+  // classic (unpartitioned) execution and its bit-for-bit answers.
   if (request.kind == QueryKind::kQ1MeanValue) {
-    QREG_ASSIGN_OR_RETURN(query::MeanValueResult r,
-                          engine.MeanValue(request.q, &a.exec, ctl));
-    a.mean = r.mean;
+    auto r = engine.MeanValue(request.q, &a.exec, control);
+    if (!r.ok()) {
+      // The engine recorded the partial scan work in a.exec; hand it to the
+      // caller before the Answer is dropped with the error.
+      if (error_stats != nullptr) *error_stats = a.exec;
+      return r.status();
+    }
+    a.mean = r->mean;
   } else {
-    QREG_ASSIGN_OR_RETURN(linalg::OlsFit fit,
-                          engine.Regression(request.q, &a.exec, ctl));
+    auto fit = engine.Regression(request.q, &a.exec, control);
+    if (!fit.ok()) {
+      if (error_stats != nullptr) *error_stats = a.exec;
+      return fit.status();
+    }
     // The exact Q2 answer is a single global plane over D(x, θ): the REG
     // baseline expressed in the same list-S shape as the model's answer.
     core::LocalLinearModel m;
-    m.intercept = fit.intercept;
-    m.slope = std::move(fit.slope);
+    m.intercept = fit->intercept;
+    m.slope = std::move(fit->slope);
     m.prototype_id = -1;
     m.weight = 1.0;
     a.pieces.push_back(std::move(m));
@@ -238,13 +320,21 @@ util::Result<Answer> QueryRouter::ExecuteShed(const Request& request) {
   util::Stopwatch watch;
   QueryOutcome o;
   o.shed = true;
-  // Same invariant as the normal path: a cancelled request gets no answer,
-  // cached or otherwise — its outcome must not depend on pool load.
+  // Same invariants as the normal path: a cancelled or already-expired
+  // request gets no answer, cached or otherwise — its outcome must not
+  // depend on pool load.
   if (request.cancel.cancelled()) {
     o.latency_nanos = watch.ElapsedNanos();
     o.cancelled = true;
     stats_.Record(o);
     return util::Status::Cancelled("request cancelled before execution");
+  }
+  if (request.deadline.expired()) {
+    o.latency_nanos = watch.ElapsedNanos();
+    o.deadline_exceeded = true;
+    stats_.Record(o);
+    return util::Status::DeadlineExceeded(
+        "request deadline expired before execution");
   }
   if (config_.enable_cache) {
     // Generation lookup via Get(): cheap (no training), and a shed request

@@ -17,6 +17,7 @@
 #define QREG_SERVICE_QUERY_ROUTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,12 +99,16 @@ struct RouterConfig {
 
 /// \brief One query against a registered dataset.
 ///
-/// The optional lifecycle fields bound how long the request may run: an
-/// expired `deadline` or tripped `cancel` token aborts the exact scan within
-/// one partition-chunk claim. On deadline pressure the router degrades
-/// gracefully — cache answer if present, else model answer flagged
-/// `used_fallback` — before failing with the typed kDeadlineExceeded.
-/// Cancellation never degrades: the caller asked for no answer at all.
+/// The optional lifecycle fields bound how long the request may run: a
+/// request whose `deadline` is already expired (or whose `cancel` token is
+/// already tripped) is rejected at admission with the typed status — before
+/// the δ-cache lookup and before any lazy training — so a cache hit can
+/// never mask kDeadlineExceeded. Past admission, a trip aborts lazy
+/// training within one training-query boundary and an exact scan within one
+/// partition-chunk claim. On *mid-scan* deadline pressure the router
+/// degrades gracefully to a model answer flagged `used_fallback` before
+/// failing with the typed kDeadlineExceeded. Cancellation never degrades:
+/// the caller asked for no answer at all.
 struct Request {
   std::string dataset;
   QueryKind kind = QueryKind::kQ1MeanValue;
@@ -111,13 +116,18 @@ struct Request {
   util::Deadline deadline;            ///< Default: no deadline.
   util::CancellationToken cancel;     ///< Default: not cancellable.
 
+  /// Test-only: forwarded into the exact scan's
+  /// util::ExecControl::on_chunk_for_testing, so deterministic tests can
+  /// trip the deadline/token at an exact chunk of a router-driven scan.
+  std::function<void(size_t chunk)> on_chunk_for_testing;
+
   static Request Q1(std::string dataset, query::Query q) {
     return Request{std::move(dataset), QueryKind::kQ1MeanValue, std::move(q),
-                   util::Deadline(), util::CancellationToken()};
+                   util::Deadline(), util::CancellationToken(), nullptr};
   }
   static Request Q2(std::string dataset, query::Query q) {
     return Request{std::move(dataset), QueryKind::kQ2Regression, std::move(q),
-                   util::Deadline(), util::CancellationToken()};
+                   util::Deadline(), util::CancellationToken(), nullptr};
   }
 };
 
@@ -140,11 +150,11 @@ struct Answer {
   bool used_fallback = false;
 
   /// Exact-path selection statistics (zero for model/cache answers) plus
-  /// total serving latency in `exec.nanos`. Note: an aborted exact attempt
-  /// never surfaces here — a failed request returns only a Status, and a
-  /// degraded answer's exec reflects the model fallback (zero scan work).
-  /// Partial-work chunk accounting is observable at the ExactEngine level
-  /// (see ExecStats); threading it through router errors is a ROADMAP item.
+  /// total serving latency in `exec.nanos`. A degraded answer
+  /// (`used_fallback`) keeps the *partial* scan work of the exact attempt
+  /// the deadline killed — tuples examined, chunks_completed/chunks_total —
+  /// so the abandoned effort stays visible. Failed requests surface the
+  /// same partial accounting through Execute's `error_stats` out-param.
   query::ExecStats exec;
 };
 
@@ -161,8 +171,17 @@ class QueryRouter {
   QueryRouter(const QueryRouter&) = delete;
   QueryRouter& operator=(const QueryRouter&) = delete;
 
-  /// Serves one request (lazily training the dataset's model on first touch).
+  /// Serves one request (lazily training the dataset's model on first touch;
+  /// the training run is bounded by the request's deadline/cancellation).
   util::Result<Answer> Execute(const Request& request);
+
+  /// Same, with partial-work evidence on failure: when the request fails
+  /// (deadline, cancellation, ...) and `error_stats` is non-null, it holds
+  /// the ExecStats of the aborted exact attempt — tuples examined,
+  /// chunks_completed/chunks_total, total latency in `nanos` — instead of
+  /// that work being silently discarded with the Status.
+  util::Result<Answer> Execute(const Request& request,
+                               query::ExecStats* error_stats);
 
   /// Serves a batch in parallel on the worker pool; results are positionally
   /// aligned with `batch`. Per-request failures (e.g. empty subspace on the
@@ -192,11 +211,18 @@ class QueryRouter {
   ThreadPool* pool_for_testing() { return pool_.get(); }
 
  private:
-  util::Result<Answer> ExecuteUnrecorded(const Request& request);
+  /// `outcome` and `error_stats` collect what a bare Status cannot carry:
+  /// where a lifecycle failure happened (training vs scan) and the partial
+  /// work done before it.
+  util::Result<Answer> ExecuteUnrecorded(const Request& request,
+                                         QueryOutcome* outcome,
+                                         query::ExecStats* error_stats);
   util::Result<Answer> ExecuteModel(const Request& request,
                                     const core::LlmModel& model) const;
   util::Result<Answer> ExecuteExact(const Request& request,
-                                    const query::ExactEngine& engine) const;
+                                    const query::ExactEngine& engine,
+                                    const util::ExecControl* control,
+                                    query::ExecStats* error_stats) const;
 
   /// Saturation path: answer from the cache or reject with
   /// kResourceExhausted — never touches the engines. Records stats.
@@ -208,10 +234,17 @@ class QueryRouter {
   void ScheduleDriftProbe(const std::string& dataset);
 
   /// Counts a served answer toward the dataset's drift policy and schedules
-  /// a probe when one is due. No-op unless the snapshot says drift
+  /// a probe when one is due. When `answer` is a served *in-region* exact Q1
+  /// answer, the residual against the model's prediction rides along as a
+  /// free drift sample (see ModelCatalog::ReportObservation(name, residual)).
+  /// `in_region` forwards the routing path's vigilance verdict when it
+  /// already computed one (null = not computed), so the prototype scan never
+  /// runs twice for the same query. No-op unless the snapshot says drift
   /// maintenance is live.
   void MaybeReportObservation(const Request& request,
-                              const CatalogSnapshot& snap);
+                              const CatalogSnapshot& snap,
+                              const Answer* answer,
+                              const bool* in_region);
 
   /// Cache-group key "dataset/g<generation>/kind": the generation tag makes
   /// every pre-retrain entry unreachable the moment a new model publishes.

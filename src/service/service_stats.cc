@@ -24,6 +24,7 @@ void ServiceStats::Record(const QueryOutcome& o) {
   if (o.deadline_exceeded) ++deadline_exceeded_;
   if (o.cancelled) ++cancelled_;
   if (o.degraded) ++degraded_;
+  if (o.train_aborted) ++train_aborted_;
   if (o.ok && !o.cache_hit && !o.used_exact) ++model_;
   latency_sum_nanos_ += o.latency_nanos;
   if (latencies_.size() < window_) {
@@ -52,6 +53,7 @@ ServiceSnapshot ServiceStats::Snapshot() const {
   s.cancelled = cancelled_;
   s.degraded = degraded_;
   s.retrains = retrains_;
+  s.train_aborted = train_aborted_;
   s.elapsed_seconds = clock_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(total_) / s.elapsed_seconds
@@ -76,6 +78,7 @@ void ServiceStats::Reset() {
   next_ = 0;
   total_ = errors_ = cache_hits_ = exact_ = model_ = shed_ = 0;
   deadline_exceeded_ = cancelled_ = degraded_ = retrains_ = 0;
+  train_aborted_ = 0;
   latency_sum_nanos_ = 0;
 }
 
@@ -90,6 +93,8 @@ void ServiceSnapshot::PrintTo(std::ostream& os) const {
   t.AddRow({"degraded (fallback)",
             util::Format("%lld", static_cast<long long>(degraded))});
   t.AddRow({"retrains", util::Format("%lld", static_cast<long long>(retrains))});
+  t.AddRow({"train aborted",
+            util::Format("%lld", static_cast<long long>(train_aborted))});
   t.AddRow({"qps", util::Format("%.1f", qps)});
   t.AddRow({"mean latency (ms)", util::Format("%.4f", mean_ms)});
   t.AddRow({"p50 latency (ms)", util::Format("%.4f", p50_ms)});

@@ -31,6 +31,11 @@ struct ServiceSnapshot {
   int64_t degraded = 0;  ///< Answered by the model fallback under deadline
                          ///< pressure (Answer::used_fallback).
   int64_t retrains = 0;  ///< Drift-triggered model retrains (generation swaps).
+  int64_t train_aborted = 0;  ///< Requests whose lazy training was cut short
+                              ///< by their deadline/cancellation (the failure
+                              ///< is also counted in deadline_exceeded or
+                              ///< cancelled; this counter locates it in the
+                              ///< training path).
 
   double elapsed_seconds = 0.0;  ///< Since construction or Reset().
   double qps = 0.0;
@@ -65,6 +70,8 @@ struct QueryOutcome {
   bool deadline_exceeded = false;  ///< Failed with kDeadlineExceeded.
   bool cancelled = false;          ///< Failed with kCancelled.
   bool degraded = false;           ///< Model fallback under deadline pressure.
+  bool train_aborted = false;      ///< The lifecycle trip hit the lazy
+                                   ///< training path (GetOrTrain), not a scan.
 };
 
 /// \brief Thread-safe collector behind the router. Latencies are kept in a
@@ -104,6 +111,7 @@ class ServiceStats {
   int64_t cancelled_ = 0;
   int64_t degraded_ = 0;
   int64_t retrains_ = 0;
+  int64_t train_aborted_ = 0;
   int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
 };
 

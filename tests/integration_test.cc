@@ -137,7 +137,7 @@ TEST(RosenbrockQ2Test, PiecewiseFvuBeatsGlobalRegOnCurvedData) {
   int evaluated = 0;
   while (evaluated < 25) {
     const Query q = eval_gen.Next();
-    auto ids = engine.Select(q);
+    auto ids = engine.Select(q).value();
     if (ids.size() < 500) continue;
     auto reg = engine.Regression(q);
     ASSERT_TRUE(reg.ok());

@@ -252,6 +252,283 @@ TEST(LifecycleEngineTest, BenignControlKeepsAnswersBitForBit) {
   }
 }
 
+// ---------- Select: the last unbounded engine entry point ----------
+
+TEST(LifecycleEngineTest, SelectExpiredDeadlineReturnsWithoutVisiting) {
+  auto engine = PartitionedScanEngine();
+  FakeClock clock(100);
+  std::atomic<int64_t> chunks_seen{0};
+  util::ExecControl ctl;
+  ctl.deadline = util::Deadline::AtNanos(50, &clock);  // Expired at admission.
+  ctl.on_chunk_for_testing = [&chunks_seen](size_t) { ++chunks_seen; };
+
+  query::ExecStats stats;
+  auto ids = engine->Select(CoveringQuery(), &stats, &ctl);
+  EXPECT_EQ(ids.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(chunks_seen.load(), 0);
+  EXPECT_EQ(stats.tuples_examined, 0);
+  EXPECT_EQ(stats.chunks_completed, 0);
+}
+
+TEST(LifecycleEngineTest, SelectCancellationFromAnotherThreadTripsWithinOneChunk) {
+  // Regression for the parallel Select that used to pass /*control=*/nullptr
+  // into RunChunks: a selection scan must trip within one chunk-claim of a
+  // cross-thread cancel, exactly like the aggregation scans.
+  auto engine = PartitionedScanEngine(/*partitions=*/8);
+  util::CancellationToken token = util::CancellationToken::Cancellable();
+  Gate scan_reached_second_chunk;
+  Gate token_tripped;
+
+  util::ExecControl ctl;
+  ctl.cancel = token;
+  ctl.on_chunk_for_testing = [&](size_t chunk) {
+    if (chunk == 1) {
+      scan_reached_second_chunk.Open();
+      token_tripped.Wait();
+    }
+  };
+
+  std::thread canceller([&] {
+    scan_reached_second_chunk.Wait();
+    token.Cancel();
+    token_tripped.Open();
+  });
+
+  query::ExecStats stats;
+  auto ids = engine->Select(CoveringQuery(), &stats, &ctl);
+  canceller.join();
+
+  EXPECT_EQ(ids.status().code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(stats.chunks_completed, 1);  // Chunk 0 ran; chunk 1 aborted.
+  EXPECT_EQ(stats.chunks_total, 8);
+}
+
+TEST(LifecycleEngineTest, SelectBenignControlKeepsIdsBitForBit) {
+  auto engine = PartitionedScanEngine(/*partitions=*/16);
+  util::ExecControl ctl;
+  ctl.cancel = util::CancellationToken::Cancellable();  // Never tripped.
+  ASSERT_TRUE(ctl.active());
+  for (const query::Query& q : testsupport::ParallelTestQueries(10, 97)) {
+    auto plain = engine->Select(q);
+    auto guarded = engine->Select(q, nullptr, &ctl);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(guarded.ok());
+    EXPECT_EQ(plain.value(), guarded.value());  // Order included.
+  }
+}
+
+// ---------- Training lifecycle: Trainer + GetOrTrain ----------
+
+// A small, fast-training recipe over the shared service fixture, with the
+// trainer's per-pair hook exposed for fault injection.
+service::CatalogOptions AbortableCatalogOptions(
+    std::function<void(int64_t)> on_pair) {
+  service::CatalogOptions opts = testsupport::DefaultCatalogOptions();
+  opts.trainer.max_pairs = 400;
+  opts.trainer.min_pairs = 50;
+  opts.trainer.on_pair_for_testing = std::move(on_pair);
+  return opts;
+}
+
+TEST(LifecycleTrainTest, TrainerAbortsBeforeFirstQueryOnExpiredControl) {
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  core::LlmModel model(testsupport::DefaultCatalogOptions().llm);
+  std::atomic<int64_t> queries_attempted{0};
+  core::TrainerConfig tc;
+  tc.max_pairs = 400;
+  tc.on_pair_for_testing = [&queries_attempted](int64_t) { ++queries_attempted; };
+  core::Trainer trainer(*f->engine, tc);
+  query::WorkloadGenerator gen(testsupport::DefaultCatalogOptions().workload);
+
+  FakeClock clock(100);
+  util::ExecControl ctl;
+  ctl.deadline = util::Deadline::AtNanos(50, &clock);  // Already expired.
+  core::TrainingReport partial;
+  partial.pairs_used = -1;  // Sentinel: must be overwritten.
+  auto report = trainer.Train(&gen, &model, &ctl, &partial);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(partial.pairs_used, 0);
+  EXPECT_EQ(queries_attempted.load(), 1);  // The hook fires before the check.
+  EXPECT_EQ(model.num_prototypes(), 0);    // Not a single pair was fed.
+}
+
+TEST(LifecycleTrainTest, MidTrainDeadlineKeepsPartialReport) {
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  core::LlmModel model(testsupport::DefaultCatalogOptions().llm);
+  FakeClock clock(0);
+  core::TrainerConfig tc;
+  tc.max_pairs = 400;
+  // The fault injection: the clock jumps past the deadline at the boundary
+  // before the 6th pair's training query.
+  tc.on_pair_for_testing = [&clock](int64_t pairs_done) {
+    if (pairs_done == 5) clock.SetNanos(2000);
+  };
+  core::Trainer trainer(*f->engine, tc);
+  query::WorkloadGenerator gen(testsupport::DefaultCatalogOptions().workload);
+
+  util::ExecControl ctl;
+  ctl.deadline = util::Deadline::AtNanos(1000, &clock);
+  core::TrainingReport partial;
+  auto report = trainer.Train(&gen, &model, &ctl, &partial);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(partial.pairs_used, 5);  // Exactly the pairs fed before the trip.
+  EXPECT_EQ(partial.num_prototypes, model.num_prototypes());
+  EXPECT_GT(partial.query_exec_nanos, 0);  // Where the aborted time went.
+  EXPECT_FALSE(partial.converged);
+}
+
+TEST(LifecycleTrainTest, GetOrTrainExpiredControlRunsZeroTrainingQueries) {
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  service::ModelCatalog catalog;
+  std::atomic<int64_t> queries_attempted{0};
+  ASSERT_TRUE(catalog
+                  .Register("lazy", &f->dataset->table, f->kdtree.get(),
+                            AbortableCatalogOptions([&queries_attempted](
+                                int64_t) { ++queries_attempted; }))
+                  .ok());
+
+  FakeClock clock(1000);
+  util::ExecControl ctl;
+  ctl.deadline = util::Deadline::AtNanos(500, &clock);  // Already expired.
+  auto snap = catalog.GetOrTrain("lazy", &ctl);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(queries_attempted.load(), 0);  // Trainer was never entered.
+
+  // The entry is untrained, not poisoned: a lifecycle-free caller trains it.
+  auto untrained = catalog.Get("lazy");
+  ASSERT_TRUE(untrained.ok());
+  EXPECT_EQ(untrained->model, nullptr);
+  auto retried = catalog.GetOrTrain("lazy");
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_NE(retried->model, nullptr);
+  EXPECT_EQ(retried->generation, 1);
+  EXPECT_GT(queries_attempted.load(), 0);
+}
+
+TEST(LifecycleTrainTest, GatedMidTrainCancelLeavesEntryRetrainable) {
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  service::ModelCatalog catalog;
+  util::CancellationToken token = util::CancellationToken::Cancellable();
+  Gate training_reached_pair_four;
+  Gate token_tripped;
+  std::atomic<bool> gates_armed{true};
+  ASSERT_TRUE(catalog
+                  .Register("lazy", &f->dataset->table, f->kdtree.get(),
+                            AbortableCatalogOptions([&](int64_t pairs_done) {
+                              if (pairs_done == 4 &&
+                                  gates_armed.exchange(false)) {
+                                // Hand control to the canceller and block
+                                // until the token has actually tripped: the
+                                // next lifecycle check must observe it.
+                                training_reached_pair_four.Open();
+                                token_tripped.Wait();
+                              }
+                            }))
+                  .ok());
+
+  std::thread canceller([&] {
+    training_reached_pair_four.Wait();
+    token.Cancel();
+    token_tripped.Open();
+  });
+
+  util::ExecControl ctl;
+  ctl.cancel = token;
+  auto snap = catalog.GetOrTrain("lazy", &ctl);
+  canceller.join();
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), util::StatusCode::kCancelled);
+
+  // Mid-train abort leaves the entry retryable; the retry trains to
+  // completion (its control is absent, the gates are disarmed).
+  auto retried = catalog.GetOrTrain("lazy");
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_NE(retried->model, nullptr);
+  EXPECT_EQ(retried->generation, 1);
+}
+
+TEST(LifecycleTrainTest, ConcurrentWaiterWithLiveDeadlineGetsModel) {
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  service::ModelCatalog catalog;
+  Gate training_started;
+  Gate release_training;
+  std::atomic<bool> gates_armed{true};
+  ASSERT_TRUE(catalog
+                  .Register("lazy", &f->dataset->table, f->kdtree.get(),
+                            AbortableCatalogOptions([&](int64_t pairs_done) {
+                              if (pairs_done == 0 && gates_armed.exchange(false)) {
+                                training_started.Open();
+                                release_training.Wait();
+                              }
+                            }))
+                  .ok());
+
+  // Trainer thread: elected, then gated inside the first pair.
+  std::thread trainer_thread([&] {
+    auto snap = catalog.GetOrTrain("lazy");
+    EXPECT_TRUE(snap.ok()) << snap.status();
+  });
+  training_started.Wait();
+
+  // Waiter with a generous live deadline: it must not be poisoned by the
+  // in-flight training and must receive the model once training finishes.
+  FakeClock clock(0);
+  util::ExecControl live;
+  live.deadline = util::Deadline::AtNanos(1LL << 60, &clock);
+  std::thread waiter([&] {
+    auto snap = catalog.GetOrTrain("lazy", &live);
+    EXPECT_TRUE(snap.ok()) << snap.status();
+    if (snap.ok()) {
+      EXPECT_NE(snap->model, nullptr);
+      EXPECT_EQ(snap->generation, 1);
+    }
+  });
+
+  release_training.Open();
+  trainer_thread.join();
+  waiter.join();
+}
+
+TEST(LifecycleTrainTest, ExpiredWaiterDoesNotBlockBehindLiveTraining) {
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  service::ModelCatalog catalog;
+  Gate training_started;
+  Gate release_training;
+  std::atomic<bool> gates_armed{true};
+  ASSERT_TRUE(catalog
+                  .Register("lazy", &f->dataset->table, f->kdtree.get(),
+                            AbortableCatalogOptions([&](int64_t pairs_done) {
+                              if (pairs_done == 0 && gates_armed.exchange(false)) {
+                                training_started.Open();
+                                release_training.Wait();
+                              }
+                            }))
+                  .ok());
+
+  std::thread trainer_thread([&] {
+    auto snap = catalog.GetOrTrain("lazy");
+    EXPECT_TRUE(snap.ok()) << snap.status();
+  });
+  training_started.Wait();
+
+  // While the trainer is gated (training will not finish), a second request
+  // whose deadline is already gone returns the typed status instead of
+  // queueing behind a training it would abandon anyway.
+  FakeClock clock(1000);
+  util::ExecControl expired;
+  expired.deadline = util::Deadline::AtNanos(500, &clock);
+  auto snap = catalog.GetOrTrain("lazy", &expired);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(release_training.opened());  // It returned while training ran.
+
+  release_training.Open();
+  trainer_thread.join();
+}
+
 // ---------- Router-level lifecycle: degrade-to-model vs shed ----------
 
 TEST(LifecycleRouterTest, CancelledRequestReturnsCancelledAndNeverDegrades) {
@@ -279,16 +556,22 @@ TEST(LifecycleRouterTest, DeadlinePressureDegradesExactToModelAnswer) {
   cfg.enable_cache = false;
   QueryRouter router(testsupport::SharedCatalog(), cfg);
 
-  // Far outside the trained region: hybrid routing picks the exact engine,
-  // which immediately hits the expired deadline and hands back control.
-  FakeClock clock(1000);
+  // Far outside the trained region: hybrid routing picks the exact engine.
+  // The deadline is live at admission and trips mid-scan (the chunk hook
+  // jumps the clock), so the router degrades to the model's answer.
+  FakeClock clock(0);
   Request r = Request::Q1("r1", query::Query({1.5, 1.5}, 1.0));
-  r.deadline = util::Deadline::AtNanos(500, &clock);
+  r.deadline = util::Deadline::AtNanos(1000, &clock);
+  r.on_chunk_for_testing = [&clock](size_t) { clock.SetNanos(2000); };
 
   auto got = router.Execute(r);
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->source, AnswerSource::kModel);
   EXPECT_TRUE(got->used_fallback);
+  // The killed exact attempt's partial accounting rides on the degraded
+  // answer instead of vanishing: the scan was planned but cut short.
+  EXPECT_GT(got->exec.chunks_total, 0);
+  EXPECT_LT(got->exec.chunks_completed, got->exec.chunks_total);
 
   service::ServiceSnapshot stats = router.Stats();
   EXPECT_EQ(stats.degraded, 1);
@@ -317,7 +600,7 @@ TEST(LifecycleRouterTest, ExactOnlyDeadlineShedsWithTypedStatus) {
   EXPECT_EQ(stats.errors, 1);
 }
 
-TEST(LifecycleRouterTest, DeadlinePrefersCachedAnswerOverFallback) {
+TEST(LifecycleRouterTest, LiveDeadlineStillGetsCachedAnswer) {
   RouterConfig cfg;
   cfg.policy = RoutePolicy::kExactOnly;
   cfg.enable_cache = true;
@@ -330,24 +613,43 @@ TEST(LifecycleRouterTest, DeadlinePrefersCachedAnswerOverFallback) {
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->source, AnswerSource::kExact);
 
-  // Same query, expired deadline: the δ-cache answers before the exact
+  // Same query with budget remaining: the δ-cache answers before the exact
   // engine is ever consulted.
-  FakeClock clock(1000);
+  FakeClock clock(0);
   Request repeat = warm;
-  repeat.deadline = util::Deadline::AtNanos(500, &clock);
+  repeat.deadline = util::Deadline::AtNanos(1000, &clock);
   auto cached = router.Execute(repeat);
   ASSERT_TRUE(cached.ok());
   EXPECT_EQ(cached->source, AnswerSource::kCache);
   EXPECT_FALSE(cached->used_fallback);
   EXPECT_EQ(cached->mean, first->mean);
+}
 
-  // A cold query with the same expired deadline has no cache, no model
-  // (exact-only) — the typed status is the end of the degrade ladder.
-  Request cold = Request::Q1("r1", query::Query({0.21, 0.83}, 0.12));
-  cold.deadline = util::Deadline::AtNanos(500, &clock);
-  auto shed = router.Execute(cold);
-  ASSERT_FALSE(shed.ok());
-  EXPECT_EQ(shed.status().code(), util::StatusCode::kDeadlineExceeded);
+TEST(LifecycleRouterTest, ExpiredDeadlineRejectedBeforeCacheLookup) {
+  // A cache hit must not mask kDeadlineExceeded: an already-expired request
+  // is rejected at admission, before the δ-cache is consulted, so its
+  // outcome never depends on what other queries happened to cache.
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;
+  cfg.enable_cache = true;
+  cfg.cache.delta_min = 1.0;
+  QueryRouter router(testsupport::SharedCatalog(), cfg);
+
+  Request warm = Request::Q1("r1", query::Query({0.5, 0.5}, 0.12));
+  ASSERT_TRUE(router.Execute(warm).ok());
+
+  FakeClock clock(1000);
+  Request repeat = warm;  // Identical query: the cache has it.
+  repeat.deadline = util::Deadline::AtNanos(500, &clock);  // Expired.
+  auto got = router.Execute(repeat);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(router.CacheStats().hits, 0);  // Lookup never happened.
+
+  service::ServiceSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.degraded, 0);  // Admission rejection, not degrade.
 }
 
 TEST(LifecycleRouterTest, CancelledRequestOnShedPathStaysCancelled) {
@@ -389,6 +691,122 @@ TEST(LifecycleRouterTest, CancelledRequestOnShedPathStaysCancelled) {
   EXPECT_EQ(stats.cancelled, 1);
 }
 
+TEST(LifecycleRouterTest, ExpiredDeadlineOnShedPathStaysTypedReject) {
+  // Mirror of the cancelled-on-shed invariant: an already-expired request
+  // must not be answered from the δ-cache just because the pool was full.
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kModelOnly;
+  cfg.enable_cache = true;
+  cfg.cache.delta_min = 1.0;
+  cfg.num_threads = 1;
+  cfg.queue_capacity = 1;
+  cfg.overload = service::OverloadPolicy::kShed;
+  QueryRouter router(testsupport::SharedCatalog(), cfg);
+
+  Request warm = Request::Q1("r1", query::Query({0.5, 0.5}, 0.1));
+  ASSERT_TRUE(router.Execute(warm).ok());
+  Gate worker_started, release_worker;
+  service::ThreadPool* pool = router.pool_for_testing();
+  pool->Submit([&] {
+    worker_started.Open();
+    release_worker.Wait();
+  });
+  worker_started.Wait();
+  ASSERT_TRUE(pool->TrySubmit([] {}));  // Queue slot now full.
+
+  FakeClock clock(1000);
+  Request expired_repeat = warm;  // Identical query: the cache has it.
+  expired_repeat.deadline = util::Deadline::AtNanos(500, &clock);
+  auto results = router.ExecuteBatch({expired_repeat});
+  release_worker.Open();
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].status().code(), util::StatusCode::kDeadlineExceeded);
+  service::ServiceSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.shed, 1);
+}
+
+TEST(LifecycleRouterTest, TrainAbortedIsCountedAndTyped) {
+  // A request whose deadline dies *inside* lazy training surfaces as
+  // kDeadlineExceeded and is located by the train_aborted counter.
+  EngineFixture* f = testsupport::SharedServiceFixture();
+  service::ModelCatalog catalog;
+  FakeClock clock(0);
+  service::CatalogOptions opts = testsupport::DefaultCatalogOptions();
+  opts.trainer.max_pairs = 400;
+  opts.trainer.min_pairs = 50;
+  opts.trainer.on_pair_for_testing = [&clock](int64_t pairs_done) {
+    if (pairs_done == 3) clock.SetNanos(2000);
+  };
+  ASSERT_TRUE(
+      catalog.Register("lazy", &f->dataset->table, f->kdtree.get(), opts).ok());
+
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kHybrid;
+  cfg.enable_cache = false;
+  QueryRouter router(&catalog, cfg);
+
+  Request r = Request::Q1("lazy", query::Query({0.5, 0.5}, 0.12));
+  r.deadline = util::Deadline::AtNanos(1000, &clock);  // Live at admission.
+  auto got = router.Execute(r);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kDeadlineExceeded);
+
+  service::ServiceSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.train_aborted, 1);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.degraded, 0);  // No model exists to degrade to.
+
+  // The dataset is retryable: a deadline-free request trains and answers.
+  clock.SetNanos(0);
+  Request retry = Request::Q1("lazy", query::Query({0.5, 0.5}, 0.12));
+  auto answered = router.Execute(retry);
+  ASSERT_TRUE(answered.ok()) << answered.status();
+  EXPECT_EQ(router.Stats().train_aborted, 1);  // Unchanged.
+}
+
+TEST(LifecycleRouterTest, ErrorPathCarriesPartialExecStats) {
+  // A kDeadlineExceeded reply no longer discards the work the engine did:
+  // Execute's error_stats out-param reports the partial chunk accounting.
+  EngineFixture* f = testsupport::SharedParallelFixture();
+  service::ModelCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register("scan", &f->dataset->table, f->scan.get(),
+                            testsupport::DefaultCatalogOptions())
+                  .ok());
+  query::ParallelOptions par;
+  par.target_partitions = 8;  // Inline, deterministic chunk order 0, 1, ...
+  catalog.SetParallelism(par);
+
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;  // No model: the error is terminal.
+  cfg.enable_cache = false;
+  QueryRouter router(&catalog, cfg);
+
+  FakeClock clock(0);
+  Request r = Request::Q1("scan", query::Query({0.5, 0.5}, 100.0));
+  r.deadline = util::Deadline::AtNanos(1000, &clock);
+  r.on_chunk_for_testing = [&clock](size_t chunk) {
+    if (chunk == 2) clock.SetNanos(2000);  // Trip before the third chunk.
+  };
+
+  query::ExecStats err;
+  auto got = router.Execute(r, &err);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(err.chunks_completed, 2);  // Chunks 0 and 1 ran; 2 aborted.
+  EXPECT_EQ(err.chunks_total, 8);
+  EXPECT_GT(err.tuples_examined, 0);  // The partial scan work, preserved.
+  EXPECT_GT(err.nanos, 0);            // Total serving latency.
+
+  service::ServiceSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.train_aborted, 0);  // The trip hit the scan, not training.
+}
+
 // ---------- Drift-driven retraining & generation-tagged cache ----------
 
 // A 1-d relation u = level + 0.5·x + ε over a ScanIndex. The scan path
@@ -399,7 +817,8 @@ struct DriftFixture {
   std::unique_ptr<storage::ScanIndex> index;
   ModelCatalog catalog;
 
-  explicit DriftFixture(int64_t drift_interval = 1 << 20) {
+  explicit DriftFixture(int64_t drift_interval = 1 << 20,
+                        int64_t min_metered_residuals = 16) {
     util::Rng rng(11);
     for (int i = 0; i < 4000; ++i) {
       const double x = rng.Uniform();
@@ -419,6 +838,7 @@ struct DriftFixture {
     opts.drift.config.absolute_threshold = 0.3;
     opts.drift.report_interval = drift_interval;
     opts.drift.retrain_max_pairs = 4000;
+    opts.drift.min_metered_residuals = min_metered_residuals;
     ExpectOk(catalog.Register("ds", &table, index.get(), opts));
   }
 
@@ -535,6 +955,86 @@ TEST(DriftRetrainTest, RouterAutoProbeRetrainsInlineOnSyncPool) {
 
   fx.ShiftDistribution();
   ASSERT_TRUE(router.Execute(r).ok());        // Shifted: probe retrains.
+  EXPECT_EQ(router.Stats().retrains, 1);
+  auto snap = fx.catalog.Get("ds");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->generation, 2);
+}
+
+TEST(DriftRetrainTest, MeteredHealthyResidualsGateScheduledProbes) {
+  // Residuals piggybacked from served exact answers are a free drift
+  // pre-filter: a window whose metered RMSE sits under the drift threshold
+  // skips its scheduled probe; a bad window (or one with too few samples)
+  // still fires it.
+  DriftFixture fx(/*drift_interval=*/4, /*min_metered_residuals=*/3);
+  ASSERT_TRUE(fx.catalog.TrainAll().ok());
+
+  // Healthy window: 4 small residuals, boundary on the 4th → probe skipped
+  // (RMSE 0.01 is far under the 0.3 absolute threshold).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fx.catalog.ReportObservation("ds", 0.01));
+  }
+  EXPECT_FALSE(fx.catalog.ReportObservation("ds", 0.01));
+
+  // Bad window: residuals past the threshold → the boundary fires.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fx.catalog.ReportObservation("ds", 5.0));
+  }
+  EXPECT_TRUE(fx.catalog.ReportObservation("ds", 5.0));
+
+  // Unmetered window (e.g. a model-only router): no free evidence, so the
+  // boundary fires exactly as before the gating existed.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fx.catalog.ReportObservation("ds"));
+  }
+  EXPECT_TRUE(fx.catalog.ReportObservation("ds"));
+
+  // Under-sampled window: healthy residuals, but fewer than the minimum —
+  // two samples cannot clear a 3-sample gate, so the probe fires.
+  EXPECT_FALSE(fx.catalog.ReportObservation("ds", 0.01));
+  EXPECT_FALSE(fx.catalog.ReportObservation("ds", 0.01));
+  EXPECT_FALSE(fx.catalog.ReportObservation("ds"));
+  EXPECT_TRUE(fx.catalog.ReportObservation("ds"));
+}
+
+TEST(DriftRetrainTest, RouterPipesExactResidualsIntoProbeGating) {
+  // End-to-end: an exact-only router serves ground truth anyway; the router
+  // meters the model's residual on each answer, and the probe only runs
+  // (and retrains) once those free residuals actually look bad.
+  DriftFixture fx(/*drift_interval=*/1, /*min_metered_residuals=*/1);
+  ASSERT_TRUE(fx.catalog.TrainAll().ok());
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kExactOnly;
+  cfg.enable_cache = false;
+  cfg.num_threads = 0;  // Probes (when due) run inline: deterministic.
+  QueryRouter router(&fx.catalog, cfg);
+
+  // The probe query must be in-region: the router only meters residuals of
+  // in-region exact answers (out-of-region extrapolation error would read
+  // as perpetual drift against the in-distribution baseline).
+  Request r = Request::Q1("ds", query::Query({0.5}, 0.1));
+  auto trained_snap = fx.catalog.Get("ds");
+  ASSERT_TRUE(trained_snap.ok());
+  ASSERT_NE(trained_snap->model, nullptr);
+  ASSERT_LE(trained_snap->model->NearestPrototypeDistance(r.q),
+            cfg.rho_scale * trained_snap->vigilance);
+
+  // Steady data: every query is an interval boundary (interval = 1), but
+  // the metered residuals are healthy, so no probe ever runs — and the
+  // generation stays put.
+  for (int i = 0; i < 3; ++i) {
+    auto got = router.Execute(r);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->source, AnswerSource::kExact);
+  }
+  EXPECT_EQ(router.Stats().retrains, 0);
+
+  // Shift the data: exact answers move away from the stale model, the
+  // metered residual blows past the threshold, the gated probe fires
+  // inline, confirms drift, and publishes generation 2.
+  fx.ShiftDistribution();
+  auto got = router.Execute(r);
+  ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_EQ(router.Stats().retrains, 1);
   auto snap = fx.catalog.Get("ds");
   ASSERT_TRUE(snap.ok());

@@ -124,7 +124,7 @@ AllAnswers Collect(const ExactEngine& engine, const std::vector<Query>& qs) {
     out.q1.push_back(engine.MeanValue(q));
     out.moments.push_back(engine.Moments(q));
     out.q2.push_back(engine.Regression(q));
-    out.select.push_back(engine.Select(q));
+    out.select.push_back(engine.Select(q).value());
   }
   return out;
 }
@@ -216,7 +216,7 @@ TEST(ParallelExactTest, MatchesSequentialEngine) {
                   1e-8 * std::max(1.0, std::fabs(want_fit->slope[j])));
     }
     // Select: the plan order reproduces the sequential visit order exactly.
-    EXPECT_EQ(sequential.Select(q), parallel.Select(q));
+    EXPECT_EQ(sequential.Select(q).value(), parallel.Select(q).value());
   }
   EXPECT_GT(nonempty, 10);
 }
@@ -236,7 +236,7 @@ TEST(ParallelExactTest, EmptySubspaceIsNotFound) {
             util::StatusCode::kNotFound);
   EXPECT_EQ(engine.Regression(far_away).status().code(),
             util::StatusCode::kNotFound);
-  EXPECT_TRUE(engine.Select(far_away).empty());
+  EXPECT_TRUE(engine.Select(far_away).value().empty());
 }
 
 // ---------- Shared-pool nesting ----------

@@ -236,7 +236,7 @@ TEST_F(ExactEngineTest, SelectReturnsMatchingIds) {
   ExactEngine engine(*table_, *tree_);
   Query q({0.5, 0.5}, 0.1);
   ExecStats stats;
-  auto ids = engine.Select(q, &stats);
+  auto ids = engine.Select(q, &stats).value();
   EXPECT_EQ(static_cast<int64_t>(ids.size()), stats.tuples_matched);
   for (int64_t id : ids) {
     EXPECT_TRUE(

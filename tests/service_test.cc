@@ -806,6 +806,7 @@ TEST(ServiceStatsTest, LifecycleCountersRoundTripThroughSnapshot) {
   QueryOutcome deadline;
   deadline.ok = false;
   deadline.deadline_exceeded = true;
+  deadline.train_aborted = true;  // The trip hit the lazy-training path.
   stats.Record(deadline);
 
   QueryOutcome cancelled;
@@ -829,6 +830,7 @@ TEST(ServiceStatsTest, LifecycleCountersRoundTripThroughSnapshot) {
   EXPECT_EQ(s.degraded, 1);
   EXPECT_EQ(s.model_answers, 1);  // The degraded answer came from the model.
   EXPECT_EQ(s.retrains, 2);
+  EXPECT_EQ(s.train_aborted, 1);
 
   stats.Reset();
   ServiceSnapshot zero = stats.Snapshot();
@@ -836,6 +838,7 @@ TEST(ServiceStatsTest, LifecycleCountersRoundTripThroughSnapshot) {
   EXPECT_EQ(zero.cancelled, 0);
   EXPECT_EQ(zero.degraded, 0);
   EXPECT_EQ(zero.retrains, 0);
+  EXPECT_EQ(zero.train_aborted, 0);
 }
 
 }  // namespace
