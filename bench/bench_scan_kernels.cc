@@ -1,0 +1,323 @@
+// Scan-kernel throughput: per-row type-erased dispatch vs the block-at-a-time
+// kernel pipeline (ISSUE-5 tentpole), plus the AnswerCache read-path
+// micro-bench (mutex-serialized readers vs the wait-free epoch path).
+//
+// Part 1 — scan kernels. For every (d, selectivity) cell the bench runs a
+// full-table radius scan two ways over the same data and the same
+// selectivity-calibrated L2 ball:
+//   - rowvisitor: the legacy hot loop this PR replaced — per-row
+//     LpNorm::Within with its early-exit branch, one std::function call per
+//     matching row (kept here as the measured baseline);
+//   - blockvisit: ScanIndex::BlockVisit streaming 256-row blocks through the
+//     branch-free filter into a fused SumBlockKernel.
+// Reported as rows/sec (candidate rows examined per wall second).
+//
+// Part 2 — cache read path. N reader threads hammer AnswerCache::Lookup on
+// a warm group, once with config.mutex_reader_baseline (every reader takes
+// the shard mutex, the pre-epoch design) and once wait-free.
+//
+// Always writes machine-readable JSON to OutDir() (default bench/out/):
+//   bench_scan_kernels.json       — one record per (d, selectivity, path)
+//   bench_cache_read_path.json    — one record per (readers, mode)
+// picked up by the CI bench-smoke artifact upload. The table JSON includes
+// bytes/row from the Table::MemoryBytes breakdown.
+//
+// --smoke: scaled-down sizes for CI, plus a hard gate: exits non-zero if
+// blockvisit is not at least as fast as rowvisitor on the d=6, 10% L2
+// profile (guards against the RowVisitor adapter accidentally becoming the
+// fast path).
+//
+// Env knobs: QREG_SCAN_ROWS (default 200000), QREG_SCAN_REPS (default
+// auto), QREG_SEED.
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/scan_kernels.h"
+#include "service/answer_cache.h"
+#include "storage/scan_index.h"
+#include "storage/table.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace qreg {
+namespace bench {
+namespace {
+
+storage::Table MakeUniformTable(size_t d, int64_t rows, uint64_t seed) {
+  util::Rng rng(seed);
+  storage::Table t(d);
+  t.Reserve(rows);
+  std::vector<double> x(d);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < d; ++j) x[j] = rng.Uniform(0, 1);
+    t.AppendUnchecked(x.data(), rng.Uniform(-1, 1));
+  }
+  return t;
+}
+
+// The radius whose L2 ball around `center` captures ~`selectivity` of the
+// table: the selectivity-quantile of the observed distances.
+double CalibrateRadius(const storage::Table& t, const std::vector<double>& center,
+                       double selectivity) {
+  const int64_t n = t.num_rows();
+  std::vector<double> dist(static_cast<size_t>(n));
+  const storage::LpNorm l2 = storage::LpNorm::L2();
+  for (int64_t i = 0; i < n; ++i) {
+    dist[static_cast<size_t>(i)] =
+        l2.Distance(t.x(i), center.data(), t.dimension());
+  }
+  const auto k = static_cast<int64_t>(selectivity * static_cast<double>(n - 1));
+  std::nth_element(dist.begin(), dist.begin() + k, dist.end());
+  return dist[static_cast<size_t>(k)];
+}
+
+// The legacy per-row hot loop (pre-block-pipeline ScanIndex::RadiusVisit):
+// early-exit Within per row, type-erased visitor call per match.
+int64_t LegacyRowScan(const storage::Table& t, const double* center,
+                      double radius, const storage::LpNorm& norm,
+                      const storage::RowVisitor& visit) {
+  const size_t d = t.dimension();
+  const int64_t n = t.num_rows();
+  int64_t matched = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = t.x(i);
+    if (norm.Within(row, center, d, radius)) {
+      ++matched;
+      visit(i, row, t.u(i));
+    }
+  }
+  return matched;
+}
+
+struct ScanCell {
+  size_t d = 0;
+  double selectivity = 0.0;
+  double row_rps = 0.0;    // rowvisitor rows/sec
+  double block_rps = 0.0;  // blockvisit rows/sec
+  double speedup = 0.0;
+  int64_t matched = 0;
+  double bytes_per_row = 0.0;
+};
+
+ScanCell RunScanCell(size_t d, double selectivity, int64_t rows, int64_t reps,
+                     uint64_t seed) {
+  ScanCell cell;
+  cell.d = d;
+  cell.selectivity = selectivity;
+
+  const storage::Table table = MakeUniformTable(d, rows, seed);
+  const storage::ScanIndex scan(table);
+  const std::vector<double> center(d, 0.5);
+  const double radius = CalibrateRadius(table, center, selectivity);
+  const storage::LpNorm norm = storage::LpNorm::L2();
+  cell.bytes_per_row =
+      static_cast<double>(table.MemoryBytes()) / static_cast<double>(rows);
+
+  // Baseline: legacy per-row dispatch.
+  double row_sum = 0.0;
+  int64_t row_count = 0;
+  util::Stopwatch sw;
+  for (int64_t r = 0; r < reps; ++r) {
+    row_sum = 0.0;
+    row_count = 0;
+    cell.matched = LegacyRowScan(
+        table, center.data(), radius, norm,
+        [&row_sum, &row_count](int64_t, const double*, double u) {
+          row_sum += u;
+          ++row_count;
+        });
+  }
+  const double row_secs = sw.ElapsedMillis() / 1e3;
+  cell.row_rps = static_cast<double>(rows * reps) / std::max(1e-9, row_secs);
+
+  // Block pipeline: fused filter + Kahan sum kernel.
+  double block_sum = 0.0;
+  int64_t block_count = 0;
+  sw.Restart();
+  for (int64_t r = 0; r < reps; ++r) {
+    query::SumBlockKernel kernel;
+    storage::SelectionStats stats;
+    scan.BlockVisit(center.data(), radius, norm, &kernel, &stats);
+    block_sum = kernel.sum();
+    block_count = kernel.count();
+  }
+  const double block_secs = sw.ElapsedMillis() / 1e3;
+  cell.block_rps = static_cast<double>(rows * reps) / std::max(1e-9, block_secs);
+  cell.speedup = cell.block_rps / std::max(1e-9, cell.row_rps);
+
+  // Same selection, same answer (within compensation): a wrong kernel would
+  // make the throughput numbers meaningless.
+  if (block_count != cell.matched || block_count != row_count ||
+      std::fabs(block_sum - row_sum) >
+          1e-9 * std::max(1.0, std::fabs(row_sum))) {
+    std::cerr << "FATAL: block scan diverged from row scan (d=" << d
+              << ", sel=" << selectivity << ")\n";
+    std::exit(1);
+  }
+  return cell;
+}
+
+struct CacheCell {
+  int readers = 0;
+  bool mutex_baseline = false;
+  double lookups_per_sec = 0.0;
+  double hit_rate = 0.0;
+};
+
+CacheCell RunCacheCell(int readers, bool mutex_baseline, int64_t lookups_each) {
+  service::AnswerCacheConfig cfg;
+  cfg.delta_min = 0.9;
+  cfg.num_shards = 8;
+  cfg.mutex_reader_baseline = mutex_baseline;
+  service::AnswerCache cache(cfg);
+  const std::string group = "ds/g0/Q1";
+  for (int i = 0; i < 64; ++i) {
+    service::CachedAnswer a;
+    a.q = query::Query({0.01 * i, 0.5}, 0.1);
+    a.mean = static_cast<double>(i);
+    cache.Insert(group, a);
+  }
+
+  std::vector<std::thread> threads;
+  util::Stopwatch sw;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&cache, &group, lookups_each, r] {
+      util::Rng rng(static_cast<uint64_t>(100 + r));
+      service::CachedAnswer out;
+      for (int64_t i = 0; i < lookups_each; ++i) {
+        const query::Query probe({0.01 * rng.UniformInt(64), 0.5}, 0.1);
+        cache.Lookup(group, probe, &out);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = sw.ElapsedMillis() / 1e3;
+
+  CacheCell cell;
+  cell.readers = readers;
+  cell.mutex_baseline = mutex_baseline;
+  cell.lookups_per_sec =
+      static_cast<double>(lookups_each * readers) / std::max(1e-9, secs);
+  cell.hit_rate = cache.stats().HitRate();
+  return cell;
+}
+
+int Run(bool smoke) {
+  BenchEnv env = BenchEnv::FromEnv();
+  PrintHeader("bench_scan_kernels",
+              "tentpole: block-vectorized scan kernels vs per-row dispatch",
+              env);
+
+  const int64_t rows =
+      util::GetEnvInt64("QREG_SCAN_ROWS", smoke ? 60000 : 200000);
+  // Auto reps: keep each timed side around a few tens of millions of rows.
+  const int64_t reps = util::GetEnvInt64(
+      "QREG_SCAN_REPS", std::max<int64_t>(1, (smoke ? 2000000 : 20000000) / rows));
+
+  const size_t dims[] = {2, 6, 12};
+  const double selectivities[] = {0.01, 0.10, 0.90};
+
+  util::TablePrinter table(
+      {"d", "selectivity", "rowvisitor_rps", "blockvisit_rps", "speedup",
+       "matched", "bytes_per_row"});
+  std::string json = "[\n";
+  double gate_row_rps = 0.0, gate_block_rps = 0.0;  // d=6, 10% profile.
+  for (size_t d : dims) {
+    for (double sel : selectivities) {
+      const ScanCell cell =
+          RunScanCell(d, sel, rows, reps, env.seed + 13 * d);
+      if (d == 6 && sel == 0.10) {
+        gate_row_rps = cell.row_rps;
+        gate_block_rps = cell.block_rps;
+      }
+      table.AddRow({util::Format("%zu", d), util::Format("%.0f%%", sel * 100),
+                    util::Format("%.3g", cell.row_rps),
+                    util::Format("%.3g", cell.block_rps),
+                    util::Format("%.2f", cell.speedup),
+                    util::Format("%lld", static_cast<long long>(cell.matched)),
+                    util::Format("%.1f", cell.bytes_per_row)});
+      json += util::Format(
+          "  {\"d\": %zu, \"selectivity\": %.2f, \"rows\": %lld, "
+          "\"reps\": %lld, \"norm\": \"l2\", "
+          "\"rowvisitor_rows_per_sec\": %.1f, "
+          "\"blockvisit_rows_per_sec\": %.1f, \"speedup\": %.4f, "
+          "\"matched\": %lld, \"bytes_per_row\": %.2f},\n",
+          d, sel, static_cast<long long>(rows), static_cast<long long>(reps),
+          cell.row_rps, cell.block_rps, cell.speedup,
+          static_cast<long long>(cell.matched), cell.bytes_per_row);
+    }
+  }
+  if (json.size() > 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);
+  }
+  json += "]\n";
+  if (!WriteOutFile("bench_scan_kernels.json", json)) {
+    std::cerr << "warning: could not write bench_scan_kernels.json\n";
+  }
+  EmitTable("scan_kernels", util::Format("matrix_rows%lld", static_cast<long long>(rows)), table, env);
+
+  // ---- Cache read path: mutex-serialized vs wait-free readers ----
+  const std::vector<int> reader_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 8, 32};
+  const int64_t lookups_each = smoke ? 20000 : 200000;
+
+  util::TablePrinter cache_table(
+      {"readers", "mode", "lookups_per_sec", "hit_rate"});
+  std::string cache_json = "[\n";
+  for (int readers : reader_counts) {
+    for (bool baseline : {true, false}) {
+      const CacheCell cell = RunCacheCell(readers, baseline, lookups_each);
+      const char* mode = baseline ? "mutex" : "waitfree";
+      cache_table.AddRow({util::Format("%d", readers), mode,
+                          util::Format("%.3g", cell.lookups_per_sec),
+                          util::Format("%.3f", cell.hit_rate)});
+      cache_json += util::Format(
+          "  {\"readers\": %d, \"mode\": \"%s\", \"lookups_per_sec\": %.1f, "
+          "\"hit_rate\": %.4f, \"hardware_concurrency\": %u},\n",
+          readers, mode, cell.lookups_per_sec, cell.hit_rate,
+          std::thread::hardware_concurrency());
+    }
+  }
+  if (cache_json.size() > 2 && cache_json[cache_json.size() - 2] == ',') {
+    cache_json.erase(cache_json.size() - 2, 1);
+  }
+  cache_json += "]\n";
+  if (!WriteOutFile("bench_cache_read_path.json", cache_json)) {
+    std::cerr << "warning: could not write bench_cache_read_path.json\n";
+  }
+  std::cout << "\ncache read path (Lookup):\n";
+  EmitTable("scan_kernels", "cache_read_path", cache_table, env);
+
+  const double gate_speedup = gate_block_rps / std::max(1e-9, gate_row_rps);
+  std::cout << util::Format(
+      "\nd=6 / 10%% L2 profile: blockvisit %.2fx rowvisitor "
+      "(acceptance target: >= 2x on a release build)\n",
+      gate_speedup);
+  if (smoke && gate_block_rps < gate_row_rps) {
+    std::cerr << "FATAL: blockvisit slower than the rowvisitor baseline on "
+                 "the d=6/10% profile\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qreg
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return qreg::bench::Run(smoke);
+}

@@ -49,6 +49,14 @@ void OlsAccumulator::Add(const double* x, double u) {
   usum_ += u;
 }
 
+void OlsAccumulator::AddBlock(const double* xs, const double* us,
+                              const int32_t* sel, int32_t count) {
+  for (int32_t k = 0; k < count; ++k) {
+    const size_t lane = static_cast<size_t>(sel[k]);
+    Add(xs + lane * d_, us[lane]);
+  }
+}
+
 util::Status OlsAccumulator::Merge(const OlsAccumulator& other) {
   if (other.d_ != d_) {
     return util::Status::InvalidArgument("OlsAccumulator dimension mismatch");

@@ -55,6 +55,13 @@ class OlsAccumulator {
   /// Adds one observation from a raw pointer (x points at d doubles).
   void Add(const double* x, double u);
 
+  /// Fused block update: adds the `count` selected lanes of a row-major
+  /// candidate block (`xs` strided by dimension(), outputs in `us`, lane
+  /// offsets in ascending `sel`). Arithmetic-identical to calling Add() on
+  /// each selected lane in order — one indexed loop, no per-row dispatch.
+  void AddBlock(const double* xs, const double* us, const int32_t* sel,
+                int32_t count);
+
   /// Merges another accumulator of the same dimension (for partitioned scans).
   util::Status Merge(const OlsAccumulator& other);
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "query/scan_kernels.h"
 #include "util/timer.h"
 
 namespace qreg {
@@ -158,18 +159,14 @@ util::Result<MeanValueResult> ExactEngine::MeanValue(
   ChunkRunResult run;
   QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
   if (!parallel_enabled() && control == nullptr) {
-    index_.RadiusVisit(
-        q.center.data(), q.theta, norm_,
-        [&sum, &count](int64_t, const double*, double u) {
-          sum += u;
-          ++count;
-        },
-        &sel);
+    SumBlockKernel kernel;
+    index_.BlockVisit(q.center.data(), q.theta, norm_, &kernel, &sel);
+    sum = kernel.sum();
+    count = kernel.count();
   } else {
     const std::vector<storage::ScanPartition> plan = PartitionPlan();
     struct Part {
-      double sum = 0.0;
-      int64_t count = 0;
+      SumBlockKernel kernel;
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
@@ -177,18 +174,13 @@ util::Result<MeanValueResult> ExactEngine::MeanValue(
         plan.size(),
         [this, &q, &plan, &parts](size_t i) {
           Part& p = parts[i];
-          index_.RadiusVisitPartition(
-              plan[i], q.center.data(), q.theta, norm_,
-              [&p](int64_t, const double*, double u) {
-                p.sum += u;
-                ++p.count;
-              },
-              &p.sel);
+          index_.BlockVisitPartition(plan[i], q.center.data(), q.theta, norm_,
+                                     &p.kernel, &p.sel);
         },
         control);
     for (const Part& p : parts) {  // Deterministic: always plan order.
-      sum += p.sum;
-      count += p.count;
+      sum += p.kernel.sum();
+      count += p.kernel.count();
       sel.tuples_examined += p.sel.tuples_examined;
       sel.tuples_matched += p.sel.tuples_matched;
     }
@@ -219,20 +211,15 @@ util::Result<MomentsResult> ExactEngine::Moments(
   ChunkRunResult run;
   QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
   if (!parallel_enabled() && control == nullptr) {
-    index_.RadiusVisit(
-        q.center.data(), q.theta, norm_,
-        [&sum, &sum_sq, &count](int64_t, const double*, double u) {
-          sum += u;
-          sum_sq += u * u;
-          ++count;
-        },
-        &sel);
+    MomentsBlockKernel kernel;
+    index_.BlockVisit(q.center.data(), q.theta, norm_, &kernel, &sel);
+    sum = kernel.sum();
+    sum_sq = kernel.sum_sq();
+    count = kernel.count();
   } else {
     const std::vector<storage::ScanPartition> plan = PartitionPlan();
     struct Part {
-      double sum = 0.0;
-      double sum_sq = 0.0;
-      int64_t count = 0;
+      MomentsBlockKernel kernel;
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
@@ -240,20 +227,14 @@ util::Result<MomentsResult> ExactEngine::Moments(
         plan.size(),
         [this, &q, &plan, &parts](size_t i) {
           Part& p = parts[i];
-          index_.RadiusVisitPartition(
-              plan[i], q.center.data(), q.theta, norm_,
-              [&p](int64_t, const double*, double u) {
-                p.sum += u;
-                p.sum_sq += u * u;
-                ++p.count;
-              },
-              &p.sel);
+          index_.BlockVisitPartition(plan[i], q.center.data(), q.theta, norm_,
+                                     &p.kernel, &p.sel);
         },
         control);
     for (const Part& p : parts) {
-      sum += p.sum;
-      sum_sq += p.sum_sq;
-      count += p.count;
+      sum += p.kernel.sum();
+      sum_sq += p.kernel.sum_sq();
+      count += p.kernel.count();
       sel.tuples_examined += p.sel.tuples_examined;
       sel.tuples_matched += p.sel.tuples_matched;
     }
@@ -287,14 +268,14 @@ util::Result<linalg::OlsFit> ExactEngine::Regression(
   ChunkRunResult run;
   QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
   if (!parallel_enabled() && control == nullptr) {
-    index_.RadiusVisit(
-        q.center.data(), q.theta, norm_,
-        [&acc](int64_t, const double* x, double u) { acc.Add(x, u); }, &sel);
+    GramBlockKernel kernel(&acc);
+    index_.BlockVisit(q.center.data(), q.theta, norm_, &kernel, &sel);
   } else {
     const std::vector<storage::ScanPartition> plan = PartitionPlan();
     struct Part {
-      explicit Part(size_t d) : acc(d) {}
+      explicit Part(size_t d) : acc(d), kernel(&acc) {}
       linalg::OlsAccumulator acc;
+      GramBlockKernel kernel;
       storage::SelectionStats sel;
     };
     std::vector<Part> parts;
@@ -304,10 +285,8 @@ util::Result<linalg::OlsFit> ExactEngine::Regression(
         plan.size(),
         [this, &q, &plan, &parts](size_t i) {
           Part& p = parts[i];
-          index_.RadiusVisitPartition(
-              plan[i], q.center.data(), q.theta, norm_,
-              [&p](int64_t, const double* x, double u) { p.acc.Add(x, u); },
-              &p.sel);
+          index_.BlockVisitPartition(plan[i], q.center.data(), q.theta, norm_,
+                                     &p.kernel, &p.sel);
         },
         control);
     for (const Part& p : parts) {  // MADlib-style merge, plan order.
@@ -342,11 +321,14 @@ util::Result<std::vector<int64_t>> ExactEngine::Select(
   ChunkRunResult run;
   QREG_RETURN_NOT_OK(CheckAdmission(control, stats, sw));
   if (!parallel_enabled() && control == nullptr) {
-    ids = index_.RadiusSearch(q.center.data(), q.theta, norm_, &sel);
+    CollectIdsBlockKernel kernel(&ids);
+    index_.BlockVisit(q.center.data(), q.theta, norm_, &kernel, &sel);
   } else {
     const std::vector<storage::ScanPartition> plan = PartitionPlan();
     struct Part {
+      Part() : kernel(&ids) {}
       std::vector<int64_t> ids;
+      CollectIdsBlockKernel kernel;
       storage::SelectionStats sel;
     };
     std::vector<Part> parts(plan.size());
@@ -354,10 +336,8 @@ util::Result<std::vector<int64_t>> ExactEngine::Select(
         plan.size(),
         [this, &q, &plan, &parts](size_t i) {
           Part& p = parts[i];
-          index_.RadiusVisitPartition(
-              plan[i], q.center.data(), q.theta, norm_,
-              [&p](int64_t id, const double*, double) { p.ids.push_back(id); },
-              &p.sel);
+          index_.BlockVisitPartition(plan[i], q.center.data(), q.theta, norm_,
+                                     &p.kernel, &p.sel);
         },
         control);
     for (Part& p : parts) {  // Plan order == sequential visit order.

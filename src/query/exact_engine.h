@@ -5,7 +5,13 @@
 //  - Q2 (Regression): multivariate OLS over D(x, θ)     [the REG baseline]
 //
 // Both run the selection through a SpatialIndex access path and aggregate in
-// one streaming pass (no subspace materialization).
+// one streaming pass (no subspace materialization). Execution is
+// block-at-a-time: the access path streams filtered candidate blocks into
+// fused accumulator kernels (query/scan_kernels.h) — one virtual call per
+// block instead of a type-erased std::function call per row, with the Lp
+// filter kernel resolved once per scan. Scalar accumulators are
+// Kahan-compensated; see scan_kernels.h for why determinism nevertheless
+// comes from the plan-order merge, not the compensation.
 //
 // With a ParallelOptions attached, the selection is split into the access
 // path's ScanPartitions, each partition fills its own accumulator (the

@@ -50,9 +50,16 @@ double QueryDistance(const Query& a, const Query& b) {
 
 bool Overlaps(const Query& a, const Query& b, const storage::LpNorm& norm) {
   assert(a.dimension() == b.dimension());
+  const double theta_sum = a.theta + b.theta;
+  if (norm.kind() == storage::LpKind::kL2) {
+    // Compare squared distances: the sqrt buys nothing for a threshold test
+    // and this is the δ-cache's per-candidate hot path.
+    return norm.Distance2(a.center.data(), b.center.data(), a.dimension()) <=
+           theta_sum * theta_sum;
+  }
   const double dist =
       norm.Distance(a.center.data(), b.center.data(), a.dimension());
-  return dist <= a.theta + b.theta;
+  return dist <= theta_sum;
 }
 
 double DegreeOfOverlap(const Query& a, const Query& b,

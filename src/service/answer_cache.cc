@@ -46,37 +46,35 @@ uint64_t AnswerCache::CellHash(const double* center, size_t d, double cell) cons
   return h;
 }
 
-void AnswerCache::GridInsert(Group* g, EntryList::iterator it) const {
-  g->grid[CellHash(it->q.center.data(), it->q.dimension(), g->cell)].push_back(it);
+void AnswerCache::RebuildGrid(GroupSnapshot* g) const {
+  g->grid.clear();
+  if (!config_.enable_grid || g->cell <= 0.0) return;
+  for (size_t i = 0; i < g->entries.size(); ++i) {
+    const query::Query& q = g->entries[i]->answer.q;
+    g->grid[CellHash(q.center.data(), q.dimension(), g->cell)].push_back(
+        static_cast<int32_t>(i));
+  }
 }
 
-void AnswerCache::GridErase(Group* g, EntryList::iterator it) const {
-  const uint64_t key = CellHash(it->q.center.data(), it->q.dimension(), g->cell);
-  auto cell_it = g->grid.find(key);
-  if (cell_it == g->grid.end()) return;
-  auto& bucket = cell_it->second;
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), it), bucket.end());
-  if (bucket.empty()) g->grid.erase(cell_it);
-}
-
-AnswerCache::EntryList::iterator AnswerCache::LinearProbe(
-    Group* g, const query::Query& q, double* delta_out) const {
-  auto best = g->entries.end();
+const AnswerCache::Entry* AnswerCache::LinearProbe(const GroupSnapshot& g,
+                                                   const query::Query& q,
+                                                   double* delta_out) const {
+  const Entry* best = nullptr;
   double best_delta = 0.0;
   size_t probed = 0;
-  for (auto e = g->entries.begin(); e != g->entries.end(); ++e) {
+  for (const EntryPtr& e : g.entries) {
     if (config_.max_probe > 0 && probed >= config_.max_probe) break;
     ++probed;
-    if (e->q.dimension() != q.dimension()) continue;
-    if (e->q == q) {  // Exact repeat: δ = 1, nothing can beat it.
-      best = e;
-      best_delta = 1.0;
-      break;
+    const query::Query& eq = e->answer.q;
+    if (eq.dimension() != q.dimension()) continue;
+    if (eq == q) {  // Exact repeat: δ = 1, nothing can beat it.
+      *delta_out = 1.0;
+      return e.get();
     }
-    if (!query::Overlaps(q, e->q)) continue;  // Predicate A (Definition 6).
-    const double delta = query::DegreeOfOverlap(q, e->q);  // Equation 9.
+    if (!query::Overlaps(q, eq)) continue;  // Predicate A (Definition 6).
+    const double delta = query::DegreeOfOverlap(q, eq);  // Equation 9.
     if (delta >= config_.delta_min && delta > best_delta) {
-      best = e;
+      best = e.get();
       best_delta = delta;
     }
   }
@@ -84,13 +82,13 @@ AnswerCache::EntryList::iterator AnswerCache::LinearProbe(
   return best;
 }
 
-AnswerCache::EntryList::iterator AnswerCache::FindBest(Group* g,
-                                                       const query::Query& q,
-                                                       double* delta_out,
-                                                       bool* used_grid) const {
+const AnswerCache::Entry* AnswerCache::FindBest(const GroupSnapshot& g,
+                                                const query::Query& q,
+                                                double* delta_out,
+                                                bool* used_grid) const {
   *used_grid = false;
   const size_t d = q.dimension();
-  if (!config_.enable_grid || g->cell <= 0.0 || d == 0) {
+  if (!config_.enable_grid || g.cell <= 0.0 || d == 0) {
     return LinearProbe(g, q, delta_out);
   }
 
@@ -98,41 +96,43 @@ AnswerCache::EntryList::iterator AnswerCache::FindBest(Group* g,
   // θ' bounded by the group's θ_max — so only cells within that radius can
   // hold a hit. Count the cell fan-out first; if it beats a straight scan
   // of the group (small groups, large d), the linear probe wins.
-  const double radius = (1.0 - config_.delta_min) * (q.theta + g->theta_max);
+  const double radius = (1.0 - config_.delta_min) * (q.theta + g.theta_max);
   std::vector<int64_t> lo(d), hi(d);
   size_t cells = 1;
   for (size_t j = 0; j < d; ++j) {
-    lo[j] = CellCoord(q.center[j] - radius, g->cell);
-    hi[j] = CellCoord(q.center[j] + radius, g->cell);
+    lo[j] = CellCoord(q.center[j] - radius, g.cell);
+    hi[j] = CellCoord(q.center[j] + radius, g.cell);
     const uint64_t span = static_cast<uint64_t>(hi[j] - lo[j]) + 1;
     if (span > config_.max_grid_cells) return LinearProbe(g, q, delta_out);
     cells *= static_cast<size_t>(span);
     if (cells > config_.max_grid_cells) return LinearProbe(g, q, delta_out);
   }
-  if (cells >= g->entries.size()) {
+  if (cells >= g.entries.size()) {
     return LinearProbe(g, q, delta_out);
   }
   *used_grid = true;
 
-  auto best = g->entries.end();
+  const Entry* best = nullptr;
   double best_delta = 0.0;
   size_t probed = 0;
   std::vector<int64_t> coord = lo;
   for (;;) {
     uint64_t h = 0xcbf29ce484222325ULL ^ d;
     for (size_t j = 0; j < d; ++j) h = Mix(h, static_cast<uint64_t>(coord[j]));
-    auto cell_it = g->grid.find(h);
-    if (cell_it != g->grid.end()) {
-      for (EntryList::iterator e : cell_it->second) {
+    auto cell_it = g.grid.find(h);
+    if (cell_it != g.grid.end()) {
+      for (int32_t idx : cell_it->second) {
         if (config_.max_probe > 0 && probed >= config_.max_probe) break;
         ++probed;
-        if (e->q.dimension() != d) continue;
-        if (e->q == q) {
+        const Entry* e = g.entries[static_cast<size_t>(idx)].get();
+        const query::Query& eq = e->answer.q;
+        if (eq.dimension() != d) continue;
+        if (eq == q) {
           *delta_out = 1.0;
           return e;
         }
-        if (!query::Overlaps(q, e->q)) continue;
-        const double delta = query::DegreeOfOverlap(q, e->q);
+        if (!query::Overlaps(q, eq)) continue;
+        const double delta = query::DegreeOfOverlap(q, eq);
         if (delta >= config_.delta_min && delta > best_delta) {
           best = e;
           best_delta = delta;
@@ -154,110 +154,151 @@ AnswerCache::EntryList::iterator AnswerCache::FindBest(Group* g,
 bool AnswerCache::Lookup(const std::string& group_key, const query::Query& q,
                          CachedAnswer* out) {
   Shard& shard = ShardFor(group_key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.stats.lookups;
-  auto it = shard.groups.find(group_key);
-  if (it == shard.groups.end()) {
-    ++shard.stats.misses;
+  // Bench/testing baseline only: serialize readers like the pre-epoch cache.
+  std::unique_lock<std::mutex> baseline_lock;
+  if (config_.mutex_reader_baseline) {
+    baseline_lock = std::unique_lock<std::mutex>(shard.mu);
+  }
+  shard.lookups.fetch_add(1, std::memory_order_relaxed);
+  // The whole read runs against this immutable snapshot; holding the
+  // shared_ptr keeps every entry alive even if writers publish (or erase)
+  // newer generations meanwhile.
+  const SnapshotPtr snap =
+      std::atomic_load_explicit(&shard.snap, std::memory_order_acquire);
+  const GroupSnapshot* g = nullptr;
+  if (snap != nullptr) {
+    auto it = snap->groups.find(group_key);
+    if (it != snap->groups.end()) g = it->second.get();
+  }
+  if (g == nullptr) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  Group& g = it->second;
 
   double best_delta = 0.0;
   bool used_grid = false;
-  auto best = FindBest(&g, q, &best_delta, &used_grid);
-  if (used_grid) {
-    ++shard.stats.grid_probes;
-  } else {
-    ++shard.stats.linear_probes;
-  }
-  if (best == g.entries.end()) {
-    ++shard.stats.misses;
+  const Entry* best = FindBest(*g, q, &best_delta, &used_grid);
+  (used_grid ? shard.grid_probes : shard.linear_probes)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (best == nullptr) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  ++shard.stats.hits;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   if (out != nullptr) {
-    *out = *best;
+    *out = best->answer;
     out->delta = best_delta;
   }
-  // Touch: splice preserves iterators, so the grid stays valid.
-  g.entries.splice(g.entries.begin(), g.entries, best);
+  // LRU touch: a monotone ticket stamp on the (snapshot-shared) entry, so
+  // writers pick eviction victims by minimum stamp. Replaces the list
+  // splice of the locked design — readers mutate nothing structural.
+  best->last_used.store(shard.ticket.fetch_add(1, std::memory_order_relaxed),
+                        std::memory_order_relaxed);
   return true;
 }
 
 void AnswerCache::Insert(const std::string& group_key, CachedAnswer answer) {
   Shard& shard = ShardFor(group_key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  Group& g = shard.groups[group_key];
-  if (config_.enable_grid && g.cell <= 0.0) {
+  const SnapshotPtr cur =
+      std::atomic_load_explicit(&shard.snap, std::memory_order_acquire);
+
+  auto next = std::make_shared<ShardSnapshot>();
+  if (cur != nullptr) next->groups = cur->groups;  // Other groups shared.
+
+  auto g = std::make_shared<GroupSnapshot>();
+  auto old_it = next->groups.find(group_key);
+  if (old_it != next->groups.end()) {
+    const GroupSnapshot& old = *old_it->second;
+    g->entries = old.entries;  // Pointer-sized copies; entries are shared.
+    g->cell = old.cell;
+    g->theta_max = old.theta_max;
+  }
+
+  if (config_.enable_grid && g->cell <= 0.0) {
     // Cell edge fixed from the first cached ball: matches the typical probe
     // radius (1 - δ_min)·2θ so hits probe O(3^d ∩ max_grid_cells) cells.
     double base = (1.0 - config_.delta_min) * 2.0 * answer.q.theta;
     if (base <= 1e-12) base = answer.q.theta;
     if (base <= 1e-12) base = 1.0;
-    g.cell = base;
+    g->cell = base;
   }
-  g.theta_max = std::max(g.theta_max, answer.q.theta);
+  g->theta_max = std::max(g->theta_max, answer.q.theta);
+
+  const uint64_t stamp = shard.ticket.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<const Entry>(std::move(answer), stamp);
 
   // Replace an exact-duplicate query in place (keeps the group canonical).
-  // Every entry is grid-registered, so the duplicate — same center, same
-  // cell — is found by probing one bucket instead of scanning the group.
-  if (config_.enable_grid) {
-    auto cell_it = g.grid.find(
-        CellHash(answer.q.center.data(), answer.q.dimension(), g.cell));
-    if (cell_it != g.grid.end()) {
-      for (EntryList::iterator e : cell_it->second) {
-        if (e->q == answer.q) {
-          *e = std::move(answer);  // Same center ⇒ same grid cell.
-          g.entries.splice(g.entries.begin(), g.entries, e);
-          return;
+  // Writers own the group copy, so a plain scan over ≤ capacity entries is
+  // fine here — the grid only accelerates the reader path.
+  bool replaced = false;
+  for (size_t i = 0; i < g->entries.size(); ++i) {
+    if (g->entries[i]->answer.q == entry->answer.q) {
+      g->entries.erase(g->entries.begin() + static_cast<int64_t>(i));
+      g->entries.insert(g->entries.begin(), entry);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    g->entries.insert(g->entries.begin(), entry);
+    shard.size.fetch_add(1, std::memory_order_relaxed);
+    shard.inserts.fetch_add(1, std::memory_order_relaxed);
+    if (g->entries.size() > config_.capacity_per_shard) {
+      // Evict the minimum LRU stamp: exact LRU, since every insert and
+      // every hit draws a fresh monotone ticket.
+      size_t victim = 0;
+      uint64_t victim_stamp = g->entries[0]->last_used.load(std::memory_order_relaxed);
+      for (size_t i = 1; i < g->entries.size(); ++i) {
+        const uint64_t s = g->entries[i]->last_used.load(std::memory_order_relaxed);
+        if (s < victim_stamp) {
+          victim_stamp = s;
+          victim = i;
+        }
+      }
+      const double victim_theta = g->entries[victim]->answer.q.theta;
+      g->entries.erase(g->entries.begin() + static_cast<int64_t>(victim));
+      shard.size.fetch_sub(1, std::memory_order_relaxed);
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      // Don't let one evicted large-θ outlier pin the probe radius (and with
+      // it the grid fallback) forever: re-derive the maximum when it leaves.
+      if (victim_theta >= g->theta_max) {
+        g->theta_max = 0.0;
+        for (const EntryPtr& e : g->entries) {
+          g->theta_max = std::max(g->theta_max, e->answer.q.theta);
         }
       }
     }
-  } else {
-    for (auto e = g.entries.begin(); e != g.entries.end(); ++e) {
-      if (e->q == answer.q) {
-        *e = std::move(answer);
-        g.entries.splice(g.entries.begin(), g.entries, e);
-        return;
-      }
-    }
   }
-  g.entries.push_front(std::move(answer));
-  if (config_.enable_grid) GridInsert(&g, g.entries.begin());
-  ++shard.size;
-  ++shard.stats.inserts;
-  if (g.entries.size() > config_.capacity_per_shard) {
-    auto victim = std::prev(g.entries.end());
-    const double victim_theta = victim->q.theta;
-    if (config_.enable_grid) GridErase(&g, victim);
-    g.entries.pop_back();
-    --shard.size;
-    ++shard.stats.evictions;
-    // Don't let one evicted large-θ outlier pin the probe radius (and with
-    // it the grid fallback) forever: re-derive the maximum when it leaves.
-    if (victim_theta >= g.theta_max) {
-      g.theta_max = 0.0;
-      for (const CachedAnswer& e : g.entries) {
-        g.theta_max = std::max(g.theta_max, e.q.theta);
-      }
-    }
-  }
+  RebuildGrid(g.get());
+
+  next->groups[group_key] = std::move(g);
+  std::atomic_store_explicit(&shard.snap, SnapshotPtr(std::move(next)),
+                             std::memory_order_release);
 }
 
 size_t AnswerCache::EraseGroupsWithPrefix(const std::string& group_prefix) {
   size_t erased = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (auto it = shard->groups.begin(); it != shard->groups.end();) {
-      if (it->first.compare(0, group_prefix.size(), group_prefix) == 0) {
-        erased += it->second.entries.size();
-        shard->size -= it->second.entries.size();
-        it = shard->groups.erase(it);
+    const SnapshotPtr cur =
+        std::atomic_load_explicit(&shard->snap, std::memory_order_acquire);
+    if (cur == nullptr) continue;
+    size_t erased_here = 0;
+    auto next = std::make_shared<ShardSnapshot>();
+    for (const auto& kv : cur->groups) {
+      if (kv.first.compare(0, group_prefix.size(), group_prefix) == 0) {
+        erased_here += kv.second->entries.size();
       } else {
-        ++it;
+        next->groups.insert(kv);
       }
     }
+    if (erased_here == 0) continue;
+    shard->size.fetch_sub(static_cast<int64_t>(erased_here),
+                          std::memory_order_relaxed);
+    erased += erased_here;
+    std::atomic_store_explicit(&shard->snap, SnapshotPtr(std::move(next)),
+                               std::memory_order_release);
   }
   return erased;
 }
@@ -265,33 +306,32 @@ size_t AnswerCache::EraseGroupsWithPrefix(const std::string& group_prefix) {
 void AnswerCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->groups.clear();
-    shard->size = 0;
+    std::atomic_store_explicit(&shard->snap, SnapshotPtr(),
+                               std::memory_order_release);
+    shard->size.store(0, std::memory_order_relaxed);
   }
 }
 
 AnswerCacheStats AnswerCache::stats() const {
   AnswerCacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total.lookups += shard->stats.lookups;
-    total.hits += shard->stats.hits;
-    total.misses += shard->stats.misses;
-    total.inserts += shard->stats.inserts;
-    total.evictions += shard->stats.evictions;
-    total.grid_probes += shard->stats.grid_probes;
-    total.linear_probes += shard->stats.linear_probes;
+    total.lookups += shard->lookups.load(std::memory_order_relaxed);
+    total.hits += shard->hits.load(std::memory_order_relaxed);
+    total.misses += shard->misses.load(std::memory_order_relaxed);
+    total.inserts += shard->inserts.load(std::memory_order_relaxed);
+    total.evictions += shard->evictions.load(std::memory_order_relaxed);
+    total.grid_probes += shard->grid_probes.load(std::memory_order_relaxed);
+    total.linear_probes += shard->linear_probes.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 size_t AnswerCache::size() const {
-  size_t total = 0;
+  int64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->size;
+    total += shard->size.load(std::memory_order_relaxed);
   }
-  return total;
+  return static_cast<size_t>(total);
 }
 
 }  // namespace service

@@ -11,9 +11,22 @@
 //
 // Concurrency & lookup cost:
 //   - Entries live in per-key *groups* (the router keys by "dataset/kind"),
-//     evicted LRU per group.
-//   - Groups are distributed over `num_shards` lock shards by key hash, so
-//     readers of different datasets/kinds never contend on one mutex.
+//     evicted LRU per group; groups are hashed over `num_shards` shards.
+//   - Reads are wait-free: each shard epoch-publishes an immutable snapshot
+//     of its groups (entries + per-group probe grid). Lookup loads the
+//     current snapshot with one atomic acquire, probes it without taking
+//     any lock, and records the LRU touch as an atomic ticket stamp on the
+//     hit entry. A concurrent writer can only swing the snapshot pointer to
+//     a *new* fully-built snapshot, so readers never observe a torn entry —
+//     there is nothing to retry and nothing to block on.
+//   - Writers (Insert / EraseGroupsWithPrefix / Clear) still serialize on
+//     the shard mutex, copy-on-write the touched group (entry handles are
+//     shared, so the copy is pointer-sized per entry), and publish the next
+//     snapshot generation with one atomic release store. This trades O(group)
+//     writer-side copying for zero reader-side coordination — the right side
+//     of the bargain for the write-light production workload.
+//   - Hit/miss/insert counters are per-shard atomics, so they stay exact
+//     under any reader/writer interleaving.
 //   - Within a group, cached query centers are bucketed on a uniform grid.
 //     Since admission requires ||x - x'|| ≤ (1 - δ_min)(θ + θ'), a lookup
 //     only probes the grid cells within that radius — O(neighbouring cells)
@@ -26,8 +39,8 @@
 #ifndef QREG_SERVICE_ANSWER_CACHE_H_
 #define QREG_SERVICE_ANSWER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,8 +63,8 @@ struct AnswerCacheConfig {
   double delta_min = 0.9;
 
   /// Max entries probed per lookup; 0 probes every candidate. On the linear
-  /// path candidates are scanned from most- to least-recently used; on the
-  /// grid path the probe order is cell order. Bounds worst-case lookup cost.
+  /// path candidates are scanned newest-insert-first; on the grid path the
+  /// probe order is cell order. Bounds worst-case lookup cost.
   size_t max_probe = 0;
 
   /// Lock shards the groups are hashed over. More shards = less contention
@@ -65,6 +78,12 @@ struct AnswerCacheConfig {
   /// Grid lookups probing more than this many cells fall back to the linear
   /// probe (the grid only pays off when cells hold few entries each).
   size_t max_grid_cells = 64;
+
+  /// Bench/testing baseline: make Lookup serialize on the shard mutex like
+  /// the pre-epoch implementation, so the reader-scaling micro-bench can
+  /// measure mutex-vs-wait-free on the same build. Never enable in
+  /// production.
+  bool mutex_reader_baseline = false;
 };
 
 /// \brief The reusable payload of one cached answer (Q1 scalar and/or the
@@ -92,7 +111,8 @@ struct AnswerCacheStats {
   }
 };
 
-/// \brief Thread-safe sharded LRU cache with δ-overlap admission.
+/// \brief Thread-safe sharded LRU cache with δ-overlap admission and
+/// wait-free (mutex-less) reads.
 class AnswerCache {
  public:
   explicit AnswerCache(AnswerCacheConfig config);
@@ -102,13 +122,15 @@ class AnswerCache {
 
   /// Probes the group for the cached query with the highest δ(q, ·) ≥ δ_min
   /// among overlapping entries. On a hit fills `*out` (with `out->delta` set
-  /// to the achieved overlap degree), touches the entry's LRU position, and
-  /// returns true.
+  /// to the achieved overlap degree), touches the entry's LRU stamp, and
+  /// returns true. Takes no mutex: reads run against the shard's current
+  /// immutable snapshot.
   bool Lookup(const std::string& group, const query::Query& q,
               CachedAnswer* out);
 
-  /// Caches an answer, evicting the group's LRU entry beyond capacity. A
-  /// second insert with an identical query replaces the previous answer.
+  /// Caches an answer, evicting the group's least-recently-used entry beyond
+  /// capacity. A second insert with an identical query replaces the previous
+  /// answer.
   void Insert(const std::string& group, CachedAnswer answer);
 
   void Clear();
@@ -117,7 +139,9 @@ class AnswerCache {
   /// number of cached entries dropped. The router uses this to invalidate a
   /// dataset's answers after a drift retrain: cache keys carry the model
   /// generation ("dataset/g<N>/kind"), so a generation swap already stops
-  /// stale entries from being served — this reclaims their memory.
+  /// stale entries from being served — this reclaims their memory. A lookup
+  /// concurrent with the erase may still serve the snapshot it already
+  /// loaded (the usual epoch-reclamation semantics).
   size_t EraseGroupsWithPrefix(const std::string& group_prefix);
 
   AnswerCacheStats stats() const;  ///< Aggregated over all shards.
@@ -126,37 +150,60 @@ class AnswerCache {
   const AnswerCacheConfig& config() const { return config_; }
 
  private:
-  using EntryList = std::list<CachedAnswer>;
+  /// One immutable cached entry plus its mutable LRU ticket. Entries are
+  /// shared between consecutive snapshots, so a reader's ticket stamp is
+  /// visible to the writer that picks the eviction victim.
+  struct Entry {
+    CachedAnswer answer;
+    mutable std::atomic<uint64_t> last_used;
 
-  struct Group {
-    EntryList entries;  // Front = most recently used.
-    // Uniform grid over entry centers: cell-coordinate hash → entries in
-    // that cell. Fixed cell edge, chosen from the first inserted θ; hash
-    // collisions merely merge cells (extra candidates, never missed ones).
-    std::unordered_map<uint64_t, std::vector<EntryList::iterator>> grid;
+    Entry(CachedAnswer a, uint64_t stamp)
+        : answer(std::move(a)), last_used(stamp) {}
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  /// Immutable per-group state: entries newest-insert-first plus the probe
+  /// grid over entry centers (cell-coordinate hash → entry indices; hash
+  /// collisions merely merge cells — extra candidates, never missed ones).
+  struct GroupSnapshot {
+    std::vector<EntryPtr> entries;
+    std::unordered_map<uint64_t, std::vector<int32_t>> grid;
     double cell = 0.0;       // Cell edge length; 0 until the first insert.
     double theta_max = 0.0;  // Largest cached θ (bounds the probe radius).
   };
+  using GroupPtr = std::shared_ptr<const GroupSnapshot>;
+
+  struct ShardSnapshot {
+    std::unordered_map<std::string, GroupPtr> groups;
+  };
+  using SnapshotPtr = std::shared_ptr<const ShardSnapshot>;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Group> groups;
-    AnswerCacheStats stats;
-    size_t size = 0;
+    std::mutex mu;                    // Serializes writers only.
+    SnapshotPtr snap;                 // Epoch-published; atomic load/store.
+    std::atomic<uint64_t> ticket{1};  // LRU clock shared with readers.
+    std::atomic<int64_t> size{0};
+    std::atomic<int64_t> lookups{0};
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> inserts{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> grid_probes{0};
+    std::atomic<int64_t> linear_probes{0};
   };
 
   Shard& ShardFor(const std::string& group) const;
 
   uint64_t CellHash(const double* center, size_t d, double cell) const;
-  void GridInsert(Group* g, EntryList::iterator it) const;
-  void GridErase(Group* g, EntryList::iterator it) const;
+  void RebuildGrid(GroupSnapshot* g) const;
 
-  /// Best admissible entry, or entries.end(). Sets *delta_out and
-  /// *used_grid (whether the grid path answered).
-  EntryList::iterator FindBest(Group* g, const query::Query& q,
-                               double* delta_out, bool* used_grid) const;
-  EntryList::iterator LinearProbe(Group* g, const query::Query& q,
-                                  double* delta_out) const;
+  /// Best admissible entry of an immutable group snapshot, or null. Sets
+  /// *delta_out and *used_grid (whether the grid path answered). The caller
+  /// keeps the snapshot alive for the duration.
+  const Entry* FindBest(const GroupSnapshot& g, const query::Query& q,
+                        double* delta_out, bool* used_grid) const;
+  const Entry* LinearProbe(const GroupSnapshot& g, const query::Query& q,
+                           double* delta_out) const;
 
   AnswerCacheConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Fixed size after ctor.

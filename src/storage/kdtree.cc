@@ -15,6 +15,22 @@ KdTree::KdTree(const Table& table, int leaf_size)
   if (n > 0) {
     nodes_.reserve(static_cast<size_t>(2 * n / leaf_size_ + 2));
     root_ = Build(0, static_cast<int32_t>(n));
+    // Leaf-blocked re-layout: copy rows into permuted contiguous storage so
+    // every subtree's [begin, end) range is one row-major span.
+    const size_t d = table_.dimension();
+    xs_perm_.resize(static_cast<size_t>(n) * d);
+    us_perm_.resize(static_cast<size_t>(n));
+    row_ids_.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t id = ids_[static_cast<size_t>(i)];
+      const double* src = table_.x(id);
+      std::copy(src, src + d, &xs_perm_[static_cast<size_t>(i) * d]);
+      us_perm_[static_cast<size_t>(i)] = table_.u(id);
+      row_ids_[static_cast<size_t>(i)] = id;
+    }
+    // The build permutation is fully captured by row_ids_ now; release the
+    // int32 scratch instead of carrying n dead entries for the tree's life.
+    std::vector<int32_t>().swap(ids_);
   }
 }
 
@@ -76,41 +92,80 @@ int32_t KdTree::Build(int32_t begin, int32_t end) {
   return node_idx;
 }
 
-void KdTree::RadiusVisitNode(int32_t node_idx, const double* center, double radius,
-                             const LpNorm& norm, const RowVisitor& visit,
-                             int64_t* examined, int64_t* matched) const {
+void KdTree::BlockVisitNode(int32_t node_idx, const double* center,
+                            double radius, const LpNorm& norm,
+                            const BlockFilter& filter, BlockKernel* kernel,
+                            int64_t* examined, int64_t* matched) const {
   const Node& node = nodes_[static_cast<size_t>(node_idx)];
   const size_t d = table_.dimension();
   if (norm.MinDistanceToBox(center, node.box_lo.data(), node.box_hi.data(), d) >
       radius) {
     return;  // Ball cannot intersect this subtree.
   }
-  if (node.left < 0) {  // Leaf: test every row.
-    for (int32_t i = node.begin; i < node.end; ++i) {
-      const int32_t id = ids_[static_cast<size_t>(i)];
-      const double* row = table_.x(id);
-      ++*examined;
-      if (norm.Within(row, center, d, radius)) {
-        ++*matched;
-        visit(id, row, table_.u(id));
+  if (node.left < 0) {  // Leaf: stream its contiguous span block-at-a-time.
+    double scratch[kScanBlockRows];
+    int32_t sel[kScanBlockRows];
+    for (int32_t b = node.begin; b < node.end; b += kScanBlockRows) {
+      const int32_t rows = std::min<int32_t>(kScanBlockRows, node.end - b);
+      const double* xs = PermRow(b);
+      const int32_t count =
+          filter.Run(xs, rows, d, center, radius, sel, scratch);
+      *examined += rows;
+      *matched += count;
+      if (count > 0) {
+        BlockSpan span;
+        span.xs = xs;
+        span.us = &us_perm_[static_cast<size_t>(b)];
+        span.ids = &row_ids_[static_cast<size_t>(b)];
+        span.sel = sel;
+        span.count = count;
+        span.rows = rows;
+        span.d = d;
+        kernel->OnBlock(span);
       }
     }
     return;
   }
-  RadiusVisitNode(node.left, center, radius, norm, visit, examined, matched);
-  RadiusVisitNode(node.right, center, radius, norm, visit, examined, matched);
+  BlockVisitNode(node.left, center, radius, norm, filter, kernel, examined,
+                 matched);
+  BlockVisitNode(node.right, center, radius, norm, filter, kernel, examined,
+                 matched);
 }
 
-void KdTree::RadiusVisit(const double* center, double radius, const LpNorm& norm,
-                         const RowVisitor& visit, SelectionStats* stats) const {
+void KdTree::BlockVisit(const double* center, double radius, const LpNorm& norm,
+                        BlockKernel* kernel, SelectionStats* stats) const {
   if (root_ < 0) return;
+  const BlockFilter filter = SelectBlockFilter(norm, table_.dimension());
   int64_t examined = 0;
   int64_t matched = 0;
-  RadiusVisitNode(root_, center, radius, norm, visit, &examined, &matched);
+  BlockVisitNode(root_, center, radius, norm, filter, kernel, &examined,
+                 &matched);
   if (stats != nullptr) {
     stats->tuples_examined += examined;
     stats->tuples_matched += matched;
   }
+}
+
+void KdTree::BlockVisitPartition(const ScanPartition& part, const double* center,
+                                 double radius, const LpNorm& norm,
+                                 BlockKernel* kernel,
+                                 SelectionStats* stats) const {
+  if (part.node < 0 || part.node >= static_cast<int32_t>(nodes_.size())) return;
+  const BlockFilter filter = SelectBlockFilter(norm, table_.dimension());
+  int64_t examined = 0;
+  int64_t matched = 0;
+  BlockVisitNode(part.node, center, radius, norm, filter, kernel, &examined,
+                 &matched);
+  if (stats != nullptr) {
+    stats->tuples_examined += examined;
+    stats->tuples_matched += matched;
+  }
+}
+
+void KdTree::RadiusVisit(const double* center, double radius, const LpNorm& norm,
+                         const RowVisitor& visit, SelectionStats* stats) const {
+  RowVisitorBlockKernel adapter(visit);
+  BlockVisit(center, radius, norm, &adapter, stats);
 }
 
 std::vector<ScanPartition> KdTree::MakePartitions(size_t target) const {
@@ -143,7 +198,7 @@ std::vector<ScanPartition> KdTree::MakePartitions(size_t target) const {
     done.push_back(frontier.top());
     frontier.pop();
   }
-  // Left-to-right (ids_ ranges are disjoint and ordered by construction).
+  // Left-to-right (permuted ranges are disjoint and ordered by construction).
   std::sort(done.begin(), done.end(), [this](int32_t a, int32_t b) {
     return nodes_[static_cast<size_t>(a)].begin < nodes_[static_cast<size_t>(b)].begin;
   });
@@ -163,14 +218,8 @@ void KdTree::RadiusVisitPartition(const ScanPartition& part, const double* cente
                                   double radius, const LpNorm& norm,
                                   const RowVisitor& visit,
                                   SelectionStats* stats) const {
-  if (part.node < 0 || part.node >= static_cast<int32_t>(nodes_.size())) return;
-  int64_t examined = 0;
-  int64_t matched = 0;
-  RadiusVisitNode(part.node, center, radius, norm, visit, &examined, &matched);
-  if (stats != nullptr) {
-    stats->tuples_examined += examined;
-    stats->tuples_matched += matched;
-  }
+  RowVisitorBlockKernel adapter(visit);
+  BlockVisitPartition(part, center, radius, norm, &adapter, stats);
 }
 
 std::vector<Neighbor> KdTree::NearestNeighbors(const double* center, int k,
@@ -198,14 +247,14 @@ std::vector<Neighbor> KdTree::NearestNeighbors(const double* center, int k,
       continue;
     }
     if (node.left < 0) {
+      // Leaf: permuted storage keeps the candidate rows contiguous.
       for (int32_t i = node.begin; i < node.end; ++i) {
-        const int32_t id = ids_[static_cast<size_t>(i)];
-        const double dist = norm.Distance(table_.x(id), center, d);
+        const double dist = norm.Distance(PermRow(i), center, d);
         if (heap.size() < static_cast<size_t>(k)) {
-          heap.push({dist, id});
+          heap.push({dist, row_ids_[static_cast<size_t>(i)]});
         } else if (dist < heap.top().distance) {
           heap.pop();
-          heap.push({dist, id});
+          heap.push({dist, row_ids_[static_cast<size_t>(i)]});
         }
       }
       continue;

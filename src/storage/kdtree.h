@@ -4,6 +4,12 @@
 // operator — plus k-nearest-neighbour search used by tests and examples.
 // Nodes own contiguous index ranges; leaves hold up to `leaf_size` rows and
 // interior nodes keep their bounding boxes for Lp pruning.
+//
+// Storage is leaf-blocked: after the build permutes the row order, the
+// feature rows and outputs are re-laid out into contiguous permuted arrays,
+// so every leaf (and every subtree-frontier partition) owns a contiguous
+// span of row-major storage. Radius selection streams those spans through
+// the branch-free block filter instead of pointer-chasing per-row ids.
 
 #ifndef QREG_STORAGE_KDTREE_H_
 #define QREG_STORAGE_KDTREE_H_
@@ -11,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/block_filter.h"
 #include "storage/spatial_index.h"
 #include "util/status.h"
 
@@ -34,6 +41,9 @@ class KdTree : public SpatialIndex {
   void RadiusVisit(const double* center, double radius, const LpNorm& norm,
                    const RowVisitor& visit, SelectionStats* stats) const override;
 
+  void BlockVisit(const double* center, double radius, const LpNorm& norm,
+                  BlockKernel* kernel, SelectionStats* stats) const override;
+
   /// A frontier of disjoint subtree roots covering every row, built by
   /// repeatedly splitting the largest frontier node until `target` subtrees
   /// exist (or only leaves remain), then ordered left-to-right so that
@@ -46,6 +56,11 @@ class KdTree : public SpatialIndex {
                             const RowVisitor& visit,
                             SelectionStats* stats) const override;
 
+  void BlockVisitPartition(const ScanPartition& part, const double* center,
+                           double radius, const LpNorm& norm,
+                           BlockKernel* kernel,
+                           SelectionStats* stats) const override;
+
   /// The k nearest rows to `center` under `norm`, ascending by distance.
   /// Returns fewer than k if the table is smaller.
   std::vector<Neighbor> NearestNeighbors(const double* center, int k,
@@ -54,13 +69,13 @@ class KdTree : public SpatialIndex {
   std::string name() const override { return "kdtree"; }
 
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
-  int64_t num_rows() const { return static_cast<int64_t>(ids_.size()); }
+  int64_t num_rows() const { return static_cast<int64_t>(row_ids_.size()); }
 
  private:
   struct Node {
     int32_t left = -1;    // child node index, -1 for leaf
     int32_t right = -1;
-    int32_t begin = 0;    // range in ids_
+    int32_t begin = 0;    // range in the permuted row storage
     int32_t end = 0;
     std::vector<double> box_lo;
     std::vector<double> box_hi;
@@ -69,15 +84,27 @@ class KdTree : public SpatialIndex {
   int32_t Build(int32_t begin, int32_t end);
   void ComputeBox(Node* node) const;
 
-  void RadiusVisitNode(int32_t node_idx, const double* center, double radius,
-                       const LpNorm& norm, const RowVisitor& visit,
-                       int64_t* examined, int64_t* matched) const;
+  void BlockVisitNode(int32_t node_idx, const double* center, double radius,
+                      const LpNorm& norm, const BlockFilter& filter,
+                      BlockKernel* kernel, int64_t* examined,
+                      int64_t* matched) const;
+
+  /// Features of permuted position i (valid after the build re-layout).
+  const double* PermRow(int32_t i) const {
+    return &xs_perm_[static_cast<size_t>(i) * table_.dimension()];
+  }
 
   const Table& table_;
   int leaf_size_;
-  std::vector<int32_t> ids_;   // permutation of row ids
+  std::vector<int32_t> ids_;      // permutation of row ids (build order)
   std::vector<Node> nodes_;
   int32_t root_ = -1;
+  // Leaf-blocked re-layout of the table in ids_ order: position i holds the
+  // features/output/original id of row ids_[i], so node [begin, end) ranges
+  // are contiguous row-major spans.
+  std::vector<double> xs_perm_;   // n * d
+  std::vector<double> us_perm_;   // n
+  std::vector<int64_t> row_ids_;  // n
 };
 
 }  // namespace storage

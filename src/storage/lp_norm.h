@@ -2,6 +2,11 @@
 //
 // The selection operator D(x, θ) admits any p >= 1; the query-space
 // similarity measure is always L2 (Definition 5).
+//
+// The p-dispatch is resolved once at construction into an LpKind enum, so
+// Distance/Within switch on an integer instead of re-comparing the double p
+// on every call, and scan loops can hoist the dispatch entirely by selecting
+// a per-kind kernel up front (see storage/block_filter.h).
 
 #ifndef QREG_STORAGE_LP_NORM_H_
 #define QREG_STORAGE_LP_NORM_H_
@@ -13,13 +18,16 @@
 namespace qreg {
 namespace storage {
 
+/// \brief The four evaluation kernels an Lp norm can resolve to.
+enum class LpKind { kL1, kL2, kLInf, kGeneric };
+
 /// \brief p-norm selector; kInf encodes the Chebyshev norm.
 class LpNorm {
  public:
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   /// p must be >= 1 (or kInf); p defaults to Euclidean.
-  explicit LpNorm(double p = 2.0) : p_(p) {}
+  explicit LpNorm(double p = 2.0) : p_(p), kind_(KindOf(p)) {}
 
   static LpNorm L1() { return LpNorm(1.0); }
   static LpNorm L2() { return LpNorm(2.0); }
@@ -27,48 +35,66 @@ class LpNorm {
 
   double p() const { return p_; }
 
+  /// The kernel this norm dispatches to, resolved once at construction.
+  LpKind kind() const { return kind_; }
+
   /// ||a - b||_p over d coordinates.
   double Distance(const double* a, const double* b, size_t d) const {
-    if (p_ == 2.0) {
-      double s = 0.0;
-      for (size_t i = 0; i < d; ++i) {
-        const double t = a[i] - b[i];
-        s += t * t;
+    switch (kind_) {
+      case LpKind::kL2:
+        return std::sqrt(Distance2(a, b, d));
+      case LpKind::kL1: {
+        double s = 0.0;
+        for (size_t i = 0; i < d; ++i) s += std::fabs(a[i] - b[i]);
+        return s;
       }
-      return std::sqrt(s);
-    }
-    if (p_ == 1.0) {
-      double s = 0.0;
-      for (size_t i = 0; i < d; ++i) s += std::fabs(a[i] - b[i]);
-      return s;
-    }
-    if (p_ == kInf) {
-      double s = 0.0;
-      for (size_t i = 0; i < d; ++i) s = std::max(s, std::fabs(a[i] - b[i]));
-      return s;
+      case LpKind::kLInf: {
+        double s = 0.0;
+        for (size_t i = 0; i < d; ++i) s = std::max(s, std::fabs(a[i] - b[i]));
+        return s;
+      }
+      case LpKind::kGeneric:
+        break;
     }
     double s = 0.0;
     for (size_t i = 0; i < d; ++i) s += std::pow(std::fabs(a[i] - b[i]), p_);
     return std::pow(s, 1.0 / p_);
   }
 
+  /// Squared Euclidean distance ||a - b||_2², independent of p. Callers that
+  /// only compare an L2 distance against a radius should test
+  /// Distance2() <= radius * radius and skip the sqrt entirely.
+  double Distance2(const double* a, const double* b, size_t d) const {
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double t = a[i] - b[i];
+      s += t * t;
+    }
+    return s;
+  }
+
   /// True iff ||a - b||_p <= radius; avoids the final root where possible.
   bool Within(const double* a, const double* b, size_t d, double radius) const {
-    if (p_ == 2.0) {
-      double s = 0.0;
-      const double r2 = radius * radius;
-      for (size_t i = 0; i < d; ++i) {
-        const double t = a[i] - b[i];
-        s += t * t;
-        if (s > r2) return false;
+    switch (kind_) {
+      case LpKind::kL2: {
+        double s = 0.0;
+        const double r2 = radius * radius;
+        for (size_t i = 0; i < d; ++i) {
+          const double t = a[i] - b[i];
+          s += t * t;
+          if (s > r2) return false;
+        }
+        return true;
       }
-      return true;
-    }
-    if (p_ == kInf) {
-      for (size_t i = 0; i < d; ++i) {
-        if (std::fabs(a[i] - b[i]) > radius) return false;
+      case LpKind::kLInf: {
+        for (size_t i = 0; i < d; ++i) {
+          if (std::fabs(a[i] - b[i]) > radius) return false;
+        }
+        return true;
       }
-      return true;
+      case LpKind::kL1:
+      case LpKind::kGeneric:
+        break;
     }
     return Distance(a, b, d) <= radius;
   }
@@ -77,7 +103,7 @@ class LpNorm {
   /// [lo, hi]^d. Used by the k-d tree to prune subtrees.
   double MinDistanceToBox(const double* q, const double* lo, const double* hi,
                           size_t d) const {
-    if (p_ == kInf) {
+    if (kind_ == LpKind::kLInf) {
       double m = 0.0;
       for (size_t i = 0; i < d; ++i) {
         double gap = 0.0;
@@ -92,15 +118,25 @@ class LpNorm {
       double gap = 0.0;
       if (q[i] < lo[i]) gap = lo[i] - q[i];
       else if (q[i] > hi[i]) gap = q[i] - hi[i];
-      s += (p_ == 2.0) ? gap * gap : ((p_ == 1.0) ? gap : std::pow(gap, p_));
+      s += (kind_ == LpKind::kL2) ? gap * gap
+                                  : ((kind_ == LpKind::kL1) ? gap
+                                                            : std::pow(gap, p_));
     }
-    if (p_ == 2.0) return std::sqrt(s);
-    if (p_ == 1.0) return s;
+    if (kind_ == LpKind::kL2) return std::sqrt(s);
+    if (kind_ == LpKind::kL1) return s;
     return std::pow(s, 1.0 / p_);
   }
 
  private:
+  static LpKind KindOf(double p) {
+    if (p == 2.0) return LpKind::kL2;
+    if (p == 1.0) return LpKind::kL1;
+    if (p == kInf) return LpKind::kLInf;
+    return LpKind::kGeneric;
+  }
+
   double p_;
+  LpKind kind_;
 };
 
 }  // namespace storage

@@ -2,21 +2,43 @@
 
 #include <algorithm>
 
+#include "storage/block_filter.h"
+
 namespace qreg {
 namespace storage {
 
 namespace {
 
-void ScanRange(const Table& table, int64_t begin, int64_t end,
-               const double* center, double radius, const LpNorm& norm,
-               const RowVisitor& visit, SelectionStats* stats) {
+// The blocked scan core: filter kernel resolved once per call, then each
+// kScanBlockRows-row block is distance-filtered branch-free and its
+// selected lanes handed to the kernel in row order.
+void BlockScanRange(const Table& table, int64_t begin, int64_t end,
+                    const double* center, double radius, const LpNorm& norm,
+                    BlockKernel* kernel, SelectionStats* stats) {
   const size_t d = table.dimension();
+  const BlockFilter filter = SelectBlockFilter(norm, d);
+  double scratch[kScanBlockRows];
+  int32_t sel[kScanBlockRows];
   int64_t matched = 0;
-  for (int64_t i = begin; i < end; ++i) {
-    const double* row = table.x(i);
-    if (norm.Within(row, center, d, radius)) {
-      ++matched;
-      visit(i, row, table.u(i));
+  const double* us = table.u_column().data();
+  for (int64_t b = begin; b < end; b += kScanBlockRows) {
+    const int32_t rows =
+        static_cast<int32_t>(std::min<int64_t>(kScanBlockRows, end - b));
+    const double* xs = table.x(b);
+    const int32_t count =
+        filter.Run(xs, rows, d, center, radius, sel, scratch);
+    matched += count;
+    if (count > 0) {
+      BlockSpan span;
+      span.xs = xs;
+      span.us = us + b;
+      span.ids = nullptr;  // Scan ids are consecutive: id = b + lane.
+      span.id_base = b;
+      span.sel = sel;
+      span.count = count;
+      span.rows = rows;
+      span.d = d;
+      kernel->OnBlock(span);
     }
   }
   if (stats != nullptr) {
@@ -27,9 +49,25 @@ void ScanRange(const Table& table, int64_t begin, int64_t end,
 
 }  // namespace
 
+void ScanIndex::BlockVisit(const double* center, double radius,
+                           const LpNorm& norm, BlockKernel* kernel,
+                           SelectionStats* stats) const {
+  BlockScanRange(table_, 0, table_.num_rows(), center, radius, norm, kernel,
+                 stats);
+}
+
+void ScanIndex::BlockVisitPartition(const ScanPartition& part,
+                                    const double* center, double radius,
+                                    const LpNorm& norm, BlockKernel* kernel,
+                                    SelectionStats* stats) const {
+  BlockScanRange(table_, part.begin, std::min(part.end, table_.num_rows()),
+                 center, radius, norm, kernel, stats);
+}
+
 void ScanIndex::RadiusVisit(const double* center, double radius, const LpNorm& norm,
                             const RowVisitor& visit, SelectionStats* stats) const {
-  ScanRange(table_, 0, table_.num_rows(), center, radius, norm, visit, stats);
+  RowVisitorBlockKernel adapter(visit);
+  BlockVisit(center, radius, norm, &adapter, stats);
 }
 
 std::vector<ScanPartition> ScanIndex::MakePartitions(size_t target) const {
@@ -54,8 +92,8 @@ void ScanIndex::RadiusVisitPartition(const ScanPartition& part, const double* ce
                                      double radius, const LpNorm& norm,
                                      const RowVisitor& visit,
                                      SelectionStats* stats) const {
-  ScanRange(table_, part.begin, std::min(part.end, table_.num_rows()), center,
-            radius, norm, visit, stats);
+  RowVisitorBlockKernel adapter(visit);
+  BlockVisitPartition(part, center, radius, norm, &adapter, stats);
 }
 
 }  // namespace storage

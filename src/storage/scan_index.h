@@ -1,6 +1,11 @@
 // Full-table-scan access path: what a DBMS without a spatial index does for
 // a dNN selection (sequential filter). Baseline for Figure 12 and the
 // correctness oracle for the k-d tree.
+//
+// Execution is block-at-a-time: the row-major feature array is streamed in
+// kScanBlockRows-row blocks through the branch-free Lp filter and the
+// selected lanes are handed to the caller's BlockKernel. RadiusVisit is the
+// row-callback adapter over the same blocked scan.
 
 #ifndef QREG_STORAGE_SCAN_INDEX_H_
 #define QREG_STORAGE_SCAN_INDEX_H_
@@ -19,6 +24,9 @@ class ScanIndex : public SpatialIndex {
   void RadiusVisit(const double* center, double radius, const LpNorm& norm,
                    const RowVisitor& visit, SelectionStats* stats) const override;
 
+  void BlockVisit(const double* center, double radius, const LpNorm& norm,
+                  BlockKernel* kernel, SelectionStats* stats) const override;
+
   /// Equal-size contiguous row ranges (the last absorbs the remainder).
   std::vector<ScanPartition> MakePartitions(size_t target) const override;
 
@@ -26,6 +34,11 @@ class ScanIndex : public SpatialIndex {
                             double radius, const LpNorm& norm,
                             const RowVisitor& visit,
                             SelectionStats* stats) const override;
+
+  void BlockVisitPartition(const ScanPartition& part, const double* center,
+                           double radius, const LpNorm& norm,
+                           BlockKernel* kernel,
+                           SelectionStats* stats) const override;
 
   std::string name() const override { return "scan"; }
 

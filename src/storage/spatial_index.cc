@@ -17,13 +17,62 @@ void SpatialIndex::RadiusVisitPartition(const ScanPartition&, const double* cent
   RadiusVisit(center, radius, norm, visit, stats);
 }
 
+void SpatialIndex::BlockVisit(const double* center, double radius,
+                              const LpNorm& norm, BlockKernel* kernel,
+                              SelectionStats* stats) const {
+  // Fallback for access paths without native blocked storage: wrap each
+  // visited row as a one-row span. Native indexes override this.
+  RadiusVisit(
+      center, radius, norm,
+      [kernel](int64_t id, const double* x, double u) {
+        static constexpr int32_t kLane0 = 0;
+        BlockSpan span;
+        span.xs = x;
+        span.us = &u;
+        span.ids = &id;
+        span.sel = &kLane0;
+        span.count = 1;
+        span.rows = 1;
+        // d is unknown here; XAt(0) still returns `x` because sel[0] == 0.
+        kernel->OnBlock(span);
+      },
+      stats);
+}
+
+void SpatialIndex::BlockVisitPartition(const ScanPartition& part,
+                                       const double* center, double radius,
+                                       const LpNorm& norm, BlockKernel* kernel,
+                                       SelectionStats* stats) const {
+  RadiusVisitPartition(
+      part, center, radius, norm,
+      [kernel](int64_t id, const double* x, double u) {
+        static constexpr int32_t kLane0 = 0;
+        BlockSpan span;
+        span.xs = x;
+        span.us = &u;
+        span.ids = &id;
+        span.sel = &kLane0;
+        span.count = 1;
+        span.rows = 1;
+        kernel->OnBlock(span);
+      },
+      stats);
+}
+
 std::vector<int64_t> SpatialIndex::RadiusSearch(const double* center, double radius,
                                                 const LpNorm& norm,
                                                 SelectionStats* stats) const {
   std::vector<int64_t> ids;
-  RadiusVisit(
-      center, radius, norm,
-      [&ids](int64_t id, const double*, double) { ids.push_back(id); }, stats);
+  class Collect : public BlockKernel {
+   public:
+    explicit Collect(std::vector<int64_t>* out) : out_(out) {}
+    void OnBlock(const BlockSpan& span) override {
+      for (int32_t k = 0; k < span.count; ++k) out_->push_back(span.IdAt(k));
+    }
+   private:
+    std::vector<int64_t>* out_;
+  } collect(&ids);
+  BlockVisit(center, radius, norm, &collect, stats);
   return ids;
 }
 

@@ -1,5 +1,16 @@
 // Selection-operator interface: visit every row of a Table whose feature
 // vector lies within an Lp ball (Definition 3's data subspace D(x, θ)).
+//
+// Two call styles share one contract:
+//   - BlockVisit (the native hot path): the index streams contiguous
+//     candidate blocks of its row storage through a branch-free Lp filter
+//     (storage/block_filter.h) and hands each block's selected lanes to a
+//     BlockKernel — one virtual call per ~256 rows instead of one
+//     type-erased std::function call per matching row.
+//   - RadiusVisit (the classic row-at-a-time API): kept for callers that
+//     want a per-row callback; implemented as a thin adapter over BlockVisit
+//     in every native index, so both styles always select identical rows in
+//     identical order with identical SelectionStats.
 
 #ifndef QREG_STORAGE_SPATIAL_INDEX_H_
 #define QREG_STORAGE_SPATIAL_INDEX_H_
@@ -22,6 +33,56 @@ using RowVisitor = std::function<void(int64_t id, const double* x, double u)>;
 struct SelectionStats {
   int64_t tuples_examined = 0;  ///< Rows whose distance was evaluated.
   int64_t tuples_matched = 0;   ///< Rows inside the ball.
+};
+
+/// \brief One filtered candidate block: `rows` contiguous row-major feature
+/// rows with `count` selected (in-ball) lanes. Lane k of the selection has
+/// features at xs + sel[k]*d, output us[sel[k]], and row id
+/// ids[sel[k]] (or id_base + sel[k] when ids is null — scan paths, whose
+/// ids are consecutive). sel is ascending, so iterating the selection
+/// preserves the index's row visit order.
+struct BlockSpan {
+  const double* xs = nullptr;    ///< Candidate rows, row-major, stride d.
+  const double* us = nullptr;    ///< Candidate outputs, one per row.
+  const int64_t* ids = nullptr;  ///< Per-row ids; null => id_base + lane.
+  int64_t id_base = 0;
+  const int32_t* sel = nullptr;  ///< Ascending selected lane offsets.
+  int32_t count = 0;             ///< Selected lanes.
+  int32_t rows = 0;              ///< Candidate rows in this block.
+  size_t d = 0;
+
+  int64_t IdAt(int32_t k) const {
+    const int32_t lane = sel[k];
+    return ids != nullptr ? ids[lane] : id_base + lane;
+  }
+  const double* XAt(int32_t k) const {
+    return xs + static_cast<size_t>(sel[k]) * d;
+  }
+  double UAt(int32_t k) const { return us[sel[k]]; }
+};
+
+/// \brief Fused filter+accumulate consumer of a block scan. One OnBlock call
+/// per candidate block that has at least one selected lane.
+class BlockKernel {
+ public:
+  virtual ~BlockKernel() = default;
+  virtual void OnBlock(const BlockSpan& span) = 0;
+};
+
+/// \brief The RowVisitor compatibility shim: replays a block's selected
+/// lanes through a per-row callback in scan order.
+class RowVisitorBlockKernel : public BlockKernel {
+ public:
+  explicit RowVisitorBlockKernel(const RowVisitor& visit) : visit_(visit) {}
+
+  void OnBlock(const BlockSpan& span) override {
+    for (int32_t k = 0; k < span.count; ++k) {
+      visit_(span.IdAt(k), span.XAt(k), span.UAt(k));
+    }
+  }
+
+ private:
+  const RowVisitor& visit_;
 };
 
 /// \brief One disjoint unit of parallel selection work, produced by
@@ -48,7 +109,14 @@ class SpatialIndex {
   virtual void RadiusVisit(const double* center, double radius, const LpNorm& norm,
                            const RowVisitor& visit, SelectionStats* stats) const = 0;
 
-  /// Collects matching row ids (convenience wrapper over RadiusVisit).
+  /// Streams every in-ball row to `kernel` block-at-a-time. Selects exactly
+  /// the rows RadiusVisit visits, in the same order, with identical stats.
+  /// The default implementation adapts over RadiusVisit with one-row spans;
+  /// native indexes override it with true blocked execution.
+  virtual void BlockVisit(const double* center, double radius, const LpNorm& norm,
+                          BlockKernel* kernel, SelectionStats* stats) const;
+
+  /// Collects matching row ids (convenience wrapper over BlockVisit).
   std::vector<int64_t> RadiusSearch(const double* center, double radius,
                                     const LpNorm& norm,
                                     SelectionStats* stats = nullptr) const;
@@ -70,6 +138,14 @@ class SpatialIndex {
                                     double radius, const LpNorm& norm,
                                     const RowVisitor& visit,
                                     SelectionStats* stats) const;
+
+  /// BlockVisit restricted to one partition: the blocked analogue of
+  /// RadiusVisitPartition, with the same all-partitions == one-BlockVisit
+  /// equivalence.
+  virtual void BlockVisitPartition(const ScanPartition& part, const double* center,
+                                   double radius, const LpNorm& norm,
+                                   BlockKernel* kernel,
+                                   SelectionStats* stats) const;
 
   /// Access-path name for logs and bench tables ("kdtree", "scan").
   virtual std::string name() const = 0;

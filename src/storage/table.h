@@ -68,9 +68,24 @@ class Table {
   /// Per-dimension [min,max] over all rows; empty vectors for empty table.
   void FeatureRanges(std::vector<double>* mins, std::vector<double>* maxs) const;
 
-  /// Approximate resident bytes (features + output).
+  /// Resident bytes of the row-major feature store xs_ (capacity, not size:
+  /// what the allocator actually holds).
+  int64_t FeatureBytes() const {
+    return static_cast<int64_t>(xs_.capacity() * sizeof(double));
+  }
+
+  /// Resident bytes of the output column us_.
+  int64_t OutputBytes() const {
+    return static_cast<int64_t>(us_.capacity() * sizeof(double));
+  }
+
+  /// Resident bytes of the Schema (attribute-name string storage).
+  int64_t SchemaBytes() const;
+
+  /// Approximate resident bytes: features + output + schema strings,
+  /// reported separately above so benches can track bytes/row per column.
   int64_t MemoryBytes() const {
-    return static_cast<int64_t>((xs_.capacity() + us_.capacity()) * sizeof(double));
+    return FeatureBytes() + OutputBytes() + SchemaBytes();
   }
 
  private:

@@ -427,6 +427,97 @@ TEST(AnswerCacheGridTest, EvictedOutlierThetaDoesNotPinProbeRadius) {
   EXPECT_GT(cache.stats().grid_probes, 0);
 }
 
+// ---------- AnswerCache: wait-free reads under concurrent writes ----------
+
+// Readers hammer Lookup (no mutex on that path: one atomic snapshot load)
+// while a writer interleaves Insert and EraseGroupsWithPrefix. Every hit
+// must return an internally consistent entry — the payload invariant ties
+// mean, pieces and the query center together, so a torn read would trip it
+// — and the monotone counters must stay exact. Run under TSan by the CI
+// concurrency job (suite name matches its ^AnswerCache filter).
+TEST(AnswerCacheConcurrencyTest, LookupsNeverTornDuringInsertAndErase) {
+  AnswerCacheConfig cfg;
+  cfg.delta_min = 0.95;
+  cfg.capacity_per_shard = 64;
+  cfg.num_shards = 4;
+  AnswerCache cache(cfg);
+
+  // Payload invariant: mean encodes the center, pieces' size and intercept
+  // re-encode the mean.
+  auto make_answer = [](double cx, int pieces) {
+    CachedAnswer a;
+    a.q = query::Query({cx, 0.5}, 0.1);
+    a.mean = cx * 1000.0 + pieces;
+    a.pieces.resize(static_cast<size_t>(pieces));
+    for (auto& piece : a.pieces) piece.intercept = a.mean;
+    return a;
+  };
+  auto check_consistent = [](const CachedAnswer& a) {
+    const double want_mean =
+        a.q.center[0] * 1000.0 + static_cast<double>(a.pieces.size());
+    if (a.mean != want_mean) return false;
+    for (const auto& piece : a.pieces) {
+      if (piece.intercept != a.mean) return false;
+    }
+    return true;
+  };
+
+  // Seed both groups so readers have hits from the start.
+  for (int i = 0; i < 32; ++i) {
+    cache.Insert("ds/g0/Q1", make_answer(0.01 * i, 1 + (i % 4)));
+    cache.Insert("ds/g0/Q2", make_answer(0.01 * i, 1 + (i % 4)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reader_hits{0};
+  std::atomic<int64_t> reader_lookups{0};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&cache, &stop, &reader_hits, &reader_lookups, &torn,
+                          &check_consistent, r] {
+      util::Rng rng(static_cast<uint64_t>(1000 + r));
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string group = (r % 2 == 0) ? "ds/g0/Q1" : "ds/g0/Q2";
+        const query::Query probe({0.01 * rng.UniformInt(32), 0.5}, 0.1);
+        CachedAnswer out;
+        reader_lookups.fetch_add(1, std::memory_order_relaxed);
+        if (cache.Lookup(group, probe, &out)) {
+          reader_hits.fetch_add(1, std::memory_order_relaxed);
+          if (!check_consistent(out)) torn.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+
+  // Writer: replacement inserts, fresh inserts (forcing evictions), and
+  // periodic prefix erases racing the readers.
+  for (int round = 0; round < 60; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      cache.Insert("ds/g0/Q1", make_answer(0.01 * i, 1 + ((i + round) % 4)));
+    }
+    for (int i = 0; i < 80; ++i) {
+      cache.Insert("ds/g0/Q2", make_answer(0.01 * (i % 40) + round * 1e-4,
+                                           1 + ((i + round) % 3)));
+    }
+    if (round % 10 == 9) {
+      cache.EraseGroupsWithPrefix("ds/g0/Q2");
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(torn.load()) << "a lookup observed a torn cache entry";
+  EXPECT_GT(reader_hits.load(), 0);
+
+  // Counters are exact: every lookup is classified as exactly one hit or
+  // miss, with no drops under the concurrent interleaving.
+  const AnswerCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_GE(stats.lookups, reader_lookups.load());
+  EXPECT_EQ(stats.hits, reader_hits.load());
+}
+
 // ---------- ModelCatalog sharding ----------
 
 TEST(ModelCatalogShardingTest, ManyDatasetsAcrossShards) {

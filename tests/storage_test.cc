@@ -80,6 +80,50 @@ TEST(TableTest, MemoryBytesGrows) {
   EXPECT_GT(t.MemoryBytes(), before);
 }
 
+TEST(TableTest, MemoryBytesBreakdown) {
+  Table t(3);
+  // An empty table still holds its schema strings.
+  EXPECT_EQ(t.FeatureBytes(), 0);
+  EXPECT_EQ(t.OutputBytes(), 0);
+  EXPECT_GT(t.SchemaBytes(), 0);
+  EXPECT_EQ(t.MemoryBytes(), t.SchemaBytes());
+
+  for (int i = 0; i < 500; ++i) {
+    t.AppendUnchecked(std::vector<double>(3, 0.5).data(), 1.0);
+  }
+  // Features dominate the output column d:1, both are capacity-accounted,
+  // and the total is exactly the sum of the parts.
+  EXPECT_GE(t.FeatureBytes(), t.num_rows() * 3 * static_cast<int64_t>(sizeof(double)));
+  EXPECT_GE(t.OutputBytes(), t.num_rows() * static_cast<int64_t>(sizeof(double)));
+  EXPECT_EQ(t.MemoryBytes(), t.FeatureBytes() + t.OutputBytes() + t.SchemaBytes());
+}
+
+TEST(TableTest, SchemaBytesCountsLongNames) {
+  Schema small = Schema::Default(2);
+  Table t_small(small);
+
+  Schema big;
+  big.feature_names = {
+      std::string(200, 'a'),
+      std::string(200, 'b'),
+  };
+  big.output_name = std::string(300, 'u');
+  Table t_big(big);
+  // Heap-allocated long names must show up in the accounting.
+  EXPECT_GT(t_big.SchemaBytes(), t_small.SchemaBytes() + 500);
+
+  // A name just past the SSO capacity heap-allocates and must be counted
+  // too (the band a sizeof-based threshold would miss).
+  const size_t sso = std::string().capacity();
+  Schema mid;
+  mid.feature_names = {std::string(sso + 1, 'm')};
+  Table t_mid(mid);
+  Schema inline_only;
+  inline_only.feature_names = {std::string(1, 'i')};
+  Table t_inline(inline_only);
+  EXPECT_GT(t_mid.SchemaBytes(), t_inline.SchemaBytes());
+}
+
 // ---------- LpNorm ----------
 
 TEST(LpNormTest, L2Distance) {
@@ -112,6 +156,26 @@ TEST(LpNormTest, GeneralPBetweenL1AndLInf) {
   EXPECT_GT(d1, d3);
   EXPECT_GT(d3, dinf);
   EXPECT_NEAR(d3, std::pow(3.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(LpNormTest, KindResolvedOnceAtConstruction) {
+  EXPECT_EQ(LpNorm::L1().kind(), LpKind::kL1);
+  EXPECT_EQ(LpNorm::L2().kind(), LpKind::kL2);
+  EXPECT_EQ(LpNorm::LInf().kind(), LpKind::kLInf);
+  EXPECT_EQ(LpNorm(3.0).kind(), LpKind::kGeneric);
+}
+
+TEST(LpNormTest, Distance2IsSquaredEuclidean) {
+  const double a[] = {0.0, 0.0};
+  const double b[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(LpNorm::L2().Distance2(a, b, 2), 25.0);
+  // Distance2 is the L2 helper regardless of the norm's own p: callers use
+  // it to compare a Euclidean distance against a radius without the sqrt.
+  EXPECT_DOUBLE_EQ(LpNorm::L1().Distance2(a, b, 2), 25.0);
+  // Radius comparison without the root agrees with Within on both sides of
+  // the boundary.
+  EXPECT_TRUE(LpNorm::L2().Distance2(a, b, 2) <= 5.0 * 5.0);
+  EXPECT_FALSE(LpNorm::L2().Distance2(a, b, 2) <= 4.999 * 4.999);
 }
 
 TEST(LpNormTest, MinDistanceToBoxInsideIsZero) {
