@@ -1,0 +1,500 @@
+// Open-loop load curve for the net::Server front-end (DESIGN.md §12).
+//
+// Sweeps offered QPS against a loopback server and records, per rung:
+// achieved QPS, p50/p99 latency measured from the *scheduled* send time
+// (coordinated-omission-free), shed rate (typed kResourceExhausted frames),
+// and client-observed connection drops (must stay zero — overload is
+// expressed as frames, never resets). The saturation knee is the highest
+// rung whose achieved/offered ratio stays ≥ 0.9. Results go to
+// bench/out/bench_load_curve.json.
+//
+// The rate ladder is capacity-relative by default: an in-process
+// ExecuteBatch run measures the router's raw capacity, and the rungs are
+// fixed fractions of it (so the knee and the shed rung land on every
+// machine). Absolute rates can be forced with QREG_LOAD_RATES.
+//
+// Extra environment knobs (on top of bench_common's):
+//   QREG_LOAD_SECONDS   seconds per rung (default 2)
+//   QREG_LOAD_CONNS     client connections (default 4)
+//   QREG_LOAD_RATES     comma-separated absolute QPS ladder (overrides the
+//                       capacity-relative fractions)
+//
+// `--smoke` shrinks everything (tiny dataset, short rungs) and exits
+// non-zero unless the emitted curve is non-empty with a strictly monotone
+// offered-QPS axis — the CI gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "query/workload.h"
+#include "service/model_catalog.h"
+#include "service/query_router.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace qreg {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+std::vector<net::WireRequest> MakeWireWorkload(query::WorkloadConfig wl,
+                                               int64_t n) {
+  query::WorkloadGenerator gen(wl);
+  std::vector<net::WireRequest> reqs;
+  reqs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    query::Query q = gen.Next();
+    reqs.push_back(i % 2 == 0 ? net::WireRequest::Q1("r1", std::move(q))
+                              : net::WireRequest::Q2("r1", std::move(q)));
+  }
+  return reqs;
+}
+
+std::vector<service::Request> ToInProcess(
+    const std::vector<net::WireRequest>& wire) {
+  std::vector<service::Request> reqs;
+  reqs.reserve(wire.size());
+  for (const net::WireRequest& w : wire) {
+    reqs.push_back(w.kind == service::QueryKind::kQ1MeanValue
+                       ? service::Request::Q1(w.dataset, w.q)
+                       : service::Request::Q2(w.dataset, w.q));
+  }
+  return reqs;
+}
+
+struct RungResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Server-side p99 over the same answers, from the exec.nanos each answer
+  /// frame carries — measured exactly like the in-process router p99, so the
+  /// two are directly comparable (the e2e percentiles above add transport
+  /// and queueing on top).
+  double service_p99_ms = 0.0;
+  double shed_rate = 0.0;
+  int64_t sent = 0;
+  int64_t answered = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;  ///< Typed non-shed failures. These are workload
+                       ///< semantics, not transport defects — e.g. ~0.2% of
+                       ///< random θ balls are empty subspaces (kNotFound),
+                       ///< in-process and over the wire alike.
+  int64_t drops = 0;   ///< Client-observed transport failures (must be 0).
+};
+
+/// One connection's share of a rung: a sender thread paces requests onto the
+/// socket at scheduled instants, a reader thread stamps latency from those
+/// scheduled instants (open-loop: a slow server cannot slow the offered rate,
+/// so queueing delay shows up in the percentiles instead of being hidden).
+struct ConnStats {
+  std::vector<double> latencies_ms;
+  std::vector<double> service_ms;  // exec.nanos from each OK answer.
+  int64_t sent = 0, answered = 0, shed = 0, errors = 0, drops = 0;
+};
+
+void RunConnection(uint16_t port, const std::vector<net::WireRequest>& pool,
+                   double rate_qps, int64_t count, uint64_t id_offset,
+                   ConnStats* out) {
+  net::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    out->drops += count;
+    return;
+  }
+
+  std::vector<Clock::time_point> scheduled(static_cast<size_t>(count));
+  const Clock::time_point start = Clock::now();
+  const double nanos_per = 1e9 / rate_qps;
+  for (int64_t i = 0; i < count; ++i) {
+    scheduled[static_cast<size_t>(i)] =
+        start + std::chrono::nanoseconds(
+                    static_cast<int64_t>(static_cast<double>(i) * nanos_per));
+  }
+
+  std::thread reader([&] {
+    int64_t seen = 0;
+    while (seen < count) {
+      uint64_t id = 0;
+      auto response = client.ReadResponse(&id);
+      const bool transport_dead =
+          !response.ok() &&
+          response.status().code() == util::StatusCode::kIoError;
+      if (transport_dead) {
+        out->drops += count - seen;
+        return;
+      }
+      if (id < id_offset + 1 || id > id_offset + static_cast<uint64_t>(count)) {
+        continue;
+      }
+      const size_t slot = static_cast<size_t>(id - id_offset - 1);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - scheduled[slot])
+                            .count();
+      ++seen;
+      if (response.ok()) {
+        ++out->answered;
+        out->latencies_ms.push_back(ms);
+        out->service_ms.push_back(static_cast<double>(response->exec.nanos) /
+                                  1e6);
+      } else if (response.status().code() ==
+                 util::StatusCode::kResourceExhausted) {
+        ++out->shed;
+      } else {
+        ++out->errors;
+      }
+    }
+  });
+
+  for (int64_t i = 0; i < count; ++i) {
+    std::this_thread::sleep_until(scheduled[static_cast<size_t>(i)]);
+    const net::WireRequest& request = pool[static_cast<size_t>(i) % pool.size()];
+    if (!client.SendRequest(request, id_offset + static_cast<uint64_t>(i) + 1)
+             .ok()) {
+      out->drops += count - i;
+      break;
+    }
+    ++out->sent;
+  }
+  reader.join();
+}
+
+RungResult RunRung(uint16_t port, const std::vector<net::WireRequest>& pool,
+                   double offered_qps, double seconds, int conns) {
+  const int64_t total =
+      std::max<int64_t>(conns, static_cast<int64_t>(offered_qps * seconds));
+  std::vector<ConnStats> stats(static_cast<size_t>(conns));
+  std::vector<std::thread> threads;
+  const util::Stopwatch watch;
+  uint64_t id_offset = 0;
+  for (int c = 0; c < conns; ++c) {
+    const int64_t share = total / conns + (c < total % conns ? 1 : 0);
+    threads.emplace_back(RunConnection, port, std::cref(pool),
+                         offered_qps / conns, share, id_offset,
+                         &stats[static_cast<size_t>(c)]);
+    id_offset += static_cast<uint64_t>(share);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  RungResult r;
+  r.offered_qps = offered_qps;
+  std::vector<double> all, service;
+  for (const ConnStats& s : stats) {
+    r.sent += s.sent;
+    r.answered += s.answered;
+    r.shed += s.shed;
+    r.errors += s.errors;
+    r.drops += s.drops;
+    all.insert(all.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+    service.insert(service.end(), s.service_ms.begin(), s.service_ms.end());
+  }
+  r.achieved_qps = elapsed > 0.0 ? static_cast<double>(r.answered) / elapsed : 0.0;
+  r.p50_ms = Percentile(all, 0.50);
+  r.p99_ms = Percentile(all, 0.99);
+  r.service_p99_ms = Percentile(service, 0.99);
+  const int64_t responded = r.answered + r.shed + r.errors;
+  r.shed_rate =
+      responded > 0 ? static_cast<double>(r.shed) / static_cast<double>(responded)
+                    : 0.0;
+  return r;
+}
+
+std::string CurveJson(const std::vector<RungResult>& curve, double inproc_qps,
+                      double inproc_p50_ms, double inproc_p99_ms,
+                      double knee_qps, const service::ServiceSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"bench_load_curve\",\n";
+  os << util::Format("  \"inprocess\": {\"qps\": %.1f, \"p50_ms\": %.4f, "
+                     "\"p99_ms\": %.4f},\n",
+                     inproc_qps, inproc_p50_ms, inproc_p99_ms);
+  os << util::Format("  \"knee_qps\": %.1f,\n", knee_qps);
+  // Best (lowest) pre-knee service-p99 ratio vs the in-process run. This is
+  // the acceptance-facing number; it is CPU-topology sensitive (on a
+  // single-core host the event loop preempts the executors and inflates it).
+  double ratio = 0.0;
+  for (const RungResult& r : curve) {
+    if (r.offered_qps <= knee_qps && r.service_p99_ms > 0.0 &&
+        inproc_p99_ms > 0.0) {
+      const double rr = r.service_p99_ms / inproc_p99_ms;
+      if (ratio == 0.0 || rr < ratio) ratio = rr;
+    }
+  }
+  os << util::Format("  \"preknee_service_p99_ratio\": %.2f,\n", ratio);
+  os << util::Format(
+      "  \"net\": {\"connections_accepted\": %lld, \"connections_closed\": "
+      "%lld, \"frames_decoded\": %lld, \"protocol_errors\": %lld, "
+      "\"bytes_in\": %lld, \"bytes_out\": %lld},\n",
+      static_cast<long long>(snap.net_connections_accepted),
+      static_cast<long long>(snap.net_connections_closed),
+      static_cast<long long>(snap.net_frames_decoded),
+      static_cast<long long>(snap.net_protocol_errors),
+      static_cast<long long>(snap.net_bytes_in),
+      static_cast<long long>(snap.net_bytes_out));
+  os << "  \"curve\": [\n";
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const RungResult& r = curve[i];
+    os << util::Format(
+        "    {\"offered_qps\": %.1f, \"achieved_qps\": %.1f, \"p50_ms\": "
+        "%.4f, \"p99_ms\": %.4f, \"service_p99_ms\": %.4f, \"shed_rate\": "
+        "%.4f, \"sent\": %lld, "
+        "\"answered\": %lld, \"shed\": %lld, \"errors\": %lld, \"drops\": "
+        "%lld}%s\n",
+        r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms, r.service_p99_ms,
+        r.shed_rate,
+        static_cast<long long>(r.sent), static_cast<long long>(r.answered),
+        static_cast<long long>(r.shed), static_cast<long long>(r.errors),
+        static_cast<long long>(r.drops), i + 1 < curve.size() ? "," : "");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+int Run(bool smoke) {
+  BenchEnv env = BenchEnv::FromEnv();
+  if (smoke) {
+    env.rows_r1 = std::min<int64_t>(env.rows_r1, 20000);
+    env.train_cap = std::min<int64_t>(env.train_cap, 3000);
+  }
+  const double seconds =
+      util::GetEnvDouble("QREG_LOAD_SECONDS", smoke ? 0.4 : 2.0);
+  const int conns = static_cast<int>(util::GetEnvInt64("QREG_LOAD_CONNS", 4));
+  PrintHeader("bench_load_curve",
+              "net front-end: open-loop offered-QPS sweep on loopback", env);
+
+  DataBundle bundle = MakeR1Bundle(/*d=*/2, env.rows_r1, env.seed);
+  const DatasetProfile& p = bundle.profile;
+
+  service::ModelCatalog catalog;
+  service::CatalogOptions opts = service::CatalogOptions::ForCube(
+      2, p.center_lo, p.center_hi, p.theta_mean, p.theta_stddev,
+      /*a=*/0.1, /*max_pairs=*/env.train_cap, env.seed + 1);
+  auto reg = catalog.Register("r1", &bundle.table(), bundle.kdtree.get(), opts);
+  if (!reg.ok()) {
+    std::cerr << "register: " << reg << "\n";
+    return 1;
+  }
+  auto trained = catalog.TrainAll();
+  if (!trained.ok()) {
+    std::cerr << "train: " << trained << "\n";
+    return 1;
+  }
+
+  // The serving config: hybrid routing, shed on overload (bounded queue), no
+  // cache so every request pays its real routing cost.
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = false;
+  cfg.num_threads = 2;
+  cfg.queue_capacity = 1024;
+  cfg.overload = service::OverloadPolicy::kShed;
+  service::QueryRouter router(&catalog, cfg);
+
+  const query::WorkloadConfig wl = query::WorkloadConfig::Cube(
+      2, p.center_lo, p.center_hi, p.theta_mean, p.theta_stddev, env.seed + 17);
+  const std::vector<net::WireRequest> pool =
+      MakeWireWorkload(wl, smoke ? 512 : 4096);
+
+  // --- In-process reference: raw capacity and per-query latency -----------
+  // Same mixed workload, same router, same pooled ExecuteBatch execution
+  // mode the server uses — the snapshot percentiles are therefore directly
+  // comparable to the service-side percentiles each answer frame reports
+  // (this mirrors bench_service_throughput's "hybrid p99 ms" column).
+  const std::vector<service::Request> inproc = ToInProcess(pool);
+  (void)router.ExecuteBatch(inproc);  // Warm-up.
+  router.ResetStats();
+  util::Stopwatch cap_watch;
+  (void)router.ExecuteBatch(inproc);
+  const double warm_secs = cap_watch.ElapsedSeconds();
+  const double capacity_qps =
+      warm_secs > 0.0 ? static_cast<double>(inproc.size()) / warm_secs : 1000.0;
+  const service::ServiceSnapshot inproc_snap = router.Stats();
+  const double inproc_p50 = inproc_snap.p50_ms;
+  const double inproc_p99 = inproc_snap.p99_ms;
+  router.ResetStats();
+  std::cout << util::Format(
+      "in-process: capacity %.0f qps, per-query p50 %.4f ms, p99 %.4f ms\n\n",
+      capacity_qps, inproc_p50, inproc_p99);
+
+  net::ServerConfig server_cfg;
+  server_cfg.executor_threads = 2;
+  net::Server server(&router, server_cfg);
+  const util::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "server start: " << started << "\n";
+    return 1;
+  }
+
+  // --- Loopback calibration -----------------------------------------------
+  // The ladder must straddle the *wire* capacity, not the raw router
+  // capacity — on fast model-path workloads the router answers order(s) of
+  // magnitude more QPS than one event-loop thread can frame. A short
+  // closed-loop run (modest pipelined batches, so nothing sheds) measures
+  // what loopback actually carries.
+  double wire_capacity = 0.0;
+  {
+    std::vector<std::thread> cal;
+    std::vector<int64_t> done(static_cast<size_t>(conns), 0);
+    const Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(smoke ? 0.2 : 0.5));
+    util::Stopwatch cal_watch;
+    for (int c = 0; c < conns; ++c) {
+      cal.emplace_back([&, c] {
+        net::Client client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+        std::vector<net::WireRequest> chunk;
+        for (size_t i = 0; i < 32; ++i) {
+          chunk.push_back(pool[(static_cast<size_t>(c) * 131 + i) % pool.size()]);
+        }
+        while (Clock::now() < until) {
+          const auto results = client.ExecuteBatch(chunk);
+          for (const auto& r : results) {
+            done[static_cast<size_t>(c)] += r.ok() ? 1 : 0;
+          }
+        }
+      });
+    }
+    for (std::thread& t : cal) t.join();
+    int64_t total = 0;
+    for (int64_t d : done) total += d;
+    const double secs = cal_watch.ElapsedSeconds();
+    wire_capacity = secs > 0.0 ? static_cast<double>(total) / secs : 1000.0;
+    wire_capacity = std::max(wire_capacity, 200.0);
+  }
+  std::cout << util::Format("loopback calibration: ~%.0f qps wire capacity\n\n",
+                            wire_capacity);
+
+  // --- Rate ladder --------------------------------------------------------
+  std::vector<double> rates;
+  const std::string forced = util::GetEnvString("QREG_LOAD_RATES", "");
+  if (!forced.empty()) {
+    std::stringstream ss(forced);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const double r = std::atof(tok.c_str());
+      if (r > 0.0) rates.push_back(r);
+    }
+    std::sort(rates.begin(), rates.end());
+  } else {
+    const std::vector<double> fractions =
+        smoke ? std::vector<double>{0.1, 0.3, 1.0, 3.0}
+              : std::vector<double>{0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5};
+    for (double f : fractions) {
+      rates.push_back(std::max(50.0, std::round(f * wire_capacity)));
+    }
+    // Guard against duplicate rungs when the floor kicks in.
+    rates.erase(std::unique(rates.begin(), rates.end()), rates.end());
+  }
+
+  util::TablePrinter table({"offered_qps", "achieved_qps", "p50_ms", "p99_ms",
+                            "service_p99_ms", "shed_rate", "drops"});
+  std::vector<RungResult> curve;
+  for (double rate : rates) {
+    RungResult r = RunRung(server.port(), pool, rate, seconds, conns);
+    curve.push_back(r);
+    table.AddRow({util::Format("%.0f", r.offered_qps),
+                  util::Format("%.0f", r.achieved_qps),
+                  util::Format("%.3f", r.p50_ms),
+                  util::Format("%.3f", r.p99_ms),
+                  util::Format("%.4f", r.service_p99_ms),
+                  util::Format("%.4f", r.shed_rate),
+                  util::Format("%lld", static_cast<long long>(r.drops))});
+  }
+  const service::ServiceSnapshot snap = router.Stats();
+  server.Shutdown();
+  EmitTable("bench_load_curve", "load_curve", table, env);
+
+  double knee = 0.0;
+  for (const RungResult& r : curve) {
+    if (r.offered_qps > 0.0 && r.achieved_qps / r.offered_qps >= 0.9) {
+      knee = std::max(knee, r.offered_qps);
+    }
+  }
+
+  const std::string json =
+      CurveJson(curve, capacity_qps, inproc_p50, inproc_p99, knee, snap);
+  if (!WriteOutFile("bench_load_curve.json", json)) {
+    std::cerr << "failed to write bench_load_curve.json\n";
+    return 1;
+  }
+  std::cout << "\nknee: ~" << util::Format("%.0f", knee)
+            << " qps; JSON curve written to " << OutDir()
+            << "/bench_load_curve.json\n";
+
+  // Acceptance telemetry (informational outside --smoke): overload must be
+  // expressed as typed frames, never as connection drops, and the pre-knee
+  // loopback p99 should sit within ~2x of the in-process p99.
+  int64_t total_drops = 0;
+  for (const RungResult& r : curve) total_drops += r.drops;
+  const RungResult& top = curve.back();
+  std::cout << util::Format("top rung: shed_rate %.4f, drops %lld\n",
+                            top.shed_rate,
+                            static_cast<long long>(total_drops));
+  for (const RungResult& r : curve) {
+    if (r.offered_qps <= knee && r.service_p99_ms > 0.0 && inproc_p99 > 0.0) {
+      std::cout << util::Format(
+          "pre-knee %.0f qps: loopback service p99 %.4f ms vs in-process "
+          "%.4f ms (%.2fx); e2e p99 %.3f ms\n",
+          r.offered_qps, r.service_p99_ms, inproc_p99,
+          r.service_p99_ms / inproc_p99, r.p99_ms);
+    }
+  }
+
+  // --- Smoke assertions (the CI gate) ------------------------------------
+  if (smoke) {
+    bool ok = !curve.empty();
+    for (size_t i = 1; i < curve.size(); ++i) {
+      if (!(curve[i].offered_qps > curve[i - 1].offered_qps)) ok = false;
+    }
+    if (total_drops != 0) {
+      std::cerr << "SMOKE FAIL: client observed connection drops\n";
+      ok = false;
+    }
+    if (!ok) {
+      std::cerr << "SMOKE FAIL: curve empty or offered-QPS axis not "
+                   "strictly increasing\n";
+      return 1;
+    }
+    std::cout << "smoke OK: " << curve.size()
+              << " rungs, monotone offered axis, zero drops\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qreg
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return qreg::bench::Run(smoke);
+}

@@ -11,11 +11,28 @@
 //   router.Stats().PrintTo(std::cout);
 //
 // Build & run:  ./build/examples/analytics_service
+//
+// The same service over the wire (DESIGN.md §12):
+//
+//   ./build/examples/analytics_service --serve 7077       # terminal A
+//   ./build/examples/analytics_service --connect 127.0.0.1:7077   # terminal B
+//
+// --serve stands the catalog up behind the framed-binary TCP front-end
+// (net::Server) and drains gracefully on Ctrl-C; --connect issues one Q1 and
+// one pipelined Q2 batch through net::Client, plus an already-expired
+// deadline budget to show the typed rejection path.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <thread>
 
 #include "data/generator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "query/workload.h"
 #include "service/model_catalog.h"
 #include "service/query_router.h"
@@ -23,7 +40,150 @@
 
 using namespace qreg;
 
-int main() {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+/// --serve <port>: the demo catalog behind the wire front-end.
+int Serve(uint16_t port) {
+  auto sensors = data::MakeR1(/*d=*/2, /*n=*/50000, /*seed=*/1);
+  if (!sensors.ok()) {
+    std::fprintf(stderr, "dataset generation failed\n");
+    return 1;
+  }
+  storage::KdTree sensors_index(sensors->table);
+  service::ModelCatalog catalog;
+  auto reg = catalog.Register(
+      "sensors", &sensors->table, &sensors_index,
+      service::CatalogOptions::ForCube(2, 0.0, 1.0, 0.1, 0.05, /*a=*/0.1,
+                                       /*max_pairs=*/15000, /*seed=*/7));
+  if (!reg.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", reg.ToString().c_str());
+    return 1;
+  }
+  std::printf("training 'sensors'...\n");
+  auto trained = catalog.TrainAll();
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.cache.delta_min = 0.9;
+  cfg.num_threads = 2;
+  service::QueryRouter router(&catalog, cfg);
+
+  net::ServerConfig server_cfg;
+  server_cfg.port = port;
+  server_cfg.bind_address = "127.0.0.1";
+  net::Server server(&router, server_cfg);
+  const util::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving 'sensors' on 127.0.0.1:%u  (Ctrl-C drains and exits)\n",
+              server.port());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("\ndraining...\n");
+  server.Shutdown();
+  std::printf("final service metrics:\n");
+  router.Stats().PrintTo(std::cout);
+  return 0;
+}
+
+/// --connect <host>:<port>: one Q1, one pipelined Q2 batch, one typed error.
+int ConnectTo(const std::string& host, uint16_t port) {
+  net::Client client;
+  const util::Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  auto q1 = client.Execute(
+      net::WireRequest::Q1("sensors", query::Query({0.4, 0.6}, 0.15)));
+  if (!q1.ok()) {
+    std::fprintf(stderr, "Q1 failed: %s\n", q1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sensors Q1: mean = %.4f  [%s, %lld us server-side]\n", q1->mean,
+              q1->source == service::AnswerSource::kModel ? "model" : "exact",
+              static_cast<long long>(q1->exec.nanos / 1000));
+
+  // A pipelined Q2 batch: every frame goes out before the first answer is
+  // read; the server coalesces what it finds in flight into one
+  // ExecuteBatch. Answers come back positionally aligned.
+  std::vector<net::WireRequest> batch;
+  query::WorkloadGenerator gen(
+      query::WorkloadConfig::Cube(2, 0.3, 0.7, 0.12, 0.02, /*seed=*/5));
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(net::WireRequest::Q2("sensors", gen.Next()));
+  }
+  const auto answers = client.ExecuteBatch(batch);
+  std::printf("pipelined Q2 batch:\n");
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (answers[i].ok()) {
+      std::printf("  [%zu] %zu local linear model(s)\n", i,
+                  answers[i]->pieces.size());
+    } else {
+      std::printf("  [%zu] %s\n", i,
+                  answers[i].status().ToString().c_str());
+    }
+  }
+
+  // Deadline budgets ride the wire: this one is expired on arrival and is
+  // rejected at admission with the typed status — the connection survives.
+  net::WireRequest expired =
+      net::WireRequest::Q1("sensors", query::Query({0.4, 0.6}, 0.15));
+  expired.deadline_budget_nanos = 1;
+  auto rejected = client.Execute(expired);
+  std::printf("expired 1ns budget: %s\n",
+              rejected.ok() ? "unexpectedly ok"
+                            : rejected.status().ToString().c_str());
+  return 0;
+}
+
+int Demo();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+    const long port = argc >= 3 ? std::strtol(argv[2], nullptr, 10) : 7077;
+    return Serve(static_cast<uint16_t>(port));
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--connect") == 0) {
+    std::string target = argv[2];
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "usage: %s --connect <host>:<port>\n", argv[0]);
+      return 2;
+    }
+    const std::string host = target.substr(0, colon);
+    const long port = std::strtol(target.c_str() + colon + 1, nullptr, 10);
+    return ConnectTo(host, static_cast<uint16_t>(port));
+  }
+  if (argc >= 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--serve [port] | --connect <host>:<port>]\n",
+                 argv[0]);
+    return 2;
+  }
+  return Demo();
+}
+
+namespace {
+
+int Demo() {
   // Two relations with different shapes, served from one catalog.
   auto sensors = data::MakeR1(/*d=*/2, /*n=*/50000, /*seed=*/1);
   auto rosen = data::MakeR2(/*d=*/3, /*n=*/50000, /*seed=*/2);
@@ -134,3 +294,5 @@ int main() {
               static_cast<long long>(router.CacheStats().lookups));
   return 0;
 }
+
+}  // namespace

@@ -1,0 +1,510 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace qreg {
+namespace net {
+
+namespace {
+
+// One decoded, admission-mapped request awaiting execution.
+struct PendingRequest {
+  uint64_t request_id = 0;
+  service::Request request;
+};
+
+}  // namespace
+
+struct Server::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<uint8_t> outbuf;
+  size_t out_pos = 0;  // Flushed prefix of outbuf.
+  std::vector<PendingRequest> pending;
+  size_t in_flight = 0;  // Requests inside the currently-executing batch.
+  bool read_closed = false;
+  bool close_after_flush = false;
+
+  Connection(uint64_t id_in, int fd_in, size_t max_payload)
+      : id(id_in), fd(fd_in), decoder(max_payload) {}
+
+  size_t outstanding() const { return pending.size() + in_flight; }
+  bool flushed() const { return out_pos == outbuf.size(); }
+};
+
+struct Server::BatchJob {
+  uint64_t conn_id = 0;
+  std::vector<PendingRequest> items;
+};
+
+struct Server::Completion {
+  uint64_t conn_id = 0;
+  size_t num_requests = 0;
+  std::vector<uint8_t> bytes;  // Encoded kAnswer/kError response frames.
+};
+
+Server::Server(service::QueryRouter* router, ServerConfig config)
+    : router_(router), config_(std::move(config)), stats_(router->stats_sink()) {}
+
+Server::~Server() { Shutdown(); }
+
+util::Status Server::Start() {
+  if (state_.load() != State::kIdle) {
+    return util::Status::FailedPrecondition("net::Server is single-use");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("bad bind address: " +
+                                         config_.bind_address);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(util::Format("socket(): %s", strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const util::Status st =
+        util::Status::IoError(util::Format("bind/listen %s:%u: %s",
+                                           config_.bind_address.c_str(),
+                                           config_.port, strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(util::Format("pipe2(): %s", strerror(errno)));
+  }
+
+  state_.store(State::kRunning);
+  const size_t executors = config_.executor_threads > 0 ? config_.executor_threads : 1;
+  executors_.reserve(executors);
+  for (size_t i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+  event_thread_ = std::thread([this] { EventLoop(); });
+  return util::Status::OK();
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (state_.load() == State::kIdle) {
+    state_.store(State::kStopped);
+    return;
+  }
+  if (state_.load() == State::kStopped) return;
+
+  shutdown_requested_.store(true);
+  Wakeup();
+  if (event_thread_.joinable()) event_thread_.join();
+
+  {
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    executors_stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  state_.store(State::kStopped);
+}
+
+void Server::Wakeup() {
+  if (wake_fds_[1] < 0) return;
+  const uint8_t byte = 1;
+  // EAGAIN means the pipe already holds a pending wakeup — good enough.
+  (void)!::write(wake_fds_[1], &byte, 1);
+}
+
+// --------------------------------------------------------------- executors --
+
+void Server::ExecutorLoop() {
+  for (;;) {
+    BatchJob job;
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock, [this] { return executors_stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // executors_stop_ and nothing left.
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+
+    std::vector<service::Request> batch;
+    batch.reserve(job.items.size());
+    for (PendingRequest& item : job.items) batch.push_back(std::move(item.request));
+    const std::vector<util::Result<service::Answer>> results =
+        router_->ExecuteBatch(batch);
+
+    Completion done;
+    done.conn_id = job.conn_id;
+    done.num_requests = job.items.size();
+    for (size_t i = 0; i < results.size() && i < job.items.size(); ++i) {
+      const uint64_t id = job.items[i].request_id;
+      if (results[i].ok()) {
+        AppendFrame(&done.bytes, FrameType::kAnswer, id,
+                    EncodeAnswer(*results[i]));
+      } else {
+        AppendFrame(&done.bytes, FrameType::kError, id,
+                    EncodeStatus(results[i].status()));
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(std::move(done));
+    }
+    Wakeup();
+  }
+}
+
+// -------------------------------------------------------------- event loop --
+
+void Server::EventLoop() {
+  bool draining = false;
+  int64_t drain_start_nanos = 0;
+
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // Parallel to pfds; 0 = not a connection.
+
+  for (;;) {
+    // Enter drain mode once: stop accepting and stop reading new frames;
+    // everything already decoded still gets executed and flushed.
+    if (!draining && shutdown_requested_.load()) {
+      draining = true;
+      drain_start_nanos = util::NowNanos();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      for (auto& entry : conns_) {
+        entry.second->read_closed = true;
+        entry.second->close_after_flush = true;
+        DispatchIfReady(entry.second.get());
+      }
+    }
+
+    // Reap connections that are finished: nothing pending, nothing in
+    // flight, every response flushed.
+    {
+      std::vector<uint64_t> done_ids;
+      for (auto& entry : conns_) {
+        Connection* c = entry.second.get();
+        if ((c->read_closed || c->close_after_flush) && c->pending.empty() &&
+            c->in_flight == 0 && c->flushed()) {
+          done_ids.push_back(c->id);
+        }
+      }
+      for (uint64_t id : done_ids) CloseConnection(id, /*count_as_drop=*/false);
+    }
+
+    if (draining) {
+      const bool timed_out =
+          util::NowNanos() - drain_start_nanos >
+          config_.drain_timeout_millis * 1000000;
+      if (conns_.empty()) break;
+      if (timed_out) {
+        std::vector<uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (auto& entry : conns_) ids.push_back(entry.first);
+        for (uint64_t id : ids) CloseConnection(id, /*count_as_drop=*/true);
+        break;
+      }
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (listen_fd_ >= 0) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    for (auto& entry : conns_) {
+      Connection* c = entry.second.get();
+      short events = 0;
+      if (!c->read_closed) events |= POLLIN;
+      if (!c->flushed()) events |= POLLOUT;
+      if (events == 0) continue;
+      pfds.push_back({c->fd, events, 0});
+      pfd_conn.push_back(c->id);
+    }
+
+    const int timeout_ms = draining ? 20 : 500;
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n < 0 && errno != EINTR) break;  // Poll failure: bail out.
+
+    // Self-pipe: drain pending wakeup bytes.
+    if (pfds[0].revents & POLLIN) {
+      uint8_t buf[256];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Completed batches → connection output buffers.
+    {
+      std::deque<Completion> finished;
+      {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        finished.swap(done_);
+      }
+      for (Completion& done : finished) {
+        auto it = conns_.find(done.conn_id);
+        if (it == conns_.end()) continue;  // Connection died mid-batch.
+        Connection* c = it->second.get();
+        c->in_flight -= std::min(c->in_flight, done.num_requests);
+        c->outbuf.insert(c->outbuf.end(), done.bytes.begin(), done.bytes.end());
+        DispatchIfReady(c);
+      }
+    }
+
+    if (listen_fd_ >= 0) {
+      for (size_t i = 1; i < pfds.size(); ++i) {
+        if (pfd_conn[i] == 0 && pfds[i].fd == listen_fd_ &&
+            (pfds[i].revents & POLLIN)) {
+          AcceptNew();
+          break;
+        }
+      }
+    }
+
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      const uint64_t id = pfd_conn[i];
+      if (id == 0 || pfds[i].revents == 0) continue;
+      if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+        CloseConnection(id, /*count_as_drop=*/true);
+        continue;
+      }
+      if (pfds[i].revents & (POLLIN | POLLHUP)) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) HandleReadable(it->second.get());
+      }
+      auto it = conns_.find(id);
+      if (it != conns_.end() && !it->second->flushed()) {
+        FlushWrites(it->second.get());
+      }
+    }
+  }
+}
+
+void Server::AcceptNew() {
+  service::NetActivity activity;
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or transient accept failure: poll again.
+    }
+    if (conns_.size() >= config_.max_connections) {
+      // Connection-count cap: refuse at the door (the per-request overload
+      // story — typed kResourceExhausted frames — applies to accepted
+      // connections; the fd table itself must stay bounded).
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    conns_.emplace(id, std::make_unique<Connection>(id, fd,
+                                                    config_.max_payload_bytes));
+    ++activity.connections_accepted;
+  }
+  if (!activity.empty()) stats_->RecordNet(activity);
+}
+
+void Server::HandleReadable(Connection* conn) {
+  service::NetActivity activity;
+  uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      activity.bytes_in += n;
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->read_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // Hard read error: the peer is gone; drop what cannot be delivered.
+    stats_->RecordNet(activity);
+    CloseConnection(conn->id, /*count_as_drop=*/true);
+    return;
+  }
+
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Event event = conn->decoder.Next(&frame);
+    if (event == FrameDecoder::Event::kFrame) {
+      ++activity.frames_decoded;
+      HandleFrame(conn, std::move(frame));
+      continue;
+    }
+    if (event == FrameDecoder::Event::kError) {
+      // Defined protocol-error state: report the typed error on request_id 0,
+      // flush everything already owed, then close. Never resync on garbage.
+      ++activity.protocol_errors;
+      AppendFrame(&conn->outbuf, FrameType::kError, 0,
+                  EncodeStatus(conn->decoder.error()));
+      conn->read_closed = true;
+      conn->close_after_flush = true;
+    }
+    break;  // kNeedMore or kError.
+  }
+
+  if (!activity.empty()) stats_->RecordNet(activity);
+  DispatchIfReady(conn);
+  FlushWrites(conn);
+}
+
+void Server::HandleFrame(Connection* conn, Frame frame) {
+  switch (frame.header.type) {
+    case FrameType::kPing: {
+      AppendFrame(&conn->outbuf, FrameType::kPong, frame.header.request_id,
+                  nullptr, 0);
+      return;
+    }
+    case FrameType::kRequest: {
+      util::Result<WireRequest> decoded =
+          DecodeRequest(frame.payload.data(), frame.payload.size());
+      if (!decoded.ok()) {
+        // Payload-level error on an intact frame boundary: answer it and
+        // keep the connection (the stream itself is still well-formed).
+        service::NetActivity activity;
+        ++activity.protocol_errors;
+        stats_->RecordNet(activity);
+        AppendFrame(&conn->outbuf, FrameType::kError, frame.header.request_id,
+                    EncodeStatus(decoded.status()));
+        return;
+      }
+      if (conn->outstanding() >= config_.max_pipeline) {
+        // Server-side admission shed: bound the per-connection backlog with a
+        // typed rejection, never an unbounded buffer or a closed socket.
+        service::QueryOutcome outcome;
+        outcome.ok = false;
+        outcome.shed = true;
+        stats_->Record(outcome);
+        AppendFrame(&conn->outbuf, FrameType::kError, frame.header.request_id,
+                    EncodeStatus(util::Status::ResourceExhausted(
+                        util::Format("connection pipeline full (%zu in flight)",
+                                     conn->outstanding()))));
+        return;
+      }
+      PendingRequest pending;
+      pending.request_id = frame.header.request_id;
+      pending.request.dataset = std::move(decoded->dataset);
+      pending.request.kind = decoded->kind;
+      pending.request.q = std::move(decoded->q);
+      if (decoded->deadline_budget_nanos > 0) {
+        // Decode-time deadline mapping: the client's relative budget starts
+        // ticking here, so admission rejection and the shed/degrade ladder
+        // see exactly what an in-process caller would have passed.
+        pending.request.deadline = util::Deadline::AfterNanos(
+            static_cast<int64_t>(decoded->deadline_budget_nanos), config_.clock);
+      }
+      conn->pending.push_back(std::move(pending));
+      return;
+    }
+    default: {
+      service::NetActivity activity;
+      ++activity.protocol_errors;
+      stats_->RecordNet(activity);
+      AppendFrame(
+          &conn->outbuf, FrameType::kError, frame.header.request_id,
+          EncodeStatus(util::Status::InvalidArgument(util::Format(
+              "wire protocol: unexpected frame type %u from client",
+              static_cast<unsigned>(frame.header.type)))));
+      return;
+    }
+  }
+}
+
+void Server::DispatchIfReady(Connection* conn) {
+  if (conn->in_flight > 0 || conn->pending.empty()) return;
+  BatchJob job;
+  job.conn_id = conn->id;
+  job.items = std::move(conn->pending);
+  conn->pending.clear();
+  conn->in_flight = job.items.size();
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  job_cv_.notify_one();
+}
+
+void Server::FlushWrites(Connection* conn) {
+  service::NetActivity activity;
+  while (conn->out_pos < conn->outbuf.size()) {
+    const ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->out_pos,
+                              conn->outbuf.size() - conn->out_pos);
+    if (n > 0) {
+      activity.bytes_out += n;
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (!activity.empty()) stats_->RecordNet(activity);
+    CloseConnection(conn->id, /*count_as_drop=*/true);
+    return;
+  }
+  if (conn->flushed() && conn->out_pos > 0) {
+    conn->outbuf.clear();
+    conn->out_pos = 0;
+  }
+  if (!activity.empty()) stats_->RecordNet(activity);
+}
+
+void Server::CloseConnection(uint64_t id, bool count_as_drop) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);
+  conns_.erase(it);
+  service::NetActivity activity;
+  ++activity.connections_closed;
+  (void)count_as_drop;  // Both paths count as closed; drops show up client-side.
+  stats_->RecordNet(activity);
+}
+
+}  // namespace net
+}  // namespace qreg

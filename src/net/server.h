@@ -1,0 +1,164 @@
+// Framed-binary TCP front-end over service::QueryRouter (DESIGN.md §12).
+//
+// Architecture: one poll()-based event-loop thread owns every socket
+// (non-blocking accept/read/write, a self-pipe for cross-thread wakeups) and
+// a fixed pool of batch-executor threads runs the router. The event loop
+// never executes a query and the executors never touch a socket, so a slow
+// scan cannot stall frame decoding on other connections and a slow client
+// cannot stall the router.
+//
+// Pipelining: frames a client sends back-to-back are decoded into a
+// per-connection pending list; the whole list is handed to one
+// QueryRouter::ExecuteBatch call (the router's existing fan-out does the
+// parallelism), and frames arriving while that batch is in flight coalesce
+// into the next one. Responses echo each request's id, one kAnswer or kError
+// frame per request — a saturated router sheds with a typed
+// kResourceExhausted *frame*, never a dropped connection.
+//
+// Deadlines: a WireRequest's relative budget is bound to a util::Deadline at
+// decode time (on the server's — possibly injected — clock), so
+// admission-time rejection and the mid-scan degrade ladder behave exactly as
+// in-process.
+//
+// Shutdown: Shutdown() stops accepting, lets in-flight and already-decoded
+// requests finish, flushes every response, then closes connections and joins
+// all threads (bounded by drain_timeout_millis against stuck peers).
+
+#ifndef QREG_NET_SERVER_H_
+#define QREG_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/query_router.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace net {
+
+/// \brief Server configuration.
+struct ServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (see Server::port()).
+  uint16_t port = 0;
+
+  /// Listen address. Defaults to loopback: exposing the service beyond the
+  /// host is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+
+  /// Batch-executor threads running QueryRouter::ExecuteBatch. Fixed at
+  /// Start(); the router's own pools provide per-batch parallelism.
+  size_t executor_threads = 2;
+
+  /// Per-connection ceiling on decoded-but-unanswered requests. Frames
+  /// beyond it are answered immediately with kResourceExhausted (server-side
+  /// admission shed) instead of buffering without bound.
+  size_t max_pipeline = 1024;
+
+  /// Frames whose payload exceeds this are rejected as malformed before any
+  /// buffering.
+  size_t max_payload_bytes = kMaxPayloadBytes;
+
+  /// Accepted connections beyond this are closed immediately after accept.
+  size_t max_connections = 1024;
+
+  /// Shutdown(): how long to wait for in-flight batches and unflushed
+  /// responses before force-closing connections.
+  int64_t drain_timeout_millis = 5000;
+
+  /// Clock that decode-time deadline mapping uses (null = system clock).
+  /// Borrowed; must outlive the server. Tests inject a FakeClock.
+  const util::Clock* clock = nullptr;
+};
+
+/// \brief The wire-level front door: accepts framed-binary connections and
+/// serves them from a borrowed QueryRouter (which must outlive the server).
+///
+/// Wire-level activity is recorded into the router's ServiceStats
+/// (net_* counters), so Stats() on the router covers the whole stack.
+class Server {
+ public:
+  Server(service::QueryRouter* router, ServerConfig config = ServerConfig());
+
+  /// Shuts down (gracefully) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event-loop + executor threads. A server
+  /// is single-use: Start() after Shutdown() is an error.
+  util::Status Start();
+
+  /// The bound port (useful with config.port = 0). 0 before Start().
+  uint16_t port() const { return port_; }
+
+  bool running() const { return state_.load() == State::kRunning; }
+
+  /// Graceful stop: stop accepting, drain in-flight work, flush responses,
+  /// close connections, join threads. Idempotent; safe from any thread
+  /// (including concurrently with itself, not from server threads).
+  void Shutdown();
+
+ private:
+  enum class State : int { kIdle = 0, kRunning = 1, kStopped = 2 };
+
+  struct Connection;
+  struct BatchJob;
+  struct Completion;
+
+  void EventLoop();
+  void ExecutorLoop();
+
+  // Event-loop helpers (only called on the event-loop thread).
+  void AcceptNew();
+  void HandleReadable(Connection* conn);
+  void HandleFrame(Connection* conn, Frame frame);
+  void DispatchIfReady(Connection* conn);
+  void FlushWrites(Connection* conn);
+  void CloseConnection(uint64_t id, bool count_as_drop);
+  void Wakeup();
+
+  service::QueryRouter* router_;
+  ServerConfig config_;
+  service::ServiceStats* stats_;  // The router's collector (net_* counters).
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // Self-pipe: [0] polled, [1] written.
+  uint16_t port_ = 0;
+
+  std::atomic<State> state_{State::kIdle};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::thread event_thread_;
+  std::vector<std::thread> executors_;
+
+  // Event-loop-owned connection table (never touched by executors).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  // Executor work queue and completion queue (event loop <-> executors).
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::deque<BatchJob> jobs_;
+  bool executors_stop_ = false;
+
+  std::mutex done_mu_;
+  std::deque<Completion> done_;
+
+  std::mutex shutdown_mu_;  // Serializes Shutdown() callers.
+};
+
+}  // namespace net
+}  // namespace qreg
+
+#endif  // QREG_NET_SERVER_H_

@@ -1,0 +1,531 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace qreg {
+namespace net {
+namespace {
+
+// ------------------------------------------------- little-endian primitives --
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t v;
+  static_assert(sizeof(v) == sizeof(d), "IEEE-754 double expected");
+  std::memcpy(&v, &d, sizeof(v));
+  return v;
+}
+
+double BitsToDouble(uint64_t v) {
+  double d;
+  std::memcpy(&d, &v, sizeof(d));
+  return d;
+}
+
+util::Status ProtocolError(std::string msg) {
+  return util::Status::InvalidArgument("wire protocol: " + std::move(msg));
+}
+
+// ------------------------------------------------------------ tagged fields --
+//
+// A payload is a flat sequence of [u16 tag][u32 len][len bytes] fields;
+// nested messages are a field whose bytes are themselves such a sequence.
+// Decoders skip unknown tags (forward compatibility) and treat any length
+// that overruns the buffer as a typed protocol error.
+
+constexpr size_t kFieldHeaderBytes = 6;
+
+class FieldWriter {
+ public:
+  void PutBytes(uint16_t tag, const uint8_t* data, size_t n) {
+    PutU16(&buf_, tag);
+    PutU32(&buf_, static_cast<uint32_t>(n));
+    buf_.insert(buf_.end(), data, data + n);
+  }
+  void PutString(uint16_t tag, const std::string& s) {
+    PutBytes(tag, reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  void PutVarU64(uint16_t tag, uint64_t v) {
+    std::vector<uint8_t> tmp;
+    PutU64(&tmp, v);
+    PutBytes(tag, tmp.data(), tmp.size());
+  }
+  void PutVarU32(uint16_t tag, uint32_t v) {
+    std::vector<uint8_t> tmp;
+    PutU32(&tmp, v);
+    PutBytes(tag, tmp.data(), tmp.size());
+  }
+  void PutF64(uint16_t tag, double d) { PutVarU64(tag, DoubleBits(d)); }
+  void PutF64Array(uint16_t tag, const std::vector<double>& v) {
+    std::vector<uint8_t> tmp;
+    tmp.reserve(v.size() * 8);
+    for (double d : v) PutU64(&tmp, DoubleBits(d));
+    PutBytes(tag, tmp.data(), tmp.size());
+  }
+  void PutNested(uint16_t tag, const FieldWriter& nested) {
+    PutBytes(tag, nested.buf_.data(), nested.buf_.size());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Iterates the fields of one payload. Usage:
+///   while (r.Next()) switch (r.tag()) { ... }
+///   QREG_RETURN_NOT_OK(r.status());
+class FieldReader {
+ public:
+  FieldReader(const uint8_t* data, size_t n) : data_(data), end_(n) {}
+
+  bool Next() {
+    if (!status_.ok() || pos_ == end_) return false;
+    if (end_ - pos_ < kFieldHeaderBytes) {
+      status_ = ProtocolError("truncated field header");
+      return false;
+    }
+    tag_ = GetU16(data_ + pos_);
+    const uint32_t len = GetU32(data_ + pos_ + 2);
+    pos_ += kFieldHeaderBytes;
+    if (end_ - pos_ < len) {
+      status_ = ProtocolError(
+          util::Format("field %u overruns payload (len %u, %zu left)", tag_,
+                       len, end_ - pos_));
+      return false;
+    }
+    field_ = data_ + pos_;
+    field_len_ = len;
+    pos_ += len;
+    return true;
+  }
+
+  uint16_t tag() const { return tag_; }
+  const uint8_t* data() const { return field_; }
+  size_t size() const { return field_len_; }
+  const util::Status& status() const { return status_; }
+
+  util::Result<uint64_t> AsU64() {
+    if (field_len_ != 8) return Fail("expected 8-byte field");
+    return GetU64(field_);
+  }
+  util::Result<uint32_t> AsU32() {
+    if (field_len_ != 4) return Fail("expected 4-byte field");
+    return GetU32(field_);
+  }
+  util::Result<double> AsF64() {
+    QREG_ASSIGN_OR_RETURN(uint64_t bits, AsU64());
+    return BitsToDouble(bits);
+  }
+  util::Result<std::string> AsString() {
+    return std::string(reinterpret_cast<const char*>(field_), field_len_);
+  }
+  util::Result<std::vector<double>> AsF64Array() {
+    if (field_len_ % 8 != 0) return Fail("f64 array length not a multiple of 8");
+    std::vector<double> v;
+    v.reserve(field_len_ / 8);
+    for (size_t i = 0; i < field_len_; i += 8) {
+      v.push_back(BitsToDouble(GetU64(field_ + i)));
+    }
+    return v;
+  }
+
+ private:
+  util::Status Fail(const char* what) {
+    status_ = ProtocolError(
+        util::Format("field %u: %s (got %zu bytes)", tag_, what, field_len_));
+    return status_;
+  }
+
+  const uint8_t* data_;
+  size_t end_;
+  size_t pos_ = 0;
+  uint16_t tag_ = 0;
+  const uint8_t* field_ = nullptr;
+  size_t field_len_ = 0;
+  util::Status status_;
+};
+
+// Field tags. New fields must take fresh tags; retiring a field retires its
+// tag forever (a v1 decoder skips what it does not know).
+enum RequestTag : uint16_t {
+  kReqDataset = 1,
+  kReqKind = 2,
+  kReqCenter = 3,
+  kReqTheta = 4,
+  kReqDeadlineBudget = 5,
+};
+enum AnswerTag : uint16_t {
+  kAnsKind = 1,
+  kAnsSource = 2,
+  kAnsMean = 3,
+  kAnsPiece = 4,  // Repeated; one nested message per local linear model.
+  kAnsCacheDelta = 5,
+  kAnsUsedFallback = 6,
+  kAnsExec = 7,
+};
+enum PieceTag : uint16_t {
+  kPieceIntercept = 1,
+  kPieceSlope = 2,
+  kPiecePrototypeId = 3,
+  kPieceWeight = 4,
+};
+enum ExecTag : uint16_t {
+  kExecTuplesExamined = 1,
+  kExecTuplesMatched = 2,
+  kExecNanos = 3,
+  kExecChunksCompleted = 4,
+  kExecChunksTotal = 5,
+};
+enum StatusTag : uint16_t {
+  kStatusCode = 1,
+  kStatusMessage = 2,
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------ frames --
+
+uint32_t FrameChecksum(const uint8_t* header20, const uint8_t* payload,
+                       size_t payload_len) {
+  uint32_t h = 2166136261u;  // FNV-1a.
+  for (size_t i = 0; i < kHeaderBytes - 4; ++i) {
+    h = (h ^ header20[i]) * 16777619u;
+  }
+  for (size_t i = 0; i < payload_len; ++i) {
+    h = (h ^ payload[i]) * 16777619u;
+  }
+  return h;
+}
+
+void AppendFrame(std::vector<uint8_t>* out, FrameType type, uint64_t request_id,
+                 const uint8_t* payload, size_t payload_len) {
+  const size_t header_at = out->size();
+  PutU32(out, kMagic);
+  PutU16(out, kWireVersion);
+  PutU16(out, static_cast<uint16_t>(type));
+  PutU64(out, request_id);
+  PutU32(out, static_cast<uint32_t>(payload_len));
+  PutU32(out, FrameChecksum(out->data() + header_at, payload, payload_len));
+  out->insert(out->end(), payload, payload + payload_len);
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (poisoned()) return;
+  // Compact the consumed prefix before growing, so a long-lived connection's
+  // buffer stays proportional to its unread bytes.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+util::Status FrameDecoder::Poison(util::Status status) {
+  error_ = std::move(status);
+  buf_.clear();
+  pos_ = 0;
+  return error_;
+}
+
+FrameDecoder::Event FrameDecoder::Next(Frame* frame) {
+  if (poisoned()) return Event::kError;
+  if (buf_.size() - pos_ < kHeaderBytes) return Event::kNeedMore;
+  const uint8_t* h = buf_.data() + pos_;
+  if (GetU32(h) != kMagic) {
+    Poison(ProtocolError("bad frame magic"));
+    return Event::kError;
+  }
+  const uint16_t version = GetU16(h + 4);
+  if (version != kWireVersion) {
+    Poison(util::Status::NotImplemented(
+        util::Format("wire protocol: unsupported version %u (peer speaks %u)",
+                     version, kWireVersion)));
+    return Event::kError;
+  }
+  const uint32_t payload_len = GetU32(h + 16);
+  if (payload_len > max_payload_) {
+    // Rejected from the header alone: the oversized payload is never buffered.
+    Poison(util::Status::OutOfRange(
+        util::Format("wire protocol: frame payload %u exceeds limit %zu",
+                     payload_len, max_payload_)));
+    return Event::kError;
+  }
+  if (buf_.size() - pos_ < kHeaderBytes + payload_len) return Event::kNeedMore;
+  const uint8_t* payload = h + kHeaderBytes;
+  if (GetU32(h + 20) != FrameChecksum(h, payload, payload_len)) {
+    Poison(ProtocolError("frame checksum mismatch"));
+    return Event::kError;
+  }
+  frame->header.version = version;
+  frame->header.type = static_cast<FrameType>(GetU16(h + 6));
+  frame->header.request_id = GetU64(h + 8);
+  frame->header.payload_len = payload_len;
+  frame->header.checksum = GetU32(h + 20);
+  frame->payload.assign(payload, payload + payload_len);
+  pos_ += kHeaderBytes + payload_len;
+  return Event::kFrame;
+}
+
+// ---------------------------------------------------------------- messages --
+
+std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
+  FieldWriter w;
+  w.PutString(kReqDataset, request.dataset);
+  w.PutVarU32(kReqKind, static_cast<uint32_t>(request.kind));
+  w.PutF64Array(kReqCenter, request.q.center);
+  w.PutF64(kReqTheta, request.q.theta);
+  if (request.deadline_budget_nanos > 0) {
+    w.PutVarU64(kReqDeadlineBudget, request.deadline_budget_nanos);
+  }
+  return w.Take();
+}
+
+util::Result<WireRequest> DecodeRequest(const uint8_t* data, size_t n) {
+  WireRequest req;
+  bool have_dataset = false;
+  FieldReader r(data, n);
+  while (r.Next()) {
+    switch (r.tag()) {
+      case kReqDataset: {
+        QREG_ASSIGN_OR_RETURN(req.dataset, r.AsString());
+        have_dataset = true;
+        break;
+      }
+      case kReqKind: {
+        QREG_ASSIGN_OR_RETURN(uint32_t kind, r.AsU32());
+        if (kind > static_cast<uint32_t>(service::QueryKind::kQ2Regression)) {
+          return ProtocolError(util::Format("unknown query kind %u", kind));
+        }
+        req.kind = static_cast<service::QueryKind>(kind);
+        break;
+      }
+      case kReqCenter: {
+        QREG_ASSIGN_OR_RETURN(req.q.center, r.AsF64Array());
+        break;
+      }
+      case kReqTheta: {
+        QREG_ASSIGN_OR_RETURN(req.q.theta, r.AsF64());
+        break;
+      }
+      case kReqDeadlineBudget: {
+        QREG_ASSIGN_OR_RETURN(req.deadline_budget_nanos, r.AsU64());
+        break;
+      }
+      default:
+        break;  // Unknown tag from a newer peer: skip.
+    }
+  }
+  QREG_RETURN_NOT_OK(r.status());
+  if (!have_dataset) return ProtocolError("request missing dataset field");
+  return req;
+}
+
+std::vector<uint8_t> EncodeAnswer(const service::Answer& answer) {
+  FieldWriter w;
+  w.PutVarU32(kAnsKind, static_cast<uint32_t>(answer.kind));
+  w.PutVarU32(kAnsSource, static_cast<uint32_t>(answer.source));
+  w.PutF64(kAnsMean, answer.mean);
+  for (const core::LocalLinearModel& piece : answer.pieces) {
+    FieldWriter pw;
+    pw.PutF64(kPieceIntercept, piece.intercept);
+    pw.PutF64Array(kPieceSlope, piece.slope);
+    pw.PutVarU32(kPiecePrototypeId, static_cast<uint32_t>(piece.prototype_id));
+    pw.PutF64(kPieceWeight, piece.weight);
+    w.PutNested(kAnsPiece, pw);
+  }
+  w.PutF64(kAnsCacheDelta, answer.cache_delta);
+  w.PutVarU32(kAnsUsedFallback, answer.used_fallback ? 1 : 0);
+  FieldWriter ew;
+  ew.PutVarU64(kExecTuplesExamined,
+               static_cast<uint64_t>(answer.exec.tuples_examined));
+  ew.PutVarU64(kExecTuplesMatched,
+               static_cast<uint64_t>(answer.exec.tuples_matched));
+  ew.PutVarU64(kExecNanos, static_cast<uint64_t>(answer.exec.nanos));
+  ew.PutVarU64(kExecChunksCompleted,
+               static_cast<uint64_t>(answer.exec.chunks_completed));
+  ew.PutVarU64(kExecChunksTotal, static_cast<uint64_t>(answer.exec.chunks_total));
+  w.PutNested(kAnsExec, ew);
+  return w.Take();
+}
+
+namespace {
+
+util::Result<core::LocalLinearModel> DecodePiece(const uint8_t* data, size_t n) {
+  core::LocalLinearModel piece;
+  FieldReader r(data, n);
+  while (r.Next()) {
+    switch (r.tag()) {
+      case kPieceIntercept: {
+        QREG_ASSIGN_OR_RETURN(piece.intercept, r.AsF64());
+        break;
+      }
+      case kPieceSlope: {
+        QREG_ASSIGN_OR_RETURN(piece.slope, r.AsF64Array());
+        break;
+      }
+      case kPiecePrototypeId: {
+        QREG_ASSIGN_OR_RETURN(uint32_t id, r.AsU32());
+        piece.prototype_id = static_cast<int32_t>(id);
+        break;
+      }
+      case kPieceWeight: {
+        QREG_ASSIGN_OR_RETURN(piece.weight, r.AsF64());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  QREG_RETURN_NOT_OK(r.status());
+  return piece;
+}
+
+util::Result<query::ExecStats> DecodeExec(const uint8_t* data, size_t n) {
+  query::ExecStats exec;
+  FieldReader r(data, n);
+  while (r.Next()) {
+    uint64_t v = 0;
+    switch (r.tag()) {
+      case kExecTuplesExamined:
+      case kExecTuplesMatched:
+      case kExecNanos:
+      case kExecChunksCompleted:
+      case kExecChunksTotal: {
+        QREG_ASSIGN_OR_RETURN(v, r.AsU64());
+        break;
+      }
+      default:
+        continue;
+    }
+    switch (r.tag()) {
+      case kExecTuplesExamined: exec.tuples_examined = static_cast<int64_t>(v); break;
+      case kExecTuplesMatched: exec.tuples_matched = static_cast<int64_t>(v); break;
+      case kExecNanos: exec.nanos = static_cast<int64_t>(v); break;
+      case kExecChunksCompleted: exec.chunks_completed = static_cast<int64_t>(v); break;
+      case kExecChunksTotal: exec.chunks_total = static_cast<int64_t>(v); break;
+    }
+  }
+  QREG_RETURN_NOT_OK(r.status());
+  return exec;
+}
+
+}  // namespace
+
+util::Result<service::Answer> DecodeAnswer(const uint8_t* data, size_t n) {
+  service::Answer answer;
+  FieldReader r(data, n);
+  while (r.Next()) {
+    switch (r.tag()) {
+      case kAnsKind: {
+        QREG_ASSIGN_OR_RETURN(uint32_t kind, r.AsU32());
+        if (kind > static_cast<uint32_t>(service::QueryKind::kQ2Regression)) {
+          return ProtocolError(util::Format("unknown answer kind %u", kind));
+        }
+        answer.kind = static_cast<service::QueryKind>(kind);
+        break;
+      }
+      case kAnsSource: {
+        QREG_ASSIGN_OR_RETURN(uint32_t source, r.AsU32());
+        if (source > static_cast<uint32_t>(service::AnswerSource::kCache)) {
+          return ProtocolError(util::Format("unknown answer source %u", source));
+        }
+        answer.source = static_cast<service::AnswerSource>(source);
+        break;
+      }
+      case kAnsMean: {
+        QREG_ASSIGN_OR_RETURN(answer.mean, r.AsF64());
+        break;
+      }
+      case kAnsPiece: {
+        QREG_ASSIGN_OR_RETURN(core::LocalLinearModel piece,
+                              DecodePiece(r.data(), r.size()));
+        answer.pieces.push_back(std::move(piece));
+        break;
+      }
+      case kAnsCacheDelta: {
+        QREG_ASSIGN_OR_RETURN(answer.cache_delta, r.AsF64());
+        break;
+      }
+      case kAnsUsedFallback: {
+        QREG_ASSIGN_OR_RETURN(uint32_t v, r.AsU32());
+        answer.used_fallback = v != 0;
+        break;
+      }
+      case kAnsExec: {
+        QREG_ASSIGN_OR_RETURN(answer.exec, DecodeExec(r.data(), r.size()));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  QREG_RETURN_NOT_OK(r.status());
+  return answer;
+}
+
+std::vector<uint8_t> EncodeStatus(const util::Status& status) {
+  FieldWriter w;
+  w.PutVarU32(kStatusCode, static_cast<uint32_t>(status.code()));
+  w.PutString(kStatusMessage, status.message());
+  return w.Take();
+}
+
+util::Status DecodeStatus(const uint8_t* data, size_t n, util::Status* decoded) {
+  uint32_t code = 0;
+  std::string message;
+  FieldReader r(data, n);
+  while (r.Next()) {
+    switch (r.tag()) {
+      case kStatusCode: {
+        QREG_ASSIGN_OR_RETURN(code, r.AsU32());
+        break;
+      }
+      case kStatusMessage: {
+        QREG_ASSIGN_OR_RETURN(message, r.AsString());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  QREG_RETURN_NOT_OK(r.status());
+  if (code > static_cast<uint32_t>(util::StatusCode::kCancelled)) {
+    return ProtocolError(util::Format("unknown status code %u", code));
+  }
+  *decoded = util::Status(static_cast<util::StatusCode>(code), std::move(message));
+  return util::Status::OK();
+}
+
+}  // namespace net
+}  // namespace qreg

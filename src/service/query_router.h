@@ -207,6 +207,12 @@ class QueryRouter {
   const RouterConfig& config() const { return config_; }
   ModelCatalog* catalog() const { return catalog_; }
 
+  /// The live stats collector. The net::Server fronting this router records
+  /// wire-level activity (connections, frames, bytes, protocol errors) and
+  /// server-side admission sheds here, so one snapshot covers the whole
+  /// serving stack.
+  ServiceStats* stats_sink() { return &stats_; }
+
   /// The batch worker pool — exposed so tests can saturate it on purpose.
   ThreadPool* pool_for_testing() { return pool_.get(); }
 

@@ -40,6 +40,16 @@ void ServiceStats::RecordRetrain() {
   ++retrains_;
 }
 
+void ServiceStats::RecordNet(const NetActivity& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  net_.connections_accepted += delta.connections_accepted;
+  net_.connections_closed += delta.connections_closed;
+  net_.frames_decoded += delta.frames_decoded;
+  net_.protocol_errors += delta.protocol_errors;
+  net_.bytes_in += delta.bytes_in;
+  net_.bytes_out += delta.bytes_out;
+}
+
 ServiceSnapshot ServiceStats::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceSnapshot s;
@@ -54,6 +64,12 @@ ServiceSnapshot ServiceStats::Snapshot() const {
   s.degraded = degraded_;
   s.retrains = retrains_;
   s.train_aborted = train_aborted_;
+  s.net_connections_accepted = net_.connections_accepted;
+  s.net_connections_closed = net_.connections_closed;
+  s.net_frames_decoded = net_.frames_decoded;
+  s.net_protocol_errors = net_.protocol_errors;
+  s.net_bytes_in = net_.bytes_in;
+  s.net_bytes_out = net_.bytes_out;
   s.elapsed_seconds = clock_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(total_) / s.elapsed_seconds
@@ -79,6 +95,7 @@ void ServiceStats::Reset() {
   total_ = errors_ = cache_hits_ = exact_ = model_ = shed_ = 0;
   deadline_exceeded_ = cancelled_ = degraded_ = retrains_ = 0;
   train_aborted_ = 0;
+  net_ = NetActivity();
   latency_sum_nanos_ = 0;
 }
 
@@ -95,6 +112,18 @@ void ServiceSnapshot::PrintTo(std::ostream& os) const {
   t.AddRow({"retrains", util::Format("%lld", static_cast<long long>(retrains))});
   t.AddRow({"train aborted",
             util::Format("%lld", static_cast<long long>(train_aborted))});
+  t.AddRow({"net connections accepted",
+            util::Format("%lld", static_cast<long long>(net_connections_accepted))});
+  t.AddRow({"net connections closed",
+            util::Format("%lld", static_cast<long long>(net_connections_closed))});
+  t.AddRow({"net frames decoded",
+            util::Format("%lld", static_cast<long long>(net_frames_decoded))});
+  t.AddRow({"net protocol errors",
+            util::Format("%lld", static_cast<long long>(net_protocol_errors))});
+  t.AddRow({"net bytes in",
+            util::Format("%lld", static_cast<long long>(net_bytes_in))});
+  t.AddRow({"net bytes out",
+            util::Format("%lld", static_cast<long long>(net_bytes_out))});
   t.AddRow({"qps", util::Format("%.1f", qps)});
   t.AddRow({"mean latency (ms)", util::Format("%.4f", mean_ms)});
   t.AddRow({"p50 latency (ms)", util::Format("%.4f", p50_ms)});

@@ -37,6 +37,15 @@ struct ServiceSnapshot {
                               ///< cancelled; this counter locates it in the
                               ///< training path).
 
+  // Wire-level counters, recorded by the net::Server fronting this router
+  // (all zero for a purely in-process service).
+  int64_t net_connections_accepted = 0;
+  int64_t net_connections_closed = 0;
+  int64_t net_frames_decoded = 0;   ///< Complete frames (any type) parsed.
+  int64_t net_protocol_errors = 0;  ///< Malformed frames / payloads rejected.
+  int64_t net_bytes_in = 0;
+  int64_t net_bytes_out = 0;
+
   double elapsed_seconds = 0.0;  ///< Since construction or Reset().
   double qps = 0.0;
   double mean_ms = 0.0;
@@ -74,6 +83,23 @@ struct QueryOutcome {
                                    ///< training path (GetOrTrain), not a scan.
 };
 
+/// \brief A batch of wire-level activity, accumulated lock-free by the
+/// server's event loop and folded into ServiceStats in one Record call.
+struct NetActivity {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t frames_decoded = 0;
+  int64_t protocol_errors = 0;
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+
+  bool empty() const {
+    return connections_accepted == 0 && connections_closed == 0 &&
+           frames_decoded == 0 && protocol_errors == 0 && bytes_in == 0 &&
+           bytes_out == 0;
+  }
+};
+
 /// \brief Thread-safe collector behind the router. Latencies are kept in a
 /// fixed ring (most recent `latency_window` samples) so memory stays bounded
 /// under sustained traffic; percentiles are over that window.
@@ -89,6 +115,9 @@ class ServiceStats {
 
   /// Records one drift-triggered retrain (a model-generation swap).
   void RecordRetrain();
+
+  /// Folds a batch of wire-level activity into the network counters.
+  void RecordNet(const NetActivity& delta);
 
   ServiceSnapshot Snapshot() const;
 
@@ -112,6 +141,7 @@ class ServiceStats {
   int64_t degraded_ = 0;
   int64_t retrains_ = 0;
   int64_t train_aborted_ = 0;
+  NetActivity net_;                // Wire-level totals (see RecordNet).
   int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
 };
 

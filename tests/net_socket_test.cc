@@ -1,0 +1,386 @@
+// End-to-end socket tests: a real net::Server on a loopback port, driven by
+// net::Client. Pipelined batches must come back positionally aligned and
+// bit-for-bit equal to in-process QueryRouter::Execute; expired client
+// deadlines are rejected at admission without touching the δ-cache; a
+// saturated server sheds with typed kResourceExhausted frames (never a
+// dropped connection); shutdown drains everything already decoded; malformed
+// streams get a typed error frame and a clean close.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "test_support.h"
+
+namespace qreg {
+namespace net {
+namespace {
+
+using testsupport::MixedWorkload;
+using testsupport::SharedCatalog;
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Spins until `cond` holds or ~2s pass (server-side counters are updated by
+// the event loop; tests observe them with a bounded wait, never a bare sleep).
+template <typename Cond>
+bool WaitFor(Cond cond) {
+  for (int i = 0; i < 2000; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+WireRequest ToWire(const service::Request& request) {
+  WireRequest wire;
+  wire.dataset = request.dataset;
+  wire.kind = request.kind;
+  wire.q = request.q;
+  return wire;
+}
+
+TEST(NetServerTest, PipelinedBatchMatchesInProcessBitForBit) {
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = false;  // Cache hits would change AnswerSource.
+  cfg.num_threads = 2;
+  service::QueryRouter wire_router(SharedCatalog(), cfg);
+
+  service::RouterConfig sync_cfg = cfg;
+  sync_cfg.num_threads = 0;  // Fully synchronous reference.
+  service::QueryRouter ref_router(SharedCatalog(), sync_cfg);
+
+  Server server(&wire_router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  const std::vector<service::Request> requests = MixedWorkload(40, /*seed=*/101);
+  std::vector<WireRequest> wire_batch;
+  for (const service::Request& r : requests) wire_batch.push_back(ToWire(r));
+
+  const auto over_wire = client.ExecuteBatch(wire_batch);
+  ASSERT_EQ(over_wire.size(), requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto in_process = ref_router.Execute(requests[i]);
+    ASSERT_EQ(over_wire[i].ok(), in_process.ok()) << "slot " << i;
+    if (!in_process.ok()) {
+      EXPECT_EQ(over_wire[i].status().code(), in_process.status().code());
+      continue;
+    }
+    const service::Answer& got = *over_wire[i];
+    const service::Answer& want = *in_process;
+    EXPECT_EQ(got.kind, want.kind) << "slot " << i;
+    EXPECT_EQ(got.source, want.source) << "slot " << i;
+    EXPECT_TRUE(BitEq(got.mean, want.mean)) << "slot " << i;
+    EXPECT_TRUE(BitEq(got.cache_delta, want.cache_delta)) << "slot " << i;
+    EXPECT_EQ(got.used_fallback, want.used_fallback) << "slot " << i;
+    EXPECT_EQ(got.exec.tuples_matched, want.exec.tuples_matched) << "slot " << i;
+    ASSERT_EQ(got.pieces.size(), want.pieces.size()) << "slot " << i;
+    for (size_t p = 0; p < want.pieces.size(); ++p) {
+      EXPECT_TRUE(BitEq(got.pieces[p].intercept, want.pieces[p].intercept));
+      EXPECT_EQ(got.pieces[p].prototype_id, want.pieces[p].prototype_id);
+      EXPECT_TRUE(BitEq(got.pieces[p].weight, want.pieces[p].weight));
+      ASSERT_EQ(got.pieces[p].slope.size(), want.pieces[p].slope.size());
+      for (size_t s = 0; s < want.pieces[p].slope.size(); ++s) {
+        EXPECT_TRUE(BitEq(got.pieces[p].slope[s], want.pieces[p].slope[s]));
+      }
+    }
+  }
+
+  // Wire-level counters reach the router's service snapshot. The event loop
+  // flushes its activity batch after the client may already have read the
+  // bytes, hence the bounded wait rather than an immediate snapshot.
+  EXPECT_TRUE(WaitFor([&] {
+    const service::ServiceSnapshot snap = wire_router.Stats();
+    return snap.net_connections_accepted >= 1 &&
+           snap.net_frames_decoded >= static_cast<int64_t>(requests.size()) &&
+           snap.net_bytes_in > 0 && snap.net_bytes_out > 0;
+  }));
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, ExpiredClientDeadlineRejectedAtAdmissionWithoutCacheTouch) {
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = true;
+  cfg.cache.delta_min = 0.9;
+  cfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), cfg);
+
+  Server server(&router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Warm the service (and the cache) with an unbounded request.
+  WireRequest warm = WireRequest::Q1("r1", query::Query({0.4, 0.6}, 0.12));
+  auto warm_answer = client.Execute(warm);
+  ASSERT_TRUE(warm_answer.ok()) << warm_answer.status();
+
+  const int64_t lookups_before = router.CacheStats().lookups;
+
+  // A 1ns budget is expired by the time admission runs: typed rejection, and
+  // the δ-cache must not even be consulted (a hit may never mask the status).
+  WireRequest expired = warm;
+  expired.deadline_budget_nanos = 1;
+  auto rejected = client.Execute(expired);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(router.CacheStats().lookups, lookups_before);
+
+  const service::ServiceSnapshot snap = router.Stats();
+  EXPECT_GE(snap.deadline_exceeded, 1);
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, SaturatedRouterShedsWithTypedFramesNotConnectionDrops) {
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = false;  // Shed must reject, not answer from cache.
+  cfg.num_threads = 1;
+  cfg.queue_capacity = 4;
+  cfg.overload = service::OverloadPolicy::kShed;
+  service::QueryRouter router(SharedCatalog(), cfg);
+
+  Server server(&router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  const std::vector<service::Request> requests = MixedWorkload(200, /*seed=*/33);
+  std::vector<WireRequest> batch;
+  for (const service::Request& r : requests) batch.push_back(ToWire(r));
+
+  const auto results = client.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+
+  int64_t ok = 0, shed = 0, other = 0;
+  for (const auto& r : results) {
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status().code() == util::StatusCode::kResourceExhausted) {
+      ++shed;
+    } else {
+      ++other;
+      ADD_FAILURE() << "unexpected failure: " << r.status();
+    }
+  }
+  // Every request got a typed response — the overload story is frames, not
+  // resets. The tiny queue guarantees the shed path actually engaged.
+  EXPECT_EQ(ok + shed, static_cast<int64_t>(batch.size()));
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_GE(router.Stats().shed, shed);
+
+  // The connection survived saturation: one more request round-trips.
+  auto after = client.Execute(ToWire(requests[0]));
+  EXPECT_TRUE(after.ok() ||
+              after.status().code() == util::StatusCode::kResourceExhausted);
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, ServerPipelineCapShedsAtAdmission) {
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = false;
+  cfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), cfg);
+
+  ServerConfig server_cfg;
+  server_cfg.max_pipeline = 8;  // Tiny per-connection backlog bound.
+  Server server(&router, server_cfg);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  const std::vector<service::Request> requests = MixedWorkload(64, /*seed=*/55);
+  std::vector<WireRequest> batch;
+  for (const service::Request& r : requests) batch.push_back(ToWire(r));
+  const auto results = client.ExecuteBatch(batch);
+
+  int64_t ok = 0, shed = 0;
+  for (const auto& r : results) {
+    if (r.ok()) ++ok;
+    if (!r.ok() && r.status().code() == util::StatusCode::kResourceExhausted) ++shed;
+  }
+  EXPECT_EQ(ok + shed, static_cast<int64_t>(batch.size()));
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0);  // 64 frames into an 8-deep pipeline must shed.
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, ShutdownDrainsDecodedRequestsThenCloses) {
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = false;
+  cfg.num_threads = 2;
+  service::QueryRouter router(SharedCatalog(), cfg);
+
+  Server server(&router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Pipeline 50 small Q1s without reading a single response.
+  constexpr int kRequests = 50;
+  const std::vector<service::Request> requests =
+      MixedWorkload(kRequests, /*seed=*/77);
+  for (int i = 0; i < kRequests; ++i) {
+    WireRequest wire = ToWire(requests[static_cast<size_t>(i)]);
+    wire.kind = service::QueryKind::kQ1MeanValue;  // Small answer frames.
+    ASSERT_TRUE(client.SendRequest(wire, static_cast<uint64_t>(i) + 1).ok());
+  }
+
+  // Wait until the server has *decoded* all 50, then shut down: drain
+  // semantics require every decoded request to be answered and flushed.
+  ASSERT_TRUE(WaitFor(
+      [&] { return router.Stats().net_frames_decoded >= kRequests; }));
+  server.Shutdown();
+
+  int answered = 0;
+  for (;;) {
+    uint64_t id = 0;
+    auto response = client.ReadResponse(&id);
+    if (!response.ok() &&
+        response.status().code() == util::StatusCode::kIoError) {
+      break;  // Clean EOF after the drained responses.
+    }
+    ASSERT_TRUE(response.ok()) << response.status();
+    ++answered;
+    if (answered == kRequests) break;
+  }
+  EXPECT_EQ(answered, kRequests);
+
+  // And the drained server refused nothing mid-flight: no protocol errors,
+  // connection accounted closed.
+  const service::ServiceSnapshot snap = router.Stats();
+  EXPECT_EQ(snap.net_protocol_errors, 0);
+  EXPECT_TRUE(WaitFor([&] {
+    return router.Stats().net_connections_closed >= 1;
+  }));
+}
+
+TEST(NetServerTest, MalformedStreamGetsTypedErrorFrameAndCleanClose) {
+  service::RouterConfig cfg;
+  cfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), cfg);
+  Server server(&router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw socket: send garbage that cannot be a frame header.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char garbage[64] = "this is definitely not a QREG frame header......";
+  ASSERT_EQ(::write(fd, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  // The server answers with one typed kError frame (request_id 0), then EOF.
+  FrameDecoder decoder;
+  Frame frame;
+  bool got_error_frame = false;
+  bool got_eof = false;
+  uint8_t buf[4096];
+  for (int i = 0; i < 2000 && !got_eof; ++i) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      decoder.Feed(buf, static_cast<size_t>(n));
+      while (decoder.Next(&frame) == FrameDecoder::Event::kFrame) {
+        ASSERT_EQ(frame.header.type, FrameType::kError);
+        EXPECT_EQ(frame.header.request_id, 0u);
+        util::Status transported;
+        ASSERT_TRUE(DecodeStatus(frame.payload.data(), frame.payload.size(),
+                                 &transported)
+                        .ok());
+        EXPECT_EQ(transported.code(), util::StatusCode::kInvalidArgument);
+        got_error_frame = true;
+      }
+    } else if (n == 0) {
+      got_eof = true;
+    } else {
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(got_error_frame);
+  EXPECT_TRUE(got_eof);
+  EXPECT_TRUE(WaitFor([&] { return router.Stats().net_protocol_errors >= 1; }));
+
+  // The poisoned connection took nothing else down: a fresh client works.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  auto answer = client.Execute(
+      WireRequest::Q1("r1", query::Query({0.4, 0.6}, 0.12)));
+  EXPECT_TRUE(answer.ok()) << answer.status();
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, UnknownDatasetComesBackAsTypedNotFound) {
+  service::RouterConfig cfg;
+  cfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), cfg);
+  Server server(&router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto answer = client.Execute(
+      WireRequest::Q1("no-such-dataset", query::Query({0.5, 0.5}, 0.1)));
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), util::StatusCode::kNotFound);
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, PingPongAndServerIsSingleUse) {
+  service::RouterConfig cfg;
+  cfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), cfg);
+  Server server(&router, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  client.Close();
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.Start().code(), util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace qreg
