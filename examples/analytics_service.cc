@@ -14,11 +14,12 @@
 //
 // The same service over the wire (DESIGN.md §12):
 //
-//   ./build/examples/analytics_service --serve 7077       # terminal A
-//   ./build/examples/analytics_service --connect 127.0.0.1:7077   # terminal B
+//   ./build/examples/analytics_service --serve 7077 --loops=4    # terminal A
+//   ./build/examples/analytics_service --connect 127.0.0.1:7077  # terminal B
 //
 // --serve stands the catalog up behind the framed-binary TCP front-end
-// (net::Server) and drains gracefully on Ctrl-C; --connect issues one Q1 and
+// (net::Server; --loops=N spreads connections across N event loops via
+// SO_REUSEPORT accept sharding) and drains on Ctrl-C; --connect issues one Q1 and
 // one pipelined Q2 batch through net::Client, plus an already-expired
 // deadline budget to show the typed rejection path.
 
@@ -45,8 +46,8 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
 
-/// --serve <port>: the demo catalog behind the wire front-end.
-int Serve(uint16_t port) {
+/// --serve <port> [--loops=N]: the demo catalog behind the wire front-end.
+int Serve(uint16_t port, size_t loops) {
   auto sensors = data::MakeR1(/*d=*/2, /*n=*/50000, /*seed=*/1);
   if (!sensors.ok()) {
     std::fprintf(stderr, "dataset generation failed\n");
@@ -78,15 +79,19 @@ int Serve(uint16_t port) {
   net::ServerConfig server_cfg;
   server_cfg.port = port;
   server_cfg.bind_address = "127.0.0.1";
+  server_cfg.event_loops = loops;
   net::Server server(&router, server_cfg);
-  const util::Status started = server.Start();
-  if (!started.ok()) {
+  const util::Result<net::Endpoint> endpoint = server.Start();
+  if (!endpoint.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
-                 started.ToString().c_str());
+                 endpoint.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving 'sensors' on 127.0.0.1:%u  (Ctrl-C drains and exits)\n",
-              server.port());
+  std::printf(
+      "serving 'sensors' on %s with %zu event loop(s)%s  (Ctrl-C drains "
+      "and exits)\n",
+      endpoint->ToString().c_str(), server.num_loops(),
+      server.using_shared_listener() ? " [shared listener]" : "");
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -158,8 +163,17 @@ int Demo();
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
-    const long port = argc >= 3 ? std::strtol(argv[2], nullptr, 10) : 7077;
-    return Serve(static_cast<uint16_t>(port));
+    long port = 7077;
+    long loops = 1;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--loops=", 8) == 0) {
+        loops = std::strtol(argv[i] + 8, nullptr, 10);
+      } else {
+        port = std::strtol(argv[i], nullptr, 10);
+      }
+    }
+    if (loops < 1) loops = 1;
+    return Serve(static_cast<uint16_t>(port), static_cast<size_t>(loops));
   }
   if (argc >= 3 && std::strcmp(argv[1], "--connect") == 0) {
     std::string target = argv[2];
@@ -173,9 +187,10 @@ int main(int argc, char** argv) {
     return ConnectTo(host, static_cast<uint16_t>(port));
   }
   if (argc >= 2) {
-    std::fprintf(stderr,
-                 "usage: %s [--serve [port] | --connect <host>:<port>]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--serve [port] [--loops=N] | --connect <host>:<port>]\n",
+        argv[0]);
     return 2;
   }
   return Demo();
@@ -258,13 +273,13 @@ int Demo() {
   // exact scan, even the wait behind another request's training. A request
   // that is already expired is rejected at admission with the typed status
   // (a cache hit never masks it), and the partial work the service did
-  // anyway comes back through Execute's error_stats out-param.
+  // anyway rides inside the typed ExecError.
   service::Request bounded =
       service::Request::Q1("sensors", query::Query({1.4, 1.4}, 1.0));
   bounded.deadline = util::Deadline::AfterNanos(0);  // Already expired.
-  query::ExecStats partial;
-  auto bounded_answer = router.Execute(bounded, &partial);
+  auto bounded_answer = router.Execute(bounded);
   if (!bounded_answer.ok()) {
+    const query::ExecStats& partial = bounded_answer.error().partial;
     std::printf("\ndeadline-bounded Q1: %s (partial work: %lld/%lld chunks, "
                 "%lld tuples)\n",
                 bounded_answer.status().ToString().c_str(),

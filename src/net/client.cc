@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "util/string_util.h"
 
@@ -195,6 +197,71 @@ util::Status Client::Ping() {
     QREG_RETURN_NOT_OK(ReadFrame(&frame));
   } while (frame.header.type != FrameType::kPong);
   return util::Status::OK();
+}
+
+// ------------------------------------------------------------- client pool --
+
+ClientPool::~ClientPool() { Close(); }
+
+void ClientPool::Close() { clients_.clear(); }
+
+util::Status ClientPool::Connect(const std::string& host, uint16_t port,
+                                 size_t connections) {
+  if (connections == 0) {
+    return util::Status::InvalidArgument("ClientPool needs >= 1 connection");
+  }
+  if (connected()) return util::Status::FailedPrecondition("already connected");
+  clients_.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    auto client = std::make_unique<Client>();
+    const util::Status st = client->Connect(host, port);
+    if (!st.ok()) {
+      Close();  // All-or-nothing.
+      return st;
+    }
+    clients_.push_back(std::move(client));
+  }
+  return util::Status::OK();
+}
+
+std::vector<util::Result<service::Answer>> ClientPool::ExecuteBatch(
+    const std::vector<WireRequest>& batch) {
+  std::vector<util::Result<service::Answer>> results(
+      batch.size(), util::Status::IoError("no response received"));
+  if (batch.empty()) return results;
+  if (!connected()) {
+    for (auto& slot : results) {
+      slot = util::Status::FailedPrecondition("not connected");
+    }
+    return results;
+  }
+
+  // Stripe round-robin: request i rides connection i % size(). Each stripe
+  // pipelines independently on its own thread, so a multi-loop server sees
+  // concurrent traffic on every connection it sharded across its loops.
+  const size_t fan = std::min(clients_.size(), batch.size());
+  std::vector<std::vector<WireRequest>> stripes(fan);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    stripes[i % fan].push_back(batch[i]);
+  }
+  std::vector<std::vector<util::Result<service::Answer>>> stripe_results(fan);
+  std::vector<std::thread> threads;
+  threads.reserve(fan);
+  for (size_t c = 0; c < fan; ++c) {
+    threads.emplace_back([this, c, &stripes, &stripe_results] {
+      stripe_results[c] = clients_[c]->ExecuteBatch(stripes[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const size_t c = i % fan;
+    const size_t slot = i / fan;
+    if (slot < stripe_results[c].size()) {
+      results[i] = std::move(stripe_results[c][slot]);
+    }
+  }
+  return results;
 }
 
 }  // namespace net

@@ -11,6 +11,7 @@
 #define QREG_NET_CLIENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,45 @@ class Client {
   int fd_ = -1;
   uint64_t next_id_ = 1;
   FrameDecoder decoder_;
+};
+
+/// \brief M independent connections to one server — the client-side fan-out
+/// a multi-loop server needs, since one connection lands on exactly one
+/// event loop and can never exercise the others.
+///
+/// ExecuteBatch stripes the batch round-robin across the connections
+/// (request i rides connection i % size()), pipelines every stripe
+/// concurrently on its own thread, and scatters the responses back into
+/// batch order. The per-connection split-phase primitives stay reachable
+/// through client(i) for open-loop load generators that manage their own
+/// sender/reader threads.
+class ClientPool {
+ public:
+  ClientPool() = default;
+  ~ClientPool();
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Opens `connections` (≥ 1) sockets to host:port. All-or-nothing: on any
+  /// failure every already-open connection is closed again.
+  util::Status Connect(const std::string& host, uint16_t port,
+                       size_t connections);
+
+  void Close();
+  size_t size() const { return clients_.size(); }
+  bool connected() const { return !clients_.empty(); }
+
+  /// The i-th connection (0 ≤ i < size()).
+  Client* client(size_t i) { return clients_[i].get(); }
+
+  /// Pipelines `batch` across all connections; results are positionally
+  /// aligned with `batch`, exactly as Client::ExecuteBatch.
+  std::vector<util::Result<service::Answer>> ExecuteBatch(
+      const std::vector<WireRequest>& batch);
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
 };
 
 }  // namespace net

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,14 +27,51 @@ struct PendingRequest {
   service::Request request;
 };
 
+// Chunks gathered into one flush syscall. Well under IOV_MAX everywhere.
+constexpr size_t kMaxIov = 64;
+
 }  // namespace
 
+std::string Endpoint::ToString() const {
+  return util::Format("%s:%u", address.c_str(), port);
+}
+
+util::Status ServerConfig::Validate() const {
+  if (executor_threads == 0) {
+    return util::Status::InvalidArgument(
+        "ServerConfig: executor_threads must be >= 1 (the event loops never "
+        "run queries themselves)");
+  }
+  if (event_loops == 0 || event_loops > kMaxEventLoops) {
+    return util::Status::InvalidArgument(
+        util::Format("ServerConfig: event_loops must be in [1, %zu] (got %zu)",
+                     kMaxEventLoops, event_loops));
+  }
+  sockaddr_in probe{};
+  if (inet_pton(AF_INET, bind_address.c_str(), &probe.sin_addr) != 1) {
+    return util::Status::InvalidArgument("ServerConfig: bad bind address: " +
+                                         bind_address);
+  }
+  if (max_connections == 0) {
+    return util::Status::InvalidArgument(
+        "ServerConfig: max_connections must be >= 1");
+  }
+  return util::Status::OK();
+}
+
 struct Server::Connection {
-  uint64_t id = 0;
+  uint64_t id = 0;  // Loop-local (each loop numbers its own connections).
   int fd = -1;
   FrameDecoder decoder;
-  std::vector<uint8_t> outbuf;
-  size_t out_pos = 0;  // Flushed prefix of outbuf.
+
+  // Output: a queue of encoded response chunks (arena buffers from executor
+  // completions, plus the loop's own staging buffer once committed), flushed
+  // with one scatter-gather syscall per POLLOUT burst. out_pos is the
+  // already-flushed prefix of the *front* chunk.
+  std::deque<std::vector<uint8_t>> outq;
+  size_t out_pos = 0;
+  std::vector<uint8_t> loop_out;  // Loop-side frames (pongs, error frames).
+
   std::vector<PendingRequest> pending;
   size_t in_flight = 0;  // Requests inside the currently-executing batch.
   bool read_closed = false;
@@ -43,18 +81,20 @@ struct Server::Connection {
       : id(id_in), fd(fd_in), decoder(max_payload) {}
 
   size_t outstanding() const { return pending.size() + in_flight; }
-  bool flushed() const { return out_pos == outbuf.size(); }
+  bool flushed() const { return outq.empty() && loop_out.empty(); }
 };
 
 struct Server::BatchJob {
+  size_t loop_index = 0;
   uint64_t conn_id = 0;
   std::vector<PendingRequest> items;
+  std::vector<uint8_t> buf;  // Arena buffer the executor encodes into.
 };
 
 struct Server::Completion {
   uint64_t conn_id = 0;
   size_t num_requests = 0;
-  std::vector<uint8_t> bytes;  // Encoded kAnswer/kError response frames.
+  std::vector<uint8_t> bytes;  // The job's arena buffer, now full of frames.
 };
 
 Server::Server(service::QueryRouter* router, ServerConfig config)
@@ -62,53 +102,135 @@ Server::Server(service::QueryRouter* router, ServerConfig config)
 
 Server::~Server() { Shutdown(); }
 
-util::Status Server::Start() {
-  if (state_.load() != State::kIdle) {
-    return util::Status::FailedPrecondition("net::Server is single-use");
-  }
+namespace {
 
-  sockaddr_in addr{};
+// Opens a non-blocking listener on addr:port. `reuse_port` asks for
+// SO_REUSEPORT (kernel accept sharding); failure to set it is reported as an
+// error so Start() can fall back to the shared-listener path.
+util::Result<int> OpenListener(const sockaddr_in& addr_in, uint16_t port,
+                               bool reuse_port) {
+  sockaddr_in addr = addr_in;
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    return util::Status::InvalidArgument("bad bind address: " +
-                                         config_.bind_address);
-  }
+  addr.sin_port = htons(port);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
     return util::Status::IoError(util::Format("socket(): %s", strerror(errno)));
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 128) != 0) {
-    const util::Status st =
-        util::Status::IoError(util::Format("bind/listen %s:%u: %s",
-                                           config_.bind_address.c_str(),
-                                           config_.port, strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      const util::Status st = util::Status::NotImplemented(
+          util::Format("SO_REUSEPORT: %s", strerror(errno)));
+      ::close(fd);
+      return st;
+    }
+#else
+    ::close(fd);
+    return util::Status::NotImplemented("SO_REUSEPORT not available");
+#endif
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    const util::Status st = util::Status::IoError(
+        util::Format("bind/listen port %u: %s", port, strerror(errno)));
+    ::close(fd);
     return st;
   }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
+  return fd;
+}
 
-  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return util::Status::IoError(util::Format("pipe2(): %s", strerror(errno)));
+}  // namespace
+
+util::Result<Endpoint> Server::Start() {
+  if (state_.load() != State::kIdle) {
+    return util::Status::FailedPrecondition("net::Server is single-use");
+  }
+  // Typed config errors before any socket syscall.
+  QREG_RETURN_NOT_OK(config_.Validate());
+
+  sockaddr_in addr{};
+  inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr);
+
+  const size_t nloops = config_.event_loops;
+  loops_.clear();
+  loops_.reserve(nloops);
+  for (size_t i = 0; i < nloops; ++i) {
+    loops_.push_back(std::make_unique<Loop>());
+    loops_.back()->index = i;
+  }
+
+  // Listener topology: every loop gets its own SO_REUSEPORT listener on the
+  // same endpoint (kernel accept sharding). If the platform refuses — or the
+  // test hook forces it — loop 0 keeps a sole plain listener and hands
+  // accepted fds round-robin to the other loops.
+  auto cleanup = [this] {
+    for (auto& loop : loops_) {
+      if (loop->listen_fd >= 0) ::close(loop->listen_fd);
+      for (int fd : loop->wake_fds) {
+        if (fd >= 0) ::close(fd);
+      }
+    }
+    loops_.clear();
+  };
+
+  shared_listener_ = config_.force_shared_listener;
+  const bool want_reuseport = !config_.force_shared_listener && nloops > 1;
+  util::Result<int> first = OpenListener(addr, config_.port, want_reuseport);
+  if (!first.ok() && want_reuseport) {
+    // Kernel without SO_REUSEPORT: shared-listener fallback.
+    shared_listener_ = true;
+    first = OpenListener(addr, config_.port, /*reuse_port=*/false);
+  }
+  if (!first.ok()) {
+    cleanup();
+    return first.status();
+  }
+  loops_[0]->listen_fd = *first;
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(loops_[0]->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  const uint16_t bound_port = ntohs(bound.sin_port);
+
+  if (!shared_listener_) {
+    for (size_t i = 1; i < nloops; ++i) {
+      // Ephemeral first bind resolved the port; siblings bind it concretely.
+      util::Result<int> fd = OpenListener(addr, bound_port, /*reuse_port=*/true);
+      if (!fd.ok()) {
+        // Mid-way refusal: close the sibling listeners and fall back.
+        for (size_t j = 1; j < i; ++j) {
+          ::close(loops_[j]->listen_fd);
+          loops_[j]->listen_fd = -1;
+        }
+        shared_listener_ = true;
+        break;
+      }
+      loops_[i]->listen_fd = *fd;
+    }
+  }
+
+  for (auto& loop : loops_) {
+    if (::pipe2(loop->wake_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      const util::Status st =
+          util::Status::IoError(util::Format("pipe2(): %s", strerror(errno)));
+      cleanup();
+      return st;
+    }
   }
 
   state_.store(State::kRunning);
-  const size_t executors = config_.executor_threads > 0 ? config_.executor_threads : 1;
-  executors_.reserve(executors);
-  for (size_t i = 0; i < executors; ++i) {
+  executors_.reserve(config_.executor_threads);
+  for (size_t i = 0; i < config_.executor_threads; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
   }
-  event_thread_ = std::thread([this] { EventLoop(); });
-  return util::Status::OK();
+  for (auto& loop : loops_) {
+    Loop* l = loop.get();
+    l->thread = std::thread([this, l] { EventLoop(l); });
+  }
+  return Endpoint{config_.bind_address, bound_port};
 }
 
 void Server::Shutdown() {
@@ -120,8 +242,10 @@ void Server::Shutdown() {
   if (state_.load() == State::kStopped) return;
 
   shutdown_requested_.store(true);
-  Wakeup();
-  if (event_thread_.joinable()) event_thread_.join();
+  for (auto& loop : loops_) WakeLoop(loop.get());
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
 
   {
     std::lock_guard<std::mutex> job_lock(job_mu_);
@@ -133,24 +257,33 @@ void Server::Shutdown() {
   }
   executors_.clear();
 
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  for (int& fd : wake_fds_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
+  for (auto& loop : loops_) {
+    if (loop->listen_fd >= 0) {
+      ::close(loop->listen_fd);
+      loop->listen_fd = -1;
     }
+    for (int& fd : loop->wake_fds) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    // Handoff fds never adopted by the exiting loop: close and un-count.
+    std::lock_guard<std::mutex> hlock(loop->handoff_mu);
+    for (int fd : loop->handoff) {
+      ::close(fd);
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop->handoff.clear();
   }
   state_.store(State::kStopped);
 }
 
-void Server::Wakeup() {
-  if (wake_fds_[1] < 0) return;
+void Server::WakeLoop(Loop* loop) {
+  if (loop->wake_fds[1] < 0) return;
   const uint8_t byte = 1;
   // EAGAIN means the pipe already holds a pending wakeup — good enough.
-  (void)!::write(wake_fds_[1], &byte, 1);
+  (void)!::write(loop->wake_fds[1], &byte, 1);
 }
 
 // --------------------------------------------------------------- executors --
@@ -169,33 +302,36 @@ void Server::ExecutorLoop() {
     std::vector<service::Request> batch;
     batch.reserve(job.items.size());
     for (PendingRequest& item : job.items) batch.push_back(std::move(item.request));
-    const std::vector<util::Result<service::Answer>> results =
+    const std::vector<service::ExecResult> results =
         router_->ExecuteBatch(batch);
 
+    // Arena encode: every response frame of the batch lands in place in the
+    // job's connection-owned buffer — no per-frame payload allocations. The
+    // buffer rides the completion back to the loop that lent it.
     Completion done;
     done.conn_id = job.conn_id;
     done.num_requests = job.items.size();
+    done.bytes = std::move(job.buf);
     for (size_t i = 0; i < results.size() && i < job.items.size(); ++i) {
       const uint64_t id = job.items[i].request_id;
       if (results[i].ok()) {
-        AppendFrame(&done.bytes, FrameType::kAnswer, id,
-                    EncodeAnswer(*results[i]));
+        AppendAnswerFrame(&done.bytes, id, *results[i]);
       } else {
-        AppendFrame(&done.bytes, FrameType::kError, id,
-                    EncodeStatus(results[i].status()));
+        AppendStatusFrame(&done.bytes, id, results[i].status());
       }
     }
+    Loop* loop = loops_[job.loop_index].get();
     {
-      std::lock_guard<std::mutex> lock(done_mu_);
-      done_.push_back(std::move(done));
+      std::lock_guard<std::mutex> lock(loop->done_mu);
+      loop->done.push_back(std::move(done));
     }
-    Wakeup();
+    WakeLoop(loop);
   }
 }
 
 // -------------------------------------------------------------- event loop --
 
-void Server::EventLoop() {
+void Server::EventLoop(Loop* loop) {
   bool draining = false;
   int64_t drain_start_nanos = 0;
 
@@ -204,58 +340,64 @@ void Server::EventLoop() {
 
   for (;;) {
     // Enter drain mode once: stop accepting and stop reading new frames;
-    // everything already decoded still gets executed and flushed.
+    // everything already decoded still gets executed and flushed. Each loop
+    // drains independently — there is no cross-loop barrier to stall on.
     if (!draining && shutdown_requested_.load()) {
       draining = true;
       drain_start_nanos = util::NowNanos();
-      if (listen_fd_ >= 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+      if (loop->listen_fd >= 0) {
+        ::close(loop->listen_fd);
+        loop->listen_fd = -1;
       }
-      for (auto& entry : conns_) {
+      for (auto& entry : loop->conns) {
         entry.second->read_closed = true;
         entry.second->close_after_flush = true;
-        DispatchIfReady(entry.second.get());
+        DispatchIfReady(loop, entry.second.get());
       }
     }
+
+    // Adopt connections the accepting loop handed over (shared-listener
+    // mode). During drain a handed-off fd has never been read — close it.
+    AdoptHandoffs(loop);
 
     // Reap connections that are finished: nothing pending, nothing in
     // flight, every response flushed.
     {
       std::vector<uint64_t> done_ids;
-      for (auto& entry : conns_) {
+      for (auto& entry : loop->conns) {
         Connection* c = entry.second.get();
         if ((c->read_closed || c->close_after_flush) && c->pending.empty() &&
             c->in_flight == 0 && c->flushed()) {
           done_ids.push_back(c->id);
         }
       }
-      for (uint64_t id : done_ids) CloseConnection(id, /*count_as_drop=*/false);
+      for (uint64_t id : done_ids) CloseConnection(loop, id);
     }
 
     if (draining) {
       const bool timed_out =
           util::NowNanos() - drain_start_nanos >
           config_.drain_timeout_millis * 1000000;
-      if (conns_.empty()) break;
+      if (loop->conns.empty()) break;
       if (timed_out) {
         std::vector<uint64_t> ids;
-        ids.reserve(conns_.size());
-        for (auto& entry : conns_) ids.push_back(entry.first);
-        for (uint64_t id : ids) CloseConnection(id, /*count_as_drop=*/true);
+        ids.reserve(loop->conns.size());
+        for (auto& entry : loop->conns) ids.push_back(entry.first);
+        for (uint64_t id : ids) CloseConnection(loop, id);
         break;
       }
     }
 
     pfds.clear();
     pfd_conn.clear();
-    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    pfds.push_back({loop->wake_fds[0], POLLIN, 0});
     pfd_conn.push_back(0);
-    if (listen_fd_ >= 0) {
-      pfds.push_back({listen_fd_, POLLIN, 0});
+    const size_t listen_idx = pfds.size();
+    if (loop->listen_fd >= 0) {
+      pfds.push_back({loop->listen_fd, POLLIN, 0});
       pfd_conn.push_back(0);
     }
-    for (auto& entry : conns_) {
+    for (auto& entry : loop->conns) {
       Connection* c = entry.second.get();
       short events = 0;
       if (!c->read_closed) events |= POLLIN;
@@ -272,83 +414,139 @@ void Server::EventLoop() {
     // Self-pipe: drain pending wakeup bytes.
     if (pfds[0].revents & POLLIN) {
       uint8_t buf[256];
-      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      while (::read(loop->wake_fds[0], buf, sizeof(buf)) > 0) {
       }
     }
 
-    // Completed batches → connection output buffers.
+    // Completed batches → connection output queues (the arena buffer each
+    // executor filled comes home here), flushed eagerly while the socket is
+    // almost certainly writable.
     {
       std::deque<Completion> finished;
       {
-        std::lock_guard<std::mutex> lock(done_mu_);
-        finished.swap(done_);
+        std::lock_guard<std::mutex> lock(loop->done_mu);
+        finished.swap(loop->done);
       }
       for (Completion& done : finished) {
-        auto it = conns_.find(done.conn_id);
-        if (it == conns_.end()) continue;  // Connection died mid-batch.
+        auto it = loop->conns.find(done.conn_id);
+        if (it == loop->conns.end()) {
+          continue;  // Connection died mid-batch; the buffer just drops.
+        }
         Connection* c = it->second.get();
         c->in_flight -= std::min(c->in_flight, done.num_requests);
-        c->outbuf.insert(c->outbuf.end(), done.bytes.begin(), done.bytes.end());
-        DispatchIfReady(c);
+        if (!done.bytes.empty()) {
+          c->outq.push_back(std::move(done.bytes));
+        } else {
+          loop->arena.Release(std::move(done.bytes));
+        }
+        DispatchIfReady(loop, c);
+        FlushWrites(loop, c);  // May close c; last touch this round.
       }
     }
 
-    if (listen_fd_ >= 0) {
-      for (size_t i = 1; i < pfds.size(); ++i) {
-        if (pfd_conn[i] == 0 && pfds[i].fd == listen_fd_ &&
-            (pfds[i].revents & POLLIN)) {
-          AcceptNew();
-          break;
-        }
-      }
+    if (loop->listen_fd >= 0 && listen_idx < pfds.size() &&
+        pfds[listen_idx].fd == loop->listen_fd &&
+        (pfds[listen_idx].revents & POLLIN)) {
+      AcceptNew(loop);
     }
 
     for (size_t i = 0; i < pfds.size(); ++i) {
       const uint64_t id = pfd_conn[i];
       if (id == 0 || pfds[i].revents == 0) continue;
       if (pfds[i].revents & (POLLERR | POLLNVAL)) {
-        CloseConnection(id, /*count_as_drop=*/true);
+        CloseConnection(loop, id);
         continue;
       }
       if (pfds[i].revents & (POLLIN | POLLHUP)) {
-        auto it = conns_.find(id);
-        if (it != conns_.end()) HandleReadable(it->second.get());
+        auto it = loop->conns.find(id);
+        if (it != loop->conns.end()) HandleReadable(loop, it->second.get());
       }
-      auto it = conns_.find(id);
-      if (it != conns_.end() && !it->second->flushed()) {
-        FlushWrites(it->second.get());
+      auto it = loop->conns.find(id);
+      if (it != loop->conns.end() && !it->second->flushed()) {
+        FlushWrites(loop, it->second.get());
       }
     }
   }
 }
 
-void Server::AcceptNew() {
+void Server::AdoptHandoffs(Loop* loop) {
+  std::deque<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(loop->handoff_mu);
+    if (loop->handoff.empty()) return;
+    fds.swap(loop->handoff);
+  }
+  service::NetActivity activity;
+  for (int fd : fds) {
+    if (shutdown_requested_.load()) {
+      // Drain began before this connection was ever read; refuse it.
+      ::close(fd);
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
+      ++activity.connections_closed;
+      continue;
+    }
+    RegisterConnection(loop, fd);
+  }
+  if (!activity.empty()) stats_->RecordNet(loop->index, activity);
+}
+
+void Server::RegisterConnection(Loop* loop, int fd) {
+  const uint64_t id = loop->next_conn_id++;
+  loop->conns.emplace(
+      id, std::make_unique<Connection>(id, fd, config_.max_payload_bytes));
+}
+
+void Server::AcceptNew(Loop* loop) {
   service::NetActivity activity;
   for (;;) {
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        ::accept4(loop->listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN or transient accept failure: poll again.
     }
-    if (conns_.size() >= config_.max_connections) {
-      // Connection-count cap: refuse at the door (the per-request overload
-      // story — typed kResourceExhausted frames — applies to accepted
-      // connections; the fd table itself must stay bounded).
+    // Global connection cap: one shared atomic across all loops, so N loops
+    // cannot collectively accept N× the limit. fetch_add claims a slot;
+    // losing the claim means refuse at the door.
+    if (open_conns_.fetch_add(1, std::memory_order_relaxed) >=
+        config_.max_connections) {
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const uint64_t id = next_conn_id_++;
-    conns_.emplace(id, std::make_unique<Connection>(id, fd,
-                                                    config_.max_payload_bytes));
     ++activity.connections_accepted;
+    if (shared_listener_ && loops_.size() > 1) {
+      // Software accept sharding: round-robin across every loop (self
+      // included) through the per-loop handoff queues.
+      Loop* target = loops_[handoff_next_++ % loops_.size()].get();
+      if (target == loop) {
+        RegisterConnection(loop, fd);
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(target->handoff_mu);
+          target->handoff.push_back(fd);
+        }
+        WakeLoop(target);
+      }
+    } else {
+      RegisterConnection(loop, fd);
+    }
   }
-  if (!activity.empty()) stats_->RecordNet(activity);
+  if (!activity.empty()) stats_->RecordNet(loop->index, activity);
 }
 
-void Server::HandleReadable(Connection* conn) {
+// The loop-side staging buffer for small frames the loop itself emits
+// (pongs, protocol-error frames); committed into the output queue by
+// FlushWrites so it rides the same scatter-gather path as batch responses.
+static std::vector<uint8_t>* StagedOut(WireArena* arena,
+                                       std::vector<uint8_t>* staged) {
+  if (staged->empty()) *staged = arena->Acquire();
+  return staged;
+}
+
+void Server::HandleReadable(Loop* loop, Connection* conn) {
   service::NetActivity activity;
   uint8_t buf[65536];
   for (;;) {
@@ -366,8 +564,8 @@ void Server::HandleReadable(Connection* conn) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     // Hard read error: the peer is gone; drop what cannot be delivered.
-    stats_->RecordNet(activity);
-    CloseConnection(conn->id, /*count_as_drop=*/true);
+    stats_->RecordNet(loop->index, activity);
+    CloseConnection(loop, conn->id);
     return;
   }
 
@@ -376,31 +574,31 @@ void Server::HandleReadable(Connection* conn) {
     const FrameDecoder::Event event = conn->decoder.Next(&frame);
     if (event == FrameDecoder::Event::kFrame) {
       ++activity.frames_decoded;
-      HandleFrame(conn, std::move(frame));
+      HandleFrame(loop, conn, std::move(frame));
       continue;
     }
     if (event == FrameDecoder::Event::kError) {
       // Defined protocol-error state: report the typed error on request_id 0,
       // flush everything already owed, then close. Never resync on garbage.
       ++activity.protocol_errors;
-      AppendFrame(&conn->outbuf, FrameType::kError, 0,
-                  EncodeStatus(conn->decoder.error()));
+      AppendStatusFrame(StagedOut(&loop->arena, &conn->loop_out), 0,
+                        conn->decoder.error());
       conn->read_closed = true;
       conn->close_after_flush = true;
     }
     break;  // kNeedMore or kError.
   }
 
-  if (!activity.empty()) stats_->RecordNet(activity);
-  DispatchIfReady(conn);
-  FlushWrites(conn);
+  if (!activity.empty()) stats_->RecordNet(loop->index, activity);
+  DispatchIfReady(loop, conn);
+  FlushWrites(loop, conn);
 }
 
-void Server::HandleFrame(Connection* conn, Frame frame) {
+void Server::HandleFrame(Loop* loop, Connection* conn, Frame frame) {
   switch (frame.header.type) {
     case FrameType::kPing: {
-      AppendFrame(&conn->outbuf, FrameType::kPong, frame.header.request_id,
-                  nullptr, 0);
+      AppendFrame(StagedOut(&loop->arena, &conn->loop_out), FrameType::kPong,
+                  frame.header.request_id, nullptr, 0);
       return;
     }
     case FrameType::kRequest: {
@@ -411,9 +609,9 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
         // keep the connection (the stream itself is still well-formed).
         service::NetActivity activity;
         ++activity.protocol_errors;
-        stats_->RecordNet(activity);
-        AppendFrame(&conn->outbuf, FrameType::kError, frame.header.request_id,
-                    EncodeStatus(decoded.status()));
+        stats_->RecordNet(loop->index, activity);
+        AppendStatusFrame(StagedOut(&loop->arena, &conn->loop_out),
+                          frame.header.request_id, decoded.status());
         return;
       }
       if (conn->outstanding() >= config_.max_pipeline) {
@@ -423,10 +621,11 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
         outcome.ok = false;
         outcome.shed = true;
         stats_->Record(outcome);
-        AppendFrame(&conn->outbuf, FrameType::kError, frame.header.request_id,
-                    EncodeStatus(util::Status::ResourceExhausted(
-                        util::Format("connection pipeline full (%zu in flight)",
-                                     conn->outstanding()))));
+        AppendStatusFrame(StagedOut(&loop->arena, &conn->loop_out),
+                          frame.header.request_id,
+                          util::Status::ResourceExhausted(util::Format(
+                              "connection pipeline full (%zu in flight)",
+                              conn->outstanding())));
         return;
       }
       PendingRequest pending;
@@ -447,24 +646,28 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
     default: {
       service::NetActivity activity;
       ++activity.protocol_errors;
-      stats_->RecordNet(activity);
-      AppendFrame(
-          &conn->outbuf, FrameType::kError, frame.header.request_id,
-          EncodeStatus(util::Status::InvalidArgument(util::Format(
+      stats_->RecordNet(loop->index, activity);
+      AppendStatusFrame(
+          StagedOut(&loop->arena, &conn->loop_out), frame.header.request_id,
+          util::Status::InvalidArgument(util::Format(
               "wire protocol: unexpected frame type %u from client",
-              static_cast<unsigned>(frame.header.type)))));
+              static_cast<unsigned>(frame.header.type))));
       return;
     }
   }
 }
 
-void Server::DispatchIfReady(Connection* conn) {
+void Server::DispatchIfReady(Loop* loop, Connection* conn) {
   if (conn->in_flight > 0 || conn->pending.empty()) return;
   BatchJob job;
+  job.loop_index = loop->index;
   job.conn_id = conn->id;
   job.items = std::move(conn->pending);
   conn->pending.clear();
   conn->in_flight = job.items.size();
+  // The response buffer is lent to the executor here and comes back with
+  // the completion; after the flush it returns to this loop's arena.
+  job.buf = loop->arena.Acquire();
   {
     std::lock_guard<std::mutex> lock(job_mu_);
     jobs_.push_back(std::move(job));
@@ -472,38 +675,73 @@ void Server::DispatchIfReady(Connection* conn) {
   job_cv_.notify_one();
 }
 
-void Server::FlushWrites(Connection* conn) {
+void Server::FlushWrites(Loop* loop, Connection* conn) {
+  // Commit the loop's staged frames so they flush in arrival order with the
+  // batch responses.
+  if (!conn->loop_out.empty()) {
+    conn->outq.push_back(std::move(conn->loop_out));
+    conn->loop_out.clear();
+  }
+
   service::NetActivity activity;
-  while (conn->out_pos < conn->outbuf.size()) {
-    const ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->out_pos,
-                              conn->outbuf.size() - conn->out_pos);
+  while (!conn->outq.empty()) {
+    // Scatter-gather: one syscall drains up to kMaxIov queued chunks — a
+    // whole pipelined batch of response frames — instead of one write per
+    // frame. sendmsg(MSG_NOSIGNAL) is writev plus SIGPIPE suppression.
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    size_t skip = conn->out_pos;
+    for (auto& chunk : conn->outq) {
+      if (niov == kMaxIov) break;
+      iov[niov].iov_base = chunk.data() + skip;
+      iov[niov].iov_len = chunk.size() - skip;
+      ++niov;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       activity.bytes_out += n;
-      conn->out_pos += static_cast<size_t>(n);
+      size_t left = static_cast<size_t>(n);
+      while (left > 0) {
+        std::vector<uint8_t>& front = conn->outq.front();
+        const size_t avail = front.size() - conn->out_pos;
+        if (left >= avail) {
+          left -= avail;
+          conn->out_pos = 0;
+          loop->arena.Release(std::move(front));
+          conn->outq.pop_front();
+        } else {
+          conn->out_pos += left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (!activity.empty()) stats_->RecordNet(activity);
-    CloseConnection(conn->id, /*count_as_drop=*/true);
+    if (!activity.empty()) stats_->RecordNet(loop->index, activity);
+    CloseConnection(loop, conn->id);
     return;
   }
-  if (conn->flushed() && conn->out_pos > 0) {
-    conn->outbuf.clear();
-    conn->out_pos = 0;
-  }
-  if (!activity.empty()) stats_->RecordNet(activity);
+  if (!activity.empty()) stats_->RecordNet(loop->index, activity);
 }
 
-void Server::CloseConnection(uint64_t id, bool count_as_drop) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
+void Server::CloseConnection(Loop* loop, uint64_t id) {
+  auto it = loop->conns.find(id);
+  if (it == loop->conns.end()) return;
   ::close(it->second->fd);
-  conns_.erase(it);
+  // Unflushed chunks go home to the arena, not to the allocator.
+  for (std::vector<uint8_t>& chunk : it->second->outq) {
+    loop->arena.Release(std::move(chunk));
+  }
+  loop->conns.erase(it);
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
   service::NetActivity activity;
   ++activity.connections_closed;
-  (void)count_as_drop;  // Both paths count as closed; drops show up client-side.
-  stats_->RecordNet(activity);
+  stats_->RecordNet(loop->index, activity);
 }
 
 }  // namespace net

@@ -1,28 +1,38 @@
 // Framed-binary TCP front-end over service::QueryRouter (DESIGN.md §12).
 //
-// Architecture: one poll()-based event-loop thread owns every socket
-// (non-blocking accept/read/write, a self-pipe for cross-thread wakeups) and
-// a fixed pool of batch-executor threads runs the router. The event loop
+// Architecture: N independent poll()-based event loops (config.event_loops),
+// each owning its *own* listener, connection table, self-pipe, arena, and
+// completion queue — no socket is ever touched by two threads — plus one
+// shared fixed pool of batch-executor threads running the router. A loop
 // never executes a query and the executors never touch a socket, so a slow
-// scan cannot stall frame decoding on other connections and a slow client
+// scan cannot stall frame decoding on any connection and a slow client
 // cannot stall the router.
+//
+// Accept sharding: every loop binds its own SO_REUSEPORT listener to the
+// same address, and the kernel spreads incoming connections across them.
+// When the platform refuses SO_REUSEPORT (or the test hook
+// `force_shared_listener` is set), loop 0 keeps the sole listener and hands
+// accepted fds to the other loops round-robin through per-loop handoff
+// queues — same ownership invariant, software sharding.
 //
 // Pipelining: frames a client sends back-to-back are decoded into a
 // per-connection pending list; the whole list is handed to one
-// QueryRouter::ExecuteBatch call (the router's existing fan-out does the
-// parallelism), and frames arriving while that batch is in flight coalesce
-// into the next one. Responses echo each request's id, one kAnswer or kError
-// frame per request — a saturated router sheds with a typed
-// kResourceExhausted *frame*, never a dropped connection.
+// QueryRouter::ExecuteBatch call, and frames arriving while that batch is in
+// flight coalesce into the next one. Responses echo each request's id, one
+// kAnswer or kError frame per request — a saturated router sheds with a
+// typed kResourceExhausted *frame*, never a dropped connection.
 //
-// Deadlines: a WireRequest's relative budget is bound to a util::Deadline at
-// decode time (on the server's — possibly injected — clock), so
-// admission-time rejection and the mid-scan degrade ladder behave exactly as
-// in-process.
+// Response path: the owning loop Acquire()s a buffer from its WireArena at
+// dispatch time; the executor encodes every response frame of the batch
+// in place (AppendAnswerFrame/AppendStatusFrame — no per-frame allocation)
+// and the buffer rides the completion back to its loop, is queued as one
+// output chunk, flushed with writev() scatter-gather (one syscall per
+// POLLOUT burst, not per frame), and finally Release()d to the arena.
 //
-// Shutdown: Shutdown() stops accepting, lets in-flight and already-decoded
-// requests finish, flushes every response, then closes connections and joins
-// all threads (bounded by drain_timeout_millis against stuck peers).
+// Shutdown: Shutdown() stops every listener, lets in-flight and
+// already-decoded requests finish, flushes every response on every loop,
+// then closes connections and joins all threads (each loop bounded by
+// drain_timeout_millis against stuck peers).
 
 #ifndef QREG_NET_SERVER_H_
 #define QREG_NET_SERVER_H_
@@ -46,17 +56,36 @@
 namespace qreg {
 namespace net {
 
+/// Hard ceiling on ServerConfig::event_loops — far past any sane core count;
+/// a bigger request is a typo, rejected by Validate().
+constexpr size_t kMaxEventLoops = 64;
+
+/// \brief Where a started server is actually listening — what Start()
+/// returns, so "bind then ask for the port" is one step, not two.
+struct Endpoint {
+  std::string address;
+  uint16_t port = 0;
+
+  std::string ToString() const;  ///< "127.0.0.1:8080".
+};
+
 /// \brief Server configuration.
 struct ServerConfig {
-  /// TCP port to listen on; 0 picks an ephemeral port (see Server::port()).
+  /// TCP port to listen on; 0 picks an ephemeral port (reported by the
+  /// Endpoint Start() returns).
   uint16_t port = 0;
 
   /// Listen address. Defaults to loopback: exposing the service beyond the
   /// host is an explicit operator decision.
   std::string bind_address = "127.0.0.1";
 
-  /// Batch-executor threads running QueryRouter::ExecuteBatch. Fixed at
-  /// Start(); the router's own pools provide per-batch parallelism.
+  /// Event loops (each with its own listener and connection table). The
+  /// loops are the frame-pumping capacity; scale this with cores when the
+  /// measured knee is loop-bound (bench_load_curve's loop ladder).
+  size_t event_loops = 1;
+
+  /// Batch-executor threads running QueryRouter::ExecuteBatch, shared by
+  /// all loops. Must be ≥ 1 (Validate enforces it).
   size_t executor_threads = 2;
 
   /// Per-connection ceiling on decoded-but-unanswered requests. Frames
@@ -68,23 +97,37 @@ struct ServerConfig {
   /// buffering.
   size_t max_payload_bytes = kMaxPayloadBytes;
 
-  /// Accepted connections beyond this are closed immediately after accept.
+  /// Global cap across *all* loops (one shared atomic count, so N loops
+  /// cannot collectively accept N× the limit). Connections beyond it are
+  /// closed immediately after accept.
   size_t max_connections = 1024;
 
-  /// Shutdown(): how long to wait for in-flight batches and unflushed
-  /// responses before force-closing connections.
+  /// Shutdown(): how long each loop waits for in-flight batches and
+  /// unflushed responses before force-closing its connections.
   int64_t drain_timeout_millis = 5000;
 
   /// Clock that decode-time deadline mapping uses (null = system clock).
   /// Borrowed; must outlive the server. Tests inject a FakeClock.
   const util::Clock* clock = nullptr;
+
+  /// Test hook: pretend the platform lacks SO_REUSEPORT, forcing the
+  /// shared-listener round-robin handoff path even where the kernel would
+  /// shard accepts natively.
+  bool force_shared_listener = false;
+
+  /// Typed kInvalidArgument for a config no socket syscall should ever see:
+  /// zero executor threads, zero or > kMaxEventLoops event loops, a bind
+  /// address inet_pton rejects, or a zero connection cap. Start() calls this
+  /// before touching the network.
+  util::Status Validate() const;
 };
 
 /// \brief The wire-level front door: accepts framed-binary connections and
 /// serves them from a borrowed QueryRouter (which must outlive the server).
 ///
-/// Wire-level activity is recorded into the router's ServiceStats
-/// (net_* counters), so Stats() on the router covers the whole stack.
+/// Wire-level activity is recorded into the router's ServiceStats — both the
+/// aggregate net_* counters and the per-loop breakdown (net_loops), so one
+/// snapshot shows a skewed accept shard or a starving loop.
 class Server {
  public:
   Server(service::QueryRouter* router, ServerConfig config = ServerConfig());
@@ -95,14 +138,20 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the event-loop + executor threads. A server
-  /// is single-use: Start() after Shutdown() is an error.
-  util::Status Start();
-
-  /// The bound port (useful with config.port = 0). 0 before Start().
-  uint16_t port() const { return port_; }
+  /// Validates the config, binds every loop's listener, and starts the
+  /// event-loop + executor threads. Returns the bound endpoint (with the
+  /// kernel-chosen port when config.port == 0). A server is single-use:
+  /// Start() after Shutdown() is an error.
+  util::Result<Endpoint> Start();
 
   bool running() const { return state_.load() == State::kRunning; }
+
+  /// Number of event loops actually running (0 before Start()).
+  size_t num_loops() const { return loops_.size(); }
+
+  /// True when Start() fell back to the shared-listener handoff path
+  /// instead of per-loop SO_REUSEPORT listeners.
+  bool using_shared_listener() const { return shared_listener_; }
 
   /// Graceful stop: stop accepting, drain in-flight work, flush responses,
   /// close connections, join threads. Idempotent; safe from any thread
@@ -116,44 +165,66 @@ class Server {
   struct BatchJob;
   struct Completion;
 
-  void EventLoop();
-  void ExecutorLoop();
+  /// Everything one event loop owns. Only the loop's thread touches the
+  /// connection table, arena, or sockets; the mutex-guarded queues are the
+  /// only cross-thread seams (executors push completions, the accepting
+  /// loop pushes handoff fds in shared-listener mode).
+  struct Loop {
+    size_t index = 0;
+    int listen_fd = -1;            // -1 on non-accepting loops (shared mode).
+    int wake_fds[2] = {-1, -1};    // Self-pipe: [0] polled, [1] written.
+    std::thread thread;
 
-  // Event-loop helpers (only called on the event-loop thread).
-  void AcceptNew();
-  void HandleReadable(Connection* conn);
-  void HandleFrame(Connection* conn, Frame frame);
-  void DispatchIfReady(Connection* conn);
-  void FlushWrites(Connection* conn);
-  void CloseConnection(uint64_t id, bool count_as_drop);
-  void Wakeup();
+    // --- loop-thread-only state ---
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    uint64_t next_conn_id = 1;
+    WireArena arena;
+
+    // Executors → loop: finished batches.
+    std::mutex done_mu;
+    std::deque<Completion> done;
+
+    // Accepting loop → loop: round-robin fd handoff (shared-listener mode).
+    std::mutex handoff_mu;
+    std::deque<int> handoff;
+  };
+
+  void EventLoop(Loop* loop);
+  void ExecutorLoop();
+  void WakeLoop(Loop* loop);
+
+  // Event-loop helpers (only called on `loop`'s own thread).
+  void AcceptNew(Loop* loop);
+  void AdoptHandoffs(Loop* loop);
+  void RegisterConnection(Loop* loop, int fd);
+  void HandleReadable(Loop* loop, Connection* conn);
+  void HandleFrame(Loop* loop, Connection* conn, Frame frame);
+  void DispatchIfReady(Loop* loop, Connection* conn);
+  void FlushWrites(Loop* loop, Connection* conn);
+  void CloseConnection(Loop* loop, uint64_t id);
 
   service::QueryRouter* router_;
   ServerConfig config_;
   service::ServiceStats* stats_;  // The router's collector (net_* counters).
 
-  int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // Self-pipe: [0] polled, [1] written.
-  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  bool shared_listener_ = false;
+  size_t handoff_next_ = 0;  // Round-robin cursor (accepting loop only).
+
+  // Shared across loops: the global connection count behind
+  // config.max_connections (satellite fix — one cap, not one per loop).
+  std::atomic<size_t> open_conns_{0};
 
   std::atomic<State> state_{State::kIdle};
   std::atomic<bool> shutdown_requested_{false};
 
-  std::thread event_thread_;
   std::vector<std::thread> executors_;
 
-  // Event-loop-owned connection table (never touched by executors).
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 1;
-
-  // Executor work queue and completion queue (event loop <-> executors).
+  // Executor work queue (all loops → shared executor pool).
   std::mutex job_mu_;
   std::condition_variable job_cv_;
   std::deque<BatchJob> jobs_;
   bool executors_stop_ = false;
-
-  std::mutex done_mu_;
-  std::deque<Completion> done_;
 
   std::mutex shutdown_mu_;  // Serializes Shutdown() callers.
 };

@@ -501,6 +501,151 @@ std::vector<uint8_t> EncodeStatus(const util::Status& status) {
   return w.Take();
 }
 
+// ------------------------------------------------------------ arena encode --
+
+std::vector<uint8_t> WireArena::Acquire() {
+  ++acquired_;
+  if (!pool_.empty()) {
+    std::vector<uint8_t> buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();  // Keeps capacity — that is the whole point.
+    ++reused_;
+    return buf;
+  }
+  return {};
+}
+
+void WireArena::Release(std::vector<uint8_t> buf) {
+  if (pool_.size() >= options_.max_pooled_buffers ||
+      buf.capacity() > options_.max_retained_bytes) {
+    return;  // Over the caps: let it free here.
+  }
+  pool_.push_back(std::move(buf));
+}
+
+namespace {
+
+void PatchU32(std::vector<uint8_t>* out, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[at + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+// Starts a frame with payload_len and checksum left as zero placeholders;
+// EndFrame backpatches both once the payload has been appended in place.
+size_t BeginFrame(std::vector<uint8_t>* out, FrameType type,
+                  uint64_t request_id) {
+  const size_t header_at = out->size();
+  PutU32(out, kMagic);
+  PutU16(out, kWireVersion);
+  PutU16(out, static_cast<uint16_t>(type));
+  PutU64(out, request_id);
+  PutU32(out, 0);  // payload_len — backpatched.
+  PutU32(out, 0);  // checksum — backpatched.
+  return header_at;
+}
+
+void EndFrame(std::vector<uint8_t>* out, size_t header_at) {
+  const size_t payload_len = out->size() - header_at - kHeaderBytes;
+  PatchU32(out, header_at + 16, static_cast<uint32_t>(payload_len));
+  // The checksum covers the first 20 header bytes (payload_len included, so
+  // it must be patched first) plus the payload.
+  PatchU32(out, header_at + 20,
+           FrameChecksum(out->data() + header_at,
+                         out->data() + header_at + kHeaderBytes, payload_len));
+}
+
+// Tagged-field writer that appends straight onto a caller-owned buffer —
+// same wire bytes as FieldWriter, zero intermediate buffers. Nested messages
+// backpatch their length instead of being built separately and copied.
+class InplaceFieldWriter {
+ public:
+  explicit InplaceFieldWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutBytes(uint16_t tag, const uint8_t* data, size_t n) {
+    PutU16(out_, tag);
+    PutU32(out_, static_cast<uint32_t>(n));
+    out_->insert(out_->end(), data, data + n);
+  }
+  void PutString(uint16_t tag, const std::string& s) {
+    PutBytes(tag, reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  void PutVarU64(uint16_t tag, uint64_t v) {
+    PutU16(out_, tag);
+    PutU32(out_, 8);
+    PutU64(out_, v);
+  }
+  void PutVarU32(uint16_t tag, uint32_t v) {
+    PutU16(out_, tag);
+    PutU32(out_, 4);
+    PutU32(out_, v);
+  }
+  void PutF64(uint16_t tag, double d) { PutVarU64(tag, DoubleBits(d)); }
+  void PutF64Array(uint16_t tag, const std::vector<double>& v) {
+    PutU16(out_, tag);
+    PutU32(out_, static_cast<uint32_t>(v.size() * 8));
+    for (double d : v) PutU64(out_, DoubleBits(d));
+  }
+
+  /// Opens a nested-message field; returns the mark EndNested() patches.
+  size_t BeginNested(uint16_t tag) {
+    PutU16(out_, tag);
+    PutU32(out_, 0);  // Length — backpatched by EndNested.
+    return out_->size();
+  }
+  void EndNested(size_t mark) {
+    PatchU32(out_, mark - 4, static_cast<uint32_t>(out_->size() - mark));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+}  // namespace
+
+void AppendAnswerFrame(std::vector<uint8_t>* out, uint64_t request_id,
+                       const service::Answer& answer) {
+  // Field order mirrors EncodeAnswer exactly: the in-place frame must be
+  // bit-for-bit what AppendFrame(out, ..., EncodeAnswer(answer)) produces
+  // (net_wire_test pins this).
+  const size_t frame = BeginFrame(out, FrameType::kAnswer, request_id);
+  InplaceFieldWriter w(out);
+  w.PutVarU32(kAnsKind, static_cast<uint32_t>(answer.kind));
+  w.PutVarU32(kAnsSource, static_cast<uint32_t>(answer.source));
+  w.PutF64(kAnsMean, answer.mean);
+  for (const core::LocalLinearModel& piece : answer.pieces) {
+    const size_t nested = w.BeginNested(kAnsPiece);
+    w.PutF64(kPieceIntercept, piece.intercept);
+    w.PutF64Array(kPieceSlope, piece.slope);
+    w.PutVarU32(kPiecePrototypeId, static_cast<uint32_t>(piece.prototype_id));
+    w.PutF64(kPieceWeight, piece.weight);
+    w.EndNested(nested);
+  }
+  w.PutF64(kAnsCacheDelta, answer.cache_delta);
+  w.PutVarU32(kAnsUsedFallback, answer.used_fallback ? 1 : 0);
+  const size_t exec = w.BeginNested(kAnsExec);
+  w.PutVarU64(kExecTuplesExamined,
+              static_cast<uint64_t>(answer.exec.tuples_examined));
+  w.PutVarU64(kExecTuplesMatched,
+              static_cast<uint64_t>(answer.exec.tuples_matched));
+  w.PutVarU64(kExecNanos, static_cast<uint64_t>(answer.exec.nanos));
+  w.PutVarU64(kExecChunksCompleted,
+              static_cast<uint64_t>(answer.exec.chunks_completed));
+  w.PutVarU64(kExecChunksTotal,
+              static_cast<uint64_t>(answer.exec.chunks_total));
+  w.EndNested(exec);
+  EndFrame(out, frame);
+}
+
+void AppendStatusFrame(std::vector<uint8_t>* out, uint64_t request_id,
+                       const util::Status& status) {
+  const size_t frame = BeginFrame(out, FrameType::kError, request_id);
+  InplaceFieldWriter w(out);
+  w.PutVarU32(kStatusCode, static_cast<uint32_t>(status.code()));
+  w.PutString(kStatusMessage, status.message());
+  EndFrame(out, frame);
+}
+
 util::Status DecodeStatus(const uint8_t* data, size_t n, util::Status* decoded) {
   uint32_t code = 0;
   std::string message;

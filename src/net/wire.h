@@ -159,6 +159,59 @@ util::Result<service::Answer> DecodeAnswer(const uint8_t* data, size_t n);
 /// `status` must be non-OK (an OK kError frame is a contradiction).
 std::vector<uint8_t> EncodeStatus(const util::Status& status);
 
+// ------------------------------------------------------------ arena encode --
+
+/// \brief Pool of reusable byte buffers for connection-owned frame encoding.
+///
+/// Acquire() hands out a cleared buffer that keeps its previous capacity, so
+/// steady-state response encoding allocates nothing: a buffer travels through
+/// the dispatch → encode → flush cycle by value (vector move) and comes home
+/// via Release(). The pool bounds both the number of idle buffers and the
+/// capacity it will re-pool, so one huge answer cannot pin its footprint
+/// forever. Not thread-safe — each of the server's event loops owns one and
+/// serializes Acquire/Release on its own thread.
+class WireArena {
+ public:
+  struct Options {
+    size_t max_pooled_buffers = 64;
+    /// A released buffer whose capacity exceeds this is freed, not pooled.
+    size_t max_retained_bytes = 1u << 20;
+  };
+
+  WireArena() = default;
+  explicit WireArena(Options options) : options_(options) {}
+
+  WireArena(const WireArena&) = delete;
+  WireArena& operator=(const WireArena&) = delete;
+
+  /// An empty buffer, reusing pooled capacity when available.
+  std::vector<uint8_t> Acquire();
+
+  /// Returns a buffer to the pool (or frees it when over the caps).
+  void Release(std::vector<uint8_t> buf);
+
+  size_t pooled() const { return pool_.size(); }
+  uint64_t acquired() const { return acquired_; }
+  uint64_t reused() const { return reused_; }  ///< Acquires served from pool.
+
+ private:
+  Options options_;
+  std::vector<std::vector<uint8_t>> pool_;
+  uint64_t acquired_ = 0;
+  uint64_t reused_ = 0;
+};
+
+/// In-place frame encoders: append one complete frame — header plus
+/// tagged-field payload, with payload_len, nested lengths, and checksum
+/// backpatched — directly onto `out`. Bit-for-bit identical to
+/// `AppendFrame(out, ..., EncodeAnswer(...))` without the intermediate
+/// per-frame payload allocations; this is the arena encode path the server's
+/// executors use on reusable connection-owned buffers.
+void AppendAnswerFrame(std::vector<uint8_t>* out, uint64_t request_id,
+                       const service::Answer& answer);
+void AppendStatusFrame(std::vector<uint8_t>* out, uint64_t request_id,
+                       const util::Status& status);
+
 /// Decodes a kError payload into `*decoded`. The return value reports the
 /// *decode*; `*decoded` is the peer's transported status on success.
 util::Status DecodeStatus(const uint8_t* data, size_t n, util::Status* decoded);

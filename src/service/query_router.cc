@@ -59,16 +59,10 @@ std::string QueryRouter::ShardKey(const Request& request, int64_t generation) {
          QueryKindName(request.kind);
 }
 
-util::Result<Answer> QueryRouter::Execute(const Request& request) {
-  return Execute(request, nullptr);
-}
-
-util::Result<Answer> QueryRouter::Execute(const Request& request,
-                                          query::ExecStats* error_stats) {
+ExecResult QueryRouter::Execute(const Request& request) {
   util::Stopwatch watch;
   QueryOutcome o;
-  query::ExecStats partial;
-  util::Result<Answer> result = ExecuteUnrecorded(request, &o, &partial);
+  ExecResult result = ExecuteUnrecorded(request, &o);
   const int64_t nanos = watch.ElapsedNanos();
   o.latency_nanos = nanos;
   o.ok = result.ok();
@@ -82,17 +76,17 @@ util::Result<Answer> QueryRouter::Execute(const Request& request,
         result.status().code() == util::StatusCode::kDeadlineExceeded;
     o.cancelled = result.status().code() == util::StatusCode::kCancelled;
     // Partial-work evidence travels with the error instead of vanishing
-    // with the discarded Answer.
-    partial.nanos = nanos;
-    if (error_stats != nullptr) *error_stats = partial;
+    // with the discarded Answer; stamp the total serving latency on it.
+    ExecError error = std::move(result).error();
+    error.partial.nanos = nanos;
+    result = std::move(error);
   }
   stats_.Record(o);
   return result;
 }
 
-util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request,
-                                                    QueryOutcome* outcome,
-                                                    query::ExecStats* error_stats) {
+ExecResult QueryRouter::ExecuteUnrecorded(const Request& request,
+                                          QueryOutcome* outcome) {
   // Admission: a request already cancelled or past its deadline does no
   // work at all — not even a δ-cache lookup. A cache hit for an expired
   // request would make its outcome depend on what other queries ran before
@@ -181,9 +175,8 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request,
     }
   }
 
-  util::Result<Answer> result =
-      use_model ? ExecuteModel(request, *snap.model)
-                : ExecuteExact(request, *snap.engine, ctl, error_stats);
+  ExecResult result = use_model ? ExecuteModel(request, *snap.model)
+                                : ExecuteExact(request, *snap.engine, ctl);
 
   // Deadline pressure on the exact path degrades to the model's microsecond
   // answer (flagged) when the policy permits one; cancellation never does.
@@ -191,12 +184,12 @@ util::Result<Answer> QueryRouter::ExecuteUnrecorded(const Request& request,
       result.status().code() == util::StatusCode::kDeadlineExceeded &&
       config_.policy != RoutePolicy::kExactOnly && snap.model != nullptr &&
       snap.model->num_prototypes() > 0) {
-    util::Result<Answer> fallback = ExecuteModel(request, *snap.model);
+    ExecResult fallback = ExecuteModel(request, *snap.model);
     if (fallback.ok()) {
       fallback->used_fallback = true;
       // Keep the killed exact attempt's partial scan work visible on the
       // degraded answer (Execute overwrites only exec.nanos).
-      if (error_stats != nullptr) fallback->exec = *error_stats;
+      fallback->exec = result.error().partial;
       result = std::move(fallback);
     }
   }
@@ -268,8 +261,8 @@ void QueryRouter::MaybeReportObservation(const Request& request,
   if (due) ScheduleDriftProbe(request.dataset);
 }
 
-util::Result<Answer> QueryRouter::ExecuteModel(
-    const Request& request, const core::LlmModel& model) const {
+ExecResult QueryRouter::ExecuteModel(const Request& request,
+                                     const core::LlmModel& model) const {
   Answer a;
   a.kind = request.kind;
   a.source = AnswerSource::kModel;
@@ -281,9 +274,9 @@ util::Result<Answer> QueryRouter::ExecuteModel(
   return a;
 }
 
-util::Result<Answer> QueryRouter::ExecuteExact(
-    const Request& request, const query::ExactEngine& engine,
-    const util::ExecControl* control, query::ExecStats* error_stats) const {
+ExecResult QueryRouter::ExecuteExact(const Request& request,
+                                     const query::ExactEngine& engine,
+                                     const util::ExecControl* control) const {
   Answer a;
   a.kind = request.kind;
   a.source = AnswerSource::kExact;
@@ -292,17 +285,15 @@ util::Result<Answer> QueryRouter::ExecuteExact(
   if (request.kind == QueryKind::kQ1MeanValue) {
     auto r = engine.MeanValue(request.q, &a.exec, control);
     if (!r.ok()) {
-      // The engine recorded the partial scan work in a.exec; hand it to the
-      // caller before the Answer is dropped with the error.
-      if (error_stats != nullptr) *error_stats = a.exec;
-      return r.status();
+      // The engine recorded the partial scan work in a.exec; it rides inside
+      // the typed error instead of being dropped with the Answer.
+      return ExecError(r.status(), a.exec);
     }
     a.mean = r->mean;
   } else {
     auto fit = engine.Regression(request.q, &a.exec, control);
     if (!fit.ok()) {
-      if (error_stats != nullptr) *error_stats = a.exec;
-      return fit.status();
+      return ExecError(fit.status(), a.exec);
     }
     // The exact Q2 answer is a single global plane over D(x, θ): the REG
     // baseline expressed in the same list-S shape as the model's answer.
@@ -316,7 +307,7 @@ util::Result<Answer> QueryRouter::ExecuteExact(
   return a;
 }
 
-util::Result<Answer> QueryRouter::ExecuteShed(const Request& request) {
+ExecResult QueryRouter::ExecuteShed(const Request& request) {
   util::Stopwatch watch;
   QueryOutcome o;
   o.shed = true;
@@ -376,11 +367,10 @@ void QueryRouter::ScheduleDriftProbe(const std::string& dataset) {
   (void)pool_->TrySubmit([this, dataset] { (void)MaybeRetrain(dataset); });
 }
 
-std::vector<util::Result<Answer>> QueryRouter::ExecuteBatch(
+std::vector<ExecResult> QueryRouter::ExecuteBatch(
     const std::vector<Request>& batch) {
-  std::vector<util::Result<Answer>> results(
-      batch.size(),
-      util::Result<Answer>(util::Status::Internal("request not executed")));
+  std::vector<ExecResult> results(
+      batch.size(), ExecResult(util::Status::Internal("request not executed")));
   if (pool_->num_threads() == 0) {
     for (size_t i = 0; i < batch.size(); ++i) results[i] = Execute(batch[i]);
     return results;

@@ -134,6 +134,24 @@ struct Request {
 /// \brief Which path produced an answer.
 enum class AnswerSource : int { kModel = 0, kExact = 1, kCache = 2 };
 
+/// \brief Typed failure of Execute: the Status plus the partial work the
+/// service did before the failure (tuples examined, chunks completed/total,
+/// total serving latency in `partial.nanos`). The evidence travels *inside*
+/// the error instead of through an out-param, so `ExecResult` callers that
+/// only care about the code keep using `.status()` and callers that want the
+/// partial accounting read `.error().partial` — no threading of pointers.
+struct ExecError {
+  util::Status status;
+  query::ExecStats partial;
+
+  /// Implicit from a bare Status (no partial work to report) so plain
+  /// `return util::Status::...` and the QREG_* macros work unchanged in
+  /// functions returning ExecResult.
+  ExecError(util::Status s) : status(std::move(s)) {}  // NOLINT(runtime/explicit)
+  ExecError(util::Status s, query::ExecStats p)
+      : status(std::move(s)), partial(p) {}
+};
+
 /// \brief A served answer plus per-query execution statistics.
 struct Answer {
   QueryKind kind = QueryKind::kQ1MeanValue;
@@ -154,9 +172,13 @@ struct Answer {
   /// (`used_fallback`) keeps the *partial* scan work of the exact attempt
   /// the deadline killed — tuples examined, chunks_completed/chunks_total —
   /// so the abandoned effort stays visible. Failed requests surface the
-  /// same partial accounting through Execute's `error_stats` out-param.
+  /// same partial accounting through ExecResult's `.error().partial`.
   query::ExecStats exec;
 };
+
+/// \brief What Execute/ExecuteBatch return: an Answer, or an ExecError whose
+/// `.status()` is the typed failure and `.error().partial` the partial work.
+using ExecResult = util::Result<Answer, ExecError>;
 
 /// \brief Concurrent Q1/Q2 front door over a ModelCatalog.
 class QueryRouter {
@@ -173,20 +195,16 @@ class QueryRouter {
 
   /// Serves one request (lazily training the dataset's model on first touch;
   /// the training run is bounded by the request's deadline/cancellation).
-  util::Result<Answer> Execute(const Request& request);
-
-  /// Same, with partial-work evidence on failure: when the request fails
-  /// (deadline, cancellation, ...) and `error_stats` is non-null, it holds
-  /// the ExecStats of the aborted exact attempt — tuples examined,
-  /// chunks_completed/chunks_total, total latency in `nanos` — instead of
-  /// that work being silently discarded with the Status.
-  util::Result<Answer> Execute(const Request& request,
-                               query::ExecStats* error_stats);
+  /// On failure the ExecError carries the typed Status *and* the partial
+  /// work done before it (the ExecStats of an aborted exact attempt —
+  /// tuples examined, chunks_completed/chunks_total, total latency in
+  /// `partial.nanos`) instead of that work being silently discarded.
+  ExecResult Execute(const Request& request);
 
   /// Serves a batch in parallel on the worker pool; results are positionally
   /// aligned with `batch`. Per-request failures (e.g. empty subspace on the
   /// exact path) are returned in-slot, never thrown across the batch.
-  std::vector<util::Result<Answer>> ExecuteBatch(const std::vector<Request>& batch);
+  std::vector<ExecResult> ExecuteBatch(const std::vector<Request>& batch);
 
   /// Drift maintenance: probes the dataset's model and, when the drift
   /// threshold trips, retrains and publishes the next model generation
@@ -217,22 +235,19 @@ class QueryRouter {
   ThreadPool* pool_for_testing() { return pool_.get(); }
 
  private:
-  /// `outcome` and `error_stats` collect what a bare Status cannot carry:
-  /// where a lifecycle failure happened (training vs scan) and the partial
-  /// work done before it.
-  util::Result<Answer> ExecuteUnrecorded(const Request& request,
-                                         QueryOutcome* outcome,
-                                         query::ExecStats* error_stats);
-  util::Result<Answer> ExecuteModel(const Request& request,
-                                    const core::LlmModel& model) const;
-  util::Result<Answer> ExecuteExact(const Request& request,
-                                    const query::ExactEngine& engine,
-                                    const util::ExecControl* control,
-                                    query::ExecStats* error_stats) const;
+  /// `outcome` collects what the returned ExecError cannot locate on its
+  /// own: whether a lifecycle failure happened in the training path. The
+  /// partial-work evidence itself rides inside the ExecError.
+  ExecResult ExecuteUnrecorded(const Request& request, QueryOutcome* outcome);
+  ExecResult ExecuteModel(const Request& request,
+                          const core::LlmModel& model) const;
+  ExecResult ExecuteExact(const Request& request,
+                          const query::ExactEngine& engine,
+                          const util::ExecControl* control) const;
 
   /// Saturation path: answer from the cache or reject with
   /// kResourceExhausted — never touches the engines. Records stats.
-  util::Result<Answer> ExecuteShed(const Request& request);
+  ExecResult ExecuteShed(const Request& request);
 
   /// Fire-and-forget drift probe on the worker pool (inline when the pool
   /// is synchronous; dropped when the pool is saturated — the next interval

@@ -42,12 +42,14 @@ void ServiceStats::RecordRetrain() {
 
 void ServiceStats::RecordNet(const NetActivity& delta) {
   std::lock_guard<std::mutex> lock(mu_);
-  net_.connections_accepted += delta.connections_accepted;
-  net_.connections_closed += delta.connections_closed;
-  net_.frames_decoded += delta.frames_decoded;
-  net_.protocol_errors += delta.protocol_errors;
-  net_.bytes_in += delta.bytes_in;
-  net_.bytes_out += delta.bytes_out;
+  net_ += delta;
+}
+
+void ServiceStats::RecordNet(size_t loop_index, const NetActivity& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  net_ += delta;
+  if (net_loops_.size() <= loop_index) net_loops_.resize(loop_index + 1);
+  net_loops_[loop_index] += delta;
 }
 
 ServiceSnapshot ServiceStats::Snapshot() const {
@@ -70,6 +72,7 @@ ServiceSnapshot ServiceStats::Snapshot() const {
   s.net_protocol_errors = net_.protocol_errors;
   s.net_bytes_in = net_.bytes_in;
   s.net_bytes_out = net_.bytes_out;
+  s.net_loops = net_loops_;
   s.elapsed_seconds = clock_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(total_) / s.elapsed_seconds
@@ -96,6 +99,7 @@ void ServiceStats::Reset() {
   deadline_exceeded_ = cancelled_ = degraded_ = retrains_ = 0;
   train_aborted_ = 0;
   net_ = NetActivity();
+  net_loops_.clear();
   latency_sum_nanos_ = 0;
 }
 
@@ -124,6 +128,14 @@ void ServiceSnapshot::PrintTo(std::ostream& os) const {
             util::Format("%lld", static_cast<long long>(net_bytes_in))});
   t.AddRow({"net bytes out",
             util::Format("%lld", static_cast<long long>(net_bytes_out))});
+  for (size_t i = 0; i < net_loops.size(); ++i) {
+    const NetActivity& l = net_loops[i];
+    t.AddRow({util::Format("net loop %zu (conns/frames/bytes out)", i),
+              util::Format("%lld / %lld / %lld",
+                           static_cast<long long>(l.connections_accepted),
+                           static_cast<long long>(l.frames_decoded),
+                           static_cast<long long>(l.bytes_out))});
+  }
   t.AddRow({"qps", util::Format("%.1f", qps)});
   t.AddRow({"mean latency (ms)", util::Format("%.4f", mean_ms)});
   t.AddRow({"p50 latency (ms)", util::Format("%.4f", p50_ms)});

@@ -16,6 +16,33 @@
 namespace qreg {
 namespace service {
 
+/// \brief A batch of wire-level activity, accumulated lock-free by a server
+/// event loop and folded into ServiceStats in one Record call.
+struct NetActivity {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t frames_decoded = 0;
+  int64_t protocol_errors = 0;
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+
+  bool empty() const {
+    return connections_accepted == 0 && connections_closed == 0 &&
+           frames_decoded == 0 && protocol_errors == 0 && bytes_in == 0 &&
+           bytes_out == 0;
+  }
+
+  NetActivity& operator+=(const NetActivity& d) {
+    connections_accepted += d.connections_accepted;
+    connections_closed += d.connections_closed;
+    frames_decoded += d.frames_decoded;
+    protocol_errors += d.protocol_errors;
+    bytes_in += d.bytes_in;
+    bytes_out += d.bytes_out;
+    return *this;
+  }
+};
+
 /// \brief Point-in-time aggregate of the service counters.
 struct ServiceSnapshot {
   int64_t total_queries = 0;
@@ -38,13 +65,17 @@ struct ServiceSnapshot {
                               ///< training path).
 
   // Wire-level counters, recorded by the net::Server fronting this router
-  // (all zero for a purely in-process service).
+  // (all zero for a purely in-process service). The scalar net_* fields are
+  // the rollup across every event loop; `net_loops` holds the per-loop
+  // breakdown when the server records with a loop index, so a skewed accept
+  // shard or one starving loop is visible in one snapshot.
   int64_t net_connections_accepted = 0;
   int64_t net_connections_closed = 0;
   int64_t net_frames_decoded = 0;   ///< Complete frames (any type) parsed.
   int64_t net_protocol_errors = 0;  ///< Malformed frames / payloads rejected.
   int64_t net_bytes_in = 0;
   int64_t net_bytes_out = 0;
+  std::vector<NetActivity> net_loops;  ///< Per-event-loop totals (may be empty).
 
   double elapsed_seconds = 0.0;  ///< Since construction or Reset().
   double qps = 0.0;
@@ -83,23 +114,6 @@ struct QueryOutcome {
                                    ///< training path (GetOrTrain), not a scan.
 };
 
-/// \brief A batch of wire-level activity, accumulated lock-free by the
-/// server's event loop and folded into ServiceStats in one Record call.
-struct NetActivity {
-  int64_t connections_accepted = 0;
-  int64_t connections_closed = 0;
-  int64_t frames_decoded = 0;
-  int64_t protocol_errors = 0;
-  int64_t bytes_in = 0;
-  int64_t bytes_out = 0;
-
-  bool empty() const {
-    return connections_accepted == 0 && connections_closed == 0 &&
-           frames_decoded == 0 && protocol_errors == 0 && bytes_in == 0 &&
-           bytes_out == 0;
-  }
-};
-
 /// \brief Thread-safe collector behind the router. Latencies are kept in a
 /// fixed ring (most recent `latency_window` samples) so memory stays bounded
 /// under sustained traffic; percentiles are over that window.
@@ -116,8 +130,13 @@ class ServiceStats {
   /// Records one drift-triggered retrain (a model-generation swap).
   void RecordRetrain();
 
-  /// Folds a batch of wire-level activity into the network counters.
+  /// Folds a batch of wire-level activity into the aggregate net counters.
   void RecordNet(const NetActivity& delta);
+
+  /// Same, attributed to one event loop: the delta lands both in the
+  /// aggregate rollup and in the per-loop totals Snapshot() reports as
+  /// `net_loops` (grown on demand; loop indices are dense and small).
+  void RecordNet(size_t loop_index, const NetActivity& delta);
 
   ServiceSnapshot Snapshot() const;
 
@@ -142,6 +161,7 @@ class ServiceStats {
   int64_t retrains_ = 0;
   int64_t train_aborted_ = 0;
   NetActivity net_;                // Wire-level totals (see RecordNet).
+  std::vector<NetActivity> net_loops_;  // Per-loop totals, indexed by loop.
   int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
 };
 

@@ -10,6 +10,7 @@
 #include <cassert>
 #include <ostream>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -102,25 +103,57 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
-/// \brief Either a value of type T or an error Status.
+/// \brief Either a value of type T or a typed error E (Status by default).
+///
+/// The default `Result<T>` behaves exactly as before: the error alternative
+/// is a bare Status. A custom error type carries structured evidence with
+/// the failure (e.g. service::ExecError = Status + the partial work done
+/// before the failure); it must expose a `util::Status status` member and be
+/// implicitly constructible from Status so `return SomeStatus(...)` and
+/// QREG_RETURN_NOT_OK / QREG_ASSIGN_OR_RETURN keep working unchanged in
+/// functions returning the richer Result.
 ///
 /// Accessing the value of an errored Result aborts in debug builds; callers
 /// must check ok() (or use QREG_ASSIGN_OR_RETURN).
-template <typename T>
+template <typename T, typename E = Status>
 class Result {
  public:
   /// Implicit from value (the common success path).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from error status; `status` must not be OK.
-  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
-    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  Result(Status status) : v_(E(std::move(status))) {  // NOLINT(runtime/explicit)
+    assert(!this->status().ok() && "Result constructed from OK status");
+  }
+  /// Implicit from the typed error (no-op specialization when E == Status).
+  template <typename U = E,
+            typename = std::enable_if_t<!std::is_same_v<U, Status>>>
+  Result(E error) : v_(std::move(error)) {  // NOLINT(runtime/explicit)
+    assert(!this->status().ok() && "Result constructed from OK error");
   }
 
   bool ok() const { return std::holds_alternative<T>(v_); }
 
+  /// The Status of the error alternative (OK when this Result holds a value).
+  /// For a custom E this is `error().status`, so call sites that only care
+  /// about the code/message are insulated from the richer error type.
   const Status& status() const {
     static const Status kOk = Status::OK();
-    return ok() ? kOk : std::get<Status>(v_);
+    if (ok()) return kOk;
+    if constexpr (std::is_same_v<E, Status>) {
+      return std::get<E>(v_);
+    } else {
+      return std::get<E>(v_).status;
+    }
+  }
+
+  /// The full typed error. Only valid when !ok().
+  const E& error() const& {
+    assert(!ok());
+    return std::get<E>(v_);
+  }
+  E&& error() && {
+    assert(!ok());
+    return std::get<E>(std::move(v_));
   }
 
   const T& value() const& {
@@ -147,7 +180,7 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
-  std::variant<T, Status> v_;
+  std::variant<T, E> v_;
 };
 
 }  // namespace util

@@ -770,7 +770,7 @@ TEST(LifecycleRouterTest, TrainAbortedIsCountedAndTyped) {
 
 TEST(LifecycleRouterTest, ErrorPathCarriesPartialExecStats) {
   // A kDeadlineExceeded reply no longer discards the work the engine did:
-  // Execute's error_stats out-param reports the partial chunk accounting.
+  // the typed ExecError carries the partial chunk accounting.
   EngineFixture* f = testsupport::SharedParallelFixture();
   service::ModelCatalog catalog;
   ASSERT_TRUE(catalog
@@ -793,10 +793,10 @@ TEST(LifecycleRouterTest, ErrorPathCarriesPartialExecStats) {
     if (chunk == 2) clock.SetNanos(2000);  // Trip before the third chunk.
   };
 
-  query::ExecStats err;
-  auto got = router.Execute(r, &err);
+  auto got = router.Execute(r);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), util::StatusCode::kDeadlineExceeded);
+  const query::ExecStats& err = got.error().partial;
   EXPECT_EQ(err.chunks_completed, 2);  // Chunks 0 and 1 ran; 2 aborted.
   EXPECT_EQ(err.chunks_total, 8);
   EXPECT_GT(err.tuples_examined, 0);  // The partial scan work, preserved.

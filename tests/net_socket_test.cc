@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -52,7 +53,12 @@ WireRequest ToWire(const service::Request& request) {
   return wire;
 }
 
-TEST(NetServerTest, PipelinedBatchMatchesInProcessBitForBit) {
+// Core determinism check, shared by the single-loop, multi-loop, and
+// shared-listener-fallback tests: a pipelined batch striped across
+// `client_conns` connections must come back positionally aligned and
+// bit-for-bit equal to the synchronous in-process reference, whatever the
+// server's loop topology.
+void RunBitForBitOverWire(ServerConfig server_cfg, size_t client_conns) {
   service::RouterConfig cfg;
   cfg.policy = service::RoutePolicy::kHybrid;
   cfg.enable_cache = false;  // Cache hits would change AnswerSource.
@@ -63,17 +69,23 @@ TEST(NetServerTest, PipelinedBatchMatchesInProcessBitForBit) {
   sync_cfg.num_threads = 0;  // Fully synchronous reference.
   service::QueryRouter ref_router(SharedCatalog(), sync_cfg);
 
-  Server server(&wire_router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  Server server(&wire_router, server_cfg);
+  const util::Result<Endpoint> ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
+  ASSERT_EQ(server.num_loops(), server_cfg.event_loops);
+  if (server_cfg.force_shared_listener) {
+    EXPECT_TRUE(server.using_shared_listener());
+  }
 
-  Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ClientPool pool;
+  ASSERT_TRUE(pool.Connect(ep->address, ep->port, client_conns).ok());
 
-  const std::vector<service::Request> requests = MixedWorkload(40, /*seed=*/101);
+  const std::vector<service::Request> requests =
+      MixedWorkload(120, /*seed=*/101);
   std::vector<WireRequest> wire_batch;
   for (const service::Request& r : requests) wire_batch.push_back(ToWire(r));
 
-  const auto over_wire = client.ExecuteBatch(wire_batch);
+  const auto over_wire = pool.ExecuteBatch(wire_batch);
   ASSERT_EQ(over_wire.size(), requests.size());
 
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -103,17 +115,222 @@ TEST(NetServerTest, PipelinedBatchMatchesInProcessBitForBit) {
     }
   }
 
-  // Wire-level counters reach the router's service snapshot. The event loop
-  // flushes its activity batch after the client may already have read the
+  // Wire-level counters reach the router's service snapshot. The event loops
+  // flush their activity batches after the client may already have read the
   // bytes, hence the bounded wait rather than an immediate snapshot.
   EXPECT_TRUE(WaitFor([&] {
     const service::ServiceSnapshot snap = wire_router.Stats();
-    return snap.net_connections_accepted >= 1 &&
+    return snap.net_connections_accepted >=
+               static_cast<int64_t>(client_conns) &&
            snap.net_frames_decoded >= static_cast<int64_t>(requests.size()) &&
            snap.net_bytes_in > 0 && snap.net_bytes_out > 0;
   }));
 
+  // Per-loop attribution must roll up to exactly the aggregate counters.
+  {
+    const service::ServiceSnapshot snap = wire_router.Stats();
+    ASSERT_FALSE(snap.net_loops.empty());
+    EXPECT_LE(snap.net_loops.size(), server.num_loops());
+    service::NetActivity sum;
+    for (const service::NetActivity& l : snap.net_loops) sum += l;
+    EXPECT_EQ(sum.frames_decoded, snap.net_frames_decoded);
+    EXPECT_EQ(sum.connections_accepted, snap.net_connections_accepted);
+    EXPECT_EQ(sum.bytes_in, snap.net_bytes_in);
+    EXPECT_EQ(sum.bytes_out, snap.net_bytes_out);
+  }
+
+  pool.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, PipelinedBatchMatchesInProcessBitForBit) {
+  RunBitForBitOverWire(ServerConfig(), /*client_conns=*/1);
+}
+
+TEST(NetServerTest, MultiLoopPipelinedBatchesMatchInProcessBitForBit) {
+  ServerConfig cfg;
+  cfg.event_loops = 4;
+  RunBitForBitOverWire(cfg, /*client_conns=*/8);
+}
+
+TEST(NetServerTest, SharedListenerFallbackMatchesInProcessBitForBit) {
+  // Pretend the platform lacks SO_REUSEPORT: the round-robin fd-handoff
+  // path must be exactly as correct as kernel accept sharding.
+  ServerConfig cfg;
+  cfg.event_loops = 4;
+  cfg.force_shared_listener = true;
+  RunBitForBitOverWire(cfg, /*client_conns=*/8);
+}
+
+TEST(NetServerTest, ConfigValidateRejectsBadConfigsBeforeAnySocket) {
+  service::RouterConfig rcfg;
+  rcfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), rcfg);
+
+  {
+    ServerConfig cfg;
+    cfg.executor_threads = 0;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+    Server server(&router, cfg);
+    const auto ep = server.Start();
+    ASSERT_FALSE(ep.ok());
+    EXPECT_EQ(ep.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.event_loops = 0;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.event_loops = kMaxEventLoops + 1;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.bind_address = "not-an-address";
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+    Server server(&router, cfg);
+    EXPECT_EQ(server.Start().status().code(),
+              util::StatusCode::kInvalidArgument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.max_connections = 0;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(ServerConfig().Validate().ok());
+}
+
+TEST(NetServerTest, StartReturnsBoundEndpoint) {
+  service::RouterConfig rcfg;
+  rcfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), rcfg);
+
+  ServerConfig cfg;
+  cfg.event_loops = 2;
+  Server server(&router, cfg);
+  const util::Result<Endpoint> ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
+  EXPECT_EQ(ep->address, "127.0.0.1");
+  EXPECT_GT(ep->port, 0);  // Ephemeral bind resolved to a concrete port.
+  EXPECT_EQ(ep->ToString(), "127.0.0.1:" + std::to_string(ep->port));
+  EXPECT_EQ(server.num_loops(), 2u);
+
+  // The endpoint is connectable as reported.
+  Client client;
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
+  EXPECT_TRUE(client.Ping().ok());
   client.Close();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, MultiLoopShutdownDrainsEveryLoopsDecodedRequests) {
+  service::RouterConfig cfg;
+  cfg.policy = service::RoutePolicy::kHybrid;
+  cfg.enable_cache = false;
+  cfg.num_threads = 2;
+  service::QueryRouter router(SharedCatalog(), cfg);
+
+  ServerConfig server_cfg;
+  server_cfg.event_loops = 4;
+  Server server(&router, server_cfg);
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
+
+  // Several connections (landing on different loops) each pipeline requests
+  // without reading a single response.
+  constexpr size_t kConns = 6;
+  constexpr int kPerConn = 20;
+  ClientPool pool;
+  ASSERT_TRUE(pool.Connect(ep->address, ep->port, kConns).ok());
+  const std::vector<service::Request> requests =
+      MixedWorkload(kPerConn, /*seed=*/77);
+  for (size_t c = 0; c < kConns; ++c) {
+    for (int i = 0; i < kPerConn; ++i) {
+      WireRequest wire = ToWire(requests[static_cast<size_t>(i)]);
+      wire.kind = service::QueryKind::kQ1MeanValue;  // Small answer frames.
+      ASSERT_TRUE(
+          pool.client(c)->SendRequest(wire, static_cast<uint64_t>(i) + 1).ok());
+    }
+  }
+
+  // Wait until every loop has decoded its share, then shut down: drain
+  // semantics require every decoded request on every loop to be answered
+  // and flushed before its connection closes.
+  ASSERT_TRUE(WaitFor([&] {
+    return router.Stats().net_frames_decoded >=
+           static_cast<int64_t>(kConns) * kPerConn;
+  }));
+  server.Shutdown();
+
+  for (size_t c = 0; c < kConns; ++c) {
+    int answered = 0;
+    for (;;) {
+      uint64_t id = 0;
+      auto response = pool.client(c)->ReadResponse(&id);
+      if (!response.ok() &&
+          response.status().code() == util::StatusCode::kIoError) {
+        break;  // Clean EOF after the drained responses.
+      }
+      ASSERT_TRUE(response.ok()) << "conn " << c << ": " << response.status();
+      ++answered;
+      if (answered == kPerConn) break;
+    }
+    EXPECT_EQ(answered, kPerConn) << "conn " << c;
+  }
+
+  const service::ServiceSnapshot snap = router.Stats();
+  EXPECT_EQ(snap.net_protocol_errors, 0);
+  EXPECT_EQ(snap.net_connections_closed, static_cast<int64_t>(kConns));
+}
+
+TEST(NetServerTest, GlobalConnectionCapHoldsAcrossLoops) {
+  service::RouterConfig rcfg;
+  rcfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), rcfg);
+
+  ServerConfig cfg;
+  cfg.event_loops = 4;
+  cfg.max_connections = 6;  // Global cap, NOT per loop.
+  Server server(&router, cfg);
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
+
+  // 24 concurrent connects spread across 4 accept-sharded loops. If the cap
+  // were per-loop state, up to 4×6 could survive; the shared atomic must
+  // hold the global line at 6.
+  constexpr size_t kAttempts = 24;
+  std::vector<std::unique_ptr<Client>> clients(kAttempts);
+  std::vector<int> alive(kAttempts, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kAttempts);
+    for (size_t i = 0; i < kAttempts; ++i) {
+      threads.emplace_back([&, i] {
+        clients[i] = std::make_unique<Client>();
+        if (!clients[i]->Connect(ep->address, ep->port).ok()) return;
+        // An over-cap connection is closed right after accept: the ping
+        // sees EOF. A surviving one pongs.
+        alive[i] = clients[i]->Ping().ok() ? 1 : 0;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  int survivors = 0;
+  for (int a : alive) survivors += a;
+  EXPECT_LE(survivors, 6);
+  EXPECT_GE(survivors, 1);
+
+  // Freed capacity is reusable: after closing everything, a fresh
+  // connection works (the shared count was decremented on every close).
+  for (auto& c : clients) c->Close();
+  Client fresh;
+  ASSERT_TRUE(WaitFor([&] {
+    fresh.Close();
+    return fresh.Connect(ep->address, ep->port).ok() && fresh.Ping().ok();
+  }));
+  fresh.Close();
   server.Shutdown();
 }
 
@@ -126,9 +343,10 @@ TEST(NetServerTest, ExpiredClientDeadlineRejectedAtAdmissionWithoutCacheTouch) {
   service::QueryRouter router(SharedCatalog(), cfg);
 
   Server server(&router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
 
   // Warm the service (and the cache) with an unbounded request.
   WireRequest warm = WireRequest::Q1("r1", query::Query({0.4, 0.6}, 0.12));
@@ -163,9 +381,10 @@ TEST(NetServerTest, SaturatedRouterShedsWithTypedFramesNotConnectionDrops) {
   service::QueryRouter router(SharedCatalog(), cfg);
 
   Server server(&router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
 
   const std::vector<service::Request> requests = MixedWorkload(200, /*seed=*/33);
   std::vector<WireRequest> batch;
@@ -211,9 +430,10 @@ TEST(NetServerTest, ServerPipelineCapShedsAtAdmission) {
   ServerConfig server_cfg;
   server_cfg.max_pipeline = 8;  // Tiny per-connection backlog bound.
   Server server(&router, server_cfg);
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
 
   const std::vector<service::Request> requests = MixedWorkload(64, /*seed=*/55);
   std::vector<WireRequest> batch;
@@ -241,9 +461,10 @@ TEST(NetServerTest, ShutdownDrainsDecodedRequestsThenCloses) {
   service::QueryRouter router(SharedCatalog(), cfg);
 
   Server server(&router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
 
   // Pipeline 50 small Q1s without reading a single response.
   constexpr int kRequests = 50;
@@ -289,14 +510,15 @@ TEST(NetServerTest, MalformedStreamGetsTypedErrorFrameAndCleanClose) {
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
   Server server(&router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
 
   // Raw socket: send garbage that cannot be a frame header.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(server.port());
+  addr.sin_port = htons(ep->port);
   ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
   const char garbage[64] = "this is definitely not a QREG frame header......";
@@ -336,7 +558,7 @@ TEST(NetServerTest, MalformedStreamGetsTypedErrorFrameAndCleanClose) {
 
   // The poisoned connection took nothing else down: a fresh client works.
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
   ASSERT_TRUE(client.Ping().ok());
   auto answer = client.Execute(
       WireRequest::Q1("r1", query::Query({0.4, 0.6}, 0.12)));
@@ -351,9 +573,10 @@ TEST(NetServerTest, UnknownDatasetComesBackAsTypedNotFound) {
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
   Server server(&router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
 
   auto answer = client.Execute(
       WireRequest::Q1("no-such-dataset", query::Query({0.5, 0.5}, 0.1)));
@@ -369,16 +592,18 @@ TEST(NetServerTest, PingPongAndServerIsSingleUse) {
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
   Server server(&router, ServerConfig());
-  ASSERT_TRUE(server.Start().ok());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
   EXPECT_TRUE(server.running());
 
   Client client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Connect(ep->address, ep->port).ok());
   EXPECT_TRUE(client.Ping().ok());
   client.Close();
   server.Shutdown();
   EXPECT_FALSE(server.running());
-  EXPECT_EQ(server.Start().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.Start().status().code(),
+            util::StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

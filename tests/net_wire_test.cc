@@ -360,6 +360,160 @@ TEST(WireCodecTest, MutatedValidPayloadFuzzNeverCrashes) {
   }
 }
 
+// ------------------------------------------------------- in-place encoding --
+
+// The executor-side in-place encoders must be byte-for-byte what the
+// allocate-then-wrap path produces — the socket tests compare decoded
+// answers, this pins the raw frames themselves.
+
+service::Answer FullyPopulatedAnswer() {
+  service::Answer answer;
+  answer.kind = service::QueryKind::kQ2Regression;
+  answer.source = service::AnswerSource::kModel;
+  answer.mean = 0.1 + 0.2;
+  answer.cache_delta = -0.25;
+  answer.used_fallback = true;
+  answer.exec.tuples_examined = 123456789;
+  answer.exec.tuples_matched = 321;
+  answer.exec.nanos = 987654321;
+  answer.exec.chunks_completed = 7;
+  answer.exec.chunks_total = 9;
+  for (int i = 0; i < 3; ++i) {
+    core::LocalLinearModel piece;
+    piece.intercept = 1.0 / (3.0 + i);
+    piece.slope = {0.1 * i, -2.5, 1e-17};
+    piece.prototype_id = 40 + i;
+    piece.weight = 1.0 / 3.0;
+    answer.pieces.push_back(piece);
+  }
+  return answer;
+}
+
+TEST(InplaceEncodeTest, AnswerFrameMatchesEncodeAnswerBitForBit) {
+  const service::Answer answer = FullyPopulatedAnswer();
+
+  std::vector<uint8_t> inplace;
+  AppendAnswerFrame(&inplace, /*request_id=*/42, answer);
+
+  std::vector<uint8_t> reference;
+  AppendFrame(&reference, FrameType::kAnswer, 42, EncodeAnswer(answer));
+
+  EXPECT_EQ(inplace, reference);
+}
+
+TEST(InplaceEncodeTest, MinimalAnswerFrameMatchesToo) {
+  service::Answer answer;  // Defaults: no pieces, zero stats.
+  std::vector<uint8_t> inplace;
+  AppendAnswerFrame(&inplace, 1, answer);
+  std::vector<uint8_t> reference;
+  AppendFrame(&reference, FrameType::kAnswer, 1, EncodeAnswer(answer));
+  EXPECT_EQ(inplace, reference);
+}
+
+TEST(InplaceEncodeTest, StatusFrameMatchesEncodeStatusBitForBit) {
+  const util::Status status =
+      util::Status::ResourceExhausted("queue full: shed");
+  std::vector<uint8_t> inplace;
+  AppendStatusFrame(&inplace, /*request_id=*/7, status);
+  std::vector<uint8_t> reference;
+  AppendFrame(&reference, FrameType::kError, 7, EncodeStatus(status));
+  EXPECT_EQ(inplace, reference);
+}
+
+TEST(InplaceEncodeTest, AppendsAfterExistingBytesAndStillDecodes) {
+  // A batch buffer carries many frames back-to-back; each in-place frame
+  // must leave earlier bytes untouched and decode from mid-buffer.
+  const service::Answer answer = FullyPopulatedAnswer();
+  std::vector<uint8_t> buf;
+  AppendAnswerFrame(&buf, 1, answer);
+  AppendStatusFrame(&buf, 2, util::Status::NotFound("no such dataset"));
+  AppendAnswerFrame(&buf, 3, answer);
+
+  FrameDecoder decoder;
+  decoder.Feed(buf.data(), buf.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Event::kFrame);
+  EXPECT_EQ(frame.header.request_id, 1u);
+  EXPECT_EQ(frame.header.type, FrameType::kAnswer);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Event::kFrame);
+  EXPECT_EQ(frame.header.request_id, 2u);
+  EXPECT_EQ(frame.header.type, FrameType::kError);
+  util::Status transported;
+  ASSERT_TRUE(
+      DecodeStatus(frame.payload.data(), frame.payload.size(), &transported)
+          .ok());
+  EXPECT_EQ(transported.code(), util::StatusCode::kNotFound);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Event::kFrame);
+  EXPECT_EQ(frame.header.request_id, 3u);
+  auto decoded = DecodeAnswer(frame.payload.data(), frame.payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->pieces.size(), answer.pieces.size());
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Event::kNeedMore);
+}
+
+// ------------------------------------------------------------- wire arena --
+
+TEST(WireArenaTest, ReusesReleasedBuffers) {
+  WireArena arena;
+  std::vector<uint8_t> buf = arena.Acquire();
+  EXPECT_EQ(arena.acquired(), 1);
+  EXPECT_EQ(arena.reused(), 0);
+
+  buf.assign(512, 0xAB);
+  const size_t cap = buf.capacity();
+  arena.Release(std::move(buf));
+  EXPECT_EQ(arena.pooled(), 1u);
+
+  std::vector<uint8_t> again = arena.Acquire();
+  EXPECT_EQ(arena.acquired(), 2);
+  EXPECT_EQ(arena.reused(), 1);  // Came from the pool...
+  EXPECT_TRUE(again.empty());    // ...cleared...
+  EXPECT_GE(again.capacity(), cap);  // ...with its allocation retained.
+  EXPECT_EQ(arena.pooled(), 0u);
+}
+
+TEST(WireArenaTest, OversizedBuffersAreNotRetained) {
+  WireArena::Options opts;
+  opts.max_retained_bytes = 1024;
+  WireArena arena(opts);
+
+  std::vector<uint8_t> huge = arena.Acquire();
+  huge.resize(4096);  // Capacity now exceeds the retention bound.
+  arena.Release(std::move(huge));
+  EXPECT_EQ(arena.pooled(), 0u);  // Dropped, not pooled.
+
+  std::vector<uint8_t> small = arena.Acquire();
+  small.resize(100);
+  arena.Release(std::move(small));
+  EXPECT_EQ(arena.pooled(), 1u);
+}
+
+TEST(WireArenaTest, PoolIsBounded) {
+  WireArena::Options opts;
+  opts.max_pooled_buffers = 2;
+  WireArena arena(opts);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<uint8_t> buf = arena.Acquire();
+    buf.resize(16);
+    arena.Release(std::move(buf));
+  }
+  // Release is called once per loop with an empty pool slot available only
+  // twice... but each Acquire drains one, so the pool never exceeds the cap.
+  EXPECT_LE(arena.pooled(), 2u);
+
+  // Fill without draining: release three distinct buffers in a row.
+  std::vector<uint8_t> a = arena.Acquire();
+  std::vector<uint8_t> b = arena.Acquire();
+  std::vector<uint8_t> c = arena.Acquire();
+  a.resize(8);
+  b.resize(8);
+  c.resize(8);
+  arena.Release(std::move(a));
+  arena.Release(std::move(b));
+  arena.Release(std::move(c));
+  EXPECT_EQ(arena.pooled(), 2u);  // Third one dropped at the cap.
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace qreg

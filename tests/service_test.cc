@@ -795,10 +795,10 @@ TEST(QueryRouterTest, ParallelBatchMatchesSequentialBitForBit) {
   QueryRouter parallel(SharedCatalog(), par_cfg);
 
   const std::vector<Request> batch = MixedWorkload(200, 31, 0.05, 0.95);
-  std::vector<util::Result<Answer>> want;
+  std::vector<ExecResult> want;
   want.reserve(batch.size());
   for (const Request& r : batch) want.push_back(sequential.Execute(r));
-  const std::vector<util::Result<Answer>> got = parallel.ExecuteBatch(batch);
+  const std::vector<ExecResult> got = parallel.ExecuteBatch(batch);
 
   ASSERT_EQ(got.size(), want.size());
   int64_t q1 = 0, q2 = 0;
