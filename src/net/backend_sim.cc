@@ -1,0 +1,404 @@
+#include "net/backend_sim.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+namespace qreg {
+namespace net {
+
+// All transport state behind one mutex. std::map (not unordered) for the
+// listener/connection tables: iteration order is handle order, so accept
+// round-robin and readiness reporting are deterministic by construction.
+struct SimTransport::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  int next_handle = 1;
+  uint16_t port = 0;  // Assigned by the first listener; 0 until then.
+
+  struct Listener {
+    std::deque<int> accept_queue;  // Connection handles awaiting Accept().
+  };
+
+  struct Conn {
+    FaultSchedule sched;
+    size_t next_read_op = 0;
+    size_t next_write_op = 0;
+
+    std::deque<uint8_t> to_server;  // Client → server, not yet read.
+    std::vector<uint8_t> to_client;  // Server → client, not yet taken.
+    bool client_write_closed = false;
+    bool reset = false;          // ECONNRESET on every further server I/O.
+    bool server_closed = false;  // Server called Close() on its handle.
+  };
+
+  std::map<int, Listener> listeners;
+  std::map<int, Conn> conns;
+  size_t accept_rr = 0;  // Round-robin cursor over listeners for Connect().
+};
+
+namespace {
+
+using Op = FaultSchedule::Op;
+
+// Pops the next scheduled op for a read or write call, if any.
+const Op* NextOp(const std::vector<Op>& ops, size_t* cursor) {
+  if (*cursor >= ops.size()) return nullptr;
+  return &ops[(*cursor)++];
+}
+
+size_t IovTotal(const iovec* iov, int iovcnt) {
+  size_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+  return total;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- SimBackend --
+
+// One per-loop view onto the shared transport: its own interest table and
+// wake flag, everything else in Shared. Methods other than Wake() run only
+// on the owning loop thread (the EventBackend contract), but all state is
+// mutex-guarded anyway because the test thread is the peer.
+class SimBackend final : public EventBackend {
+  using Shared = SimTransport::Shared;
+
+ public:
+  explicit SimBackend(Shared* shared) : shared_(shared) {}
+
+  BackendKind kind() const override { return BackendKind::kSim; }
+
+  util::Status Init() override { return util::Status::OK(); }
+
+  util::Result<int> OpenListener(const std::string& address, uint16_t port,
+                                 bool /*reuse_port*/) override {
+    // Every backend of one transport may listen on "the" port — that is the
+    // SO_REUSEPORT-sharding analogue, so no shared-listener fallback fires.
+    (void)address;
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->port == 0) {
+      shared_->port = port != 0 ? port : 42000;  // Deterministic fake port.
+    }
+    const int handle = shared_->next_handle++;
+    shared_->listeners.emplace(handle, Shared::Listener{});
+    return handle;
+  }
+
+  util::Result<uint16_t> ListenerPort(int /*listener*/) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    return shared_->port;
+  }
+
+  int Accept(int listener) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    auto it = shared_->listeners.find(listener);
+    if (it == shared_->listeners.end() || it->second.accept_queue.empty()) {
+      return -1;
+    }
+    const int handle = it->second.accept_queue.front();
+    it->second.accept_queue.pop_front();
+    return handle;
+  }
+
+  void UpdateInterest(int handle, bool want_read, bool want_write) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    interests_[handle] = {want_read, want_write};
+  }
+
+  void Deregister(int handle) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    interests_.erase(handle);
+  }
+
+  util::Status Wait(int timeout_ms, std::vector<ReadyEvent>* events) override {
+    events->clear();
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      Collect(events);
+      if (!events->empty()) return util::Status::OK();
+      if (wake_flag_) {
+        wake_flag_ = false;
+        return util::Status::OK();
+      }
+      if (timeout_ms <= 0 ||
+          shared_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return util::Status::OK();
+      }
+    }
+  }
+
+  void Wake() override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    wake_flag_ = true;
+    shared_->cv.notify_all();
+  }
+
+  IoResult Read(int handle, const iovec* iov, int iovcnt) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    auto it = shared_->conns.find(handle);
+    if (it == shared_->conns.end()) return IoResult::Error(EBADF);
+    Shared::Conn& c = it->second;
+    if (c.reset) return IoResult::Error(ECONNRESET);
+
+    size_t cap = c.sched.default_read_cap != 0
+                     ? c.sched.default_read_cap
+                     : std::numeric_limits<size_t>::max();
+    if (const Op* op = NextOp(c.sched.reads, &c.next_read_op)) {
+      switch (op->kind) {
+        case Op::Kind::kWouldBlock:
+          return IoResult::WouldBlock();
+        case Op::Kind::kReset:
+          c.reset = true;
+          shared_->cv.notify_all();
+          return IoResult::Error(ECONNRESET);
+        case Op::Kind::kDeliver:
+          cap = op->max_bytes;
+          break;
+      }
+    }
+
+    const size_t n =
+        std::min({cap, c.to_server.size(), IovTotal(iov, iovcnt)});
+    if (n == 0) {
+      return c.client_write_closed ? IoResult::Eof() : IoResult::WouldBlock();
+    }
+    size_t copied = 0;
+    for (int i = 0; i < iovcnt && copied < n; ++i) {
+      uint8_t* dst = static_cast<uint8_t*>(iov[i].iov_base);
+      const size_t take = std::min(n - copied, iov[i].iov_len);
+      std::copy_n(c.to_server.begin(), take, dst);
+      c.to_server.erase(c.to_server.begin(),
+                        c.to_server.begin() + static_cast<ptrdiff_t>(take));
+      copied += take;
+    }
+    return IoResult::Ok(copied);
+  }
+
+  IoResult Write(int handle, const iovec* iov, int iovcnt) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    auto it = shared_->conns.find(handle);
+    if (it == shared_->conns.end()) return IoResult::Error(EBADF);
+    Shared::Conn& c = it->second;
+    if (c.reset) return IoResult::Error(ECONNRESET);
+
+    size_t cap = c.sched.default_write_cap != 0
+                     ? c.sched.default_write_cap
+                     : std::numeric_limits<size_t>::max();
+    if (const Op* op = NextOp(c.sched.writes, &c.next_write_op)) {
+      switch (op->kind) {
+        case Op::Kind::kWouldBlock:
+          return IoResult::WouldBlock();
+        case Op::Kind::kReset:
+          c.reset = true;
+          shared_->cv.notify_all();
+          return IoResult::Error(ECONNRESET);
+        case Op::Kind::kDeliver:
+          cap = op->max_bytes;
+          break;
+      }
+    }
+
+    const size_t n = std::min(cap, IovTotal(iov, iovcnt));
+    if (n == 0) return IoResult::WouldBlock();
+    size_t copied = 0;
+    for (int i = 0; i < iovcnt && copied < n; ++i) {
+      const uint8_t* src = static_cast<const uint8_t*>(iov[i].iov_base);
+      const size_t take = std::min(n - copied, iov[i].iov_len);
+      c.to_client.insert(c.to_client.end(), src, src + take);
+      copied += take;
+    }
+    shared_->cv.notify_all();  // Wake a test blocked in WaitForFromServer.
+    return IoResult::Ok(copied);
+  }
+
+  void Close(int handle) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->listeners.erase(handle) > 0) {
+      shared_->cv.notify_all();
+      return;
+    }
+    auto it = shared_->conns.find(handle);
+    if (it != shared_->conns.end()) {
+      it->second.server_closed = true;
+      shared_->cv.notify_all();  // Wake a test blocked in WaitForServerClose.
+    }
+  }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  // Readiness under the lock. A connection is readable when bytes (or EOF,
+  // or a reset) are observable, or when its next scheduled read op is a
+  // fault that must fire (kWouldBlock/kReset) — spurious readiness is the
+  // whole point of those ops. Writable is simply "the loop wants to write":
+  // the write call itself consumes the scheduled fault. Results are sorted
+  // listeners-first, then by (readiness_rank, handle) — the scripted
+  // readiness reorder.
+  void Collect(std::vector<ReadyEvent>* events) {
+    struct Ranked {
+      int rank;
+      ReadyEvent ev;
+    };
+    std::vector<Ranked> ranked;
+    for (const auto& entry : interests_) {
+      const int handle = entry.first;
+      const Interest& want = entry.second;
+      auto lit = shared_->listeners.find(handle);
+      if (lit != shared_->listeners.end()) {
+        if (want.read && !lit->second.accept_queue.empty()) {
+          ReadyEvent ev;
+          ev.handle = handle;
+          ev.readable = true;
+          ranked.push_back({std::numeric_limits<int>::min(), ev});
+        }
+        continue;
+      }
+      auto cit = shared_->conns.find(handle);
+      if (cit == shared_->conns.end()) continue;
+      const Shared::Conn& c = cit->second;
+      ReadyEvent ev;
+      ev.handle = handle;
+      if (want.read) {
+        const bool fault_pending =
+            c.next_read_op < c.sched.reads.size() &&
+            c.sched.reads[c.next_read_op].kind != Op::Kind::kDeliver;
+        ev.readable = !c.to_server.empty() || c.client_write_closed ||
+                      c.reset || fault_pending;
+      }
+      if (want.write) ev.writable = true;
+      if (ev.readable || ev.writable) {
+        ranked.push_back({c.sched.readiness_rank, ev});
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked& a, const Ranked& b) {
+                if (a.rank != b.rank) return a.rank < b.rank;
+                return a.ev.handle < b.ev.handle;
+              });
+    for (Ranked& r : ranked) events->push_back(r.ev);
+  }
+
+  Shared* shared_;
+  std::unordered_map<int, Interest> interests_;
+  bool wake_flag_ = false;  // Guarded by shared_->mu.
+};
+
+// ------------------------------------------------------------ SimTransport --
+
+SimTransport::SimTransport() : shared_(std::make_unique<Shared>()) {}
+SimTransport::~SimTransport() = default;
+
+std::unique_ptr<EventBackend> SimTransport::CreateBackend() {
+  return std::make_unique<SimBackend>(shared_.get());
+}
+
+SimConn* SimTransport::Connect(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->listeners.empty()) return nullptr;
+  const int handle = shared_->next_handle++;
+  Shared::Conn conn;
+  conn.sched = std::move(schedule);
+  shared_->conns.emplace(handle, std::move(conn));
+  // Deterministic accept sharding: round-robin over listeners in handle
+  // order.
+  auto lit = shared_->listeners.begin();
+  std::advance(lit, static_cast<ptrdiff_t>(shared_->accept_rr++ %
+                                           shared_->listeners.size()));
+  lit->second.accept_queue.push_back(handle);
+  shared_->cv.notify_all();
+  conns_.push_back(std::unique_ptr<SimConn>(new SimConn(this, handle)));
+  return conns_.back().get();
+}
+
+size_t SimTransport::num_listeners() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->listeners.size();
+}
+
+// ---------------------------------------------------------------- SimConn --
+
+void SimConn::SendToServer(const std::vector<uint8_t>& bytes) {
+  SendToServer(bytes.data(), bytes.size());
+}
+
+void SimConn::SendToServer(const uint8_t* data, size_t n) {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::lock_guard<std::mutex> lock(shared->mu);
+  auto it = shared->conns.find(handle_);
+  if (it == shared->conns.end() || it->second.reset ||
+      it->second.client_write_closed) {
+    return;  // Writing into a dead or half-closed connection: bytes vanish.
+  }
+  it->second.to_server.insert(it->second.to_server.end(), data, data + n);
+  shared->cv.notify_all();
+}
+
+void SimConn::CloseWrite() {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::lock_guard<std::mutex> lock(shared->mu);
+  auto it = shared->conns.find(handle_);
+  if (it == shared->conns.end()) return;
+  it->second.client_write_closed = true;
+  shared->cv.notify_all();
+}
+
+std::vector<uint8_t> SimConn::TakeFromServer() {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::lock_guard<std::mutex> lock(shared->mu);
+  auto it = shared->conns.find(handle_);
+  if (it == shared->conns.end()) return {};
+  std::vector<uint8_t> out;
+  out.swap(it->second.to_client);
+  return out;
+}
+
+size_t SimConn::from_server_bytes() const {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::lock_guard<std::mutex> lock(shared->mu);
+  auto it = shared->conns.find(handle_);
+  return it == shared->conns.end() ? 0 : it->second.to_client.size();
+}
+
+bool SimConn::WaitForFromServer(size_t min_bytes, int timeout_ms) {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  return shared->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [&] {
+                               auto it = shared->conns.find(handle_);
+                               return it != shared->conns.end() &&
+                                      it->second.to_client.size() >= min_bytes;
+                             });
+}
+
+bool SimConn::WaitForServerClose(int timeout_ms) {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  return shared->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [&] {
+                               auto it = shared->conns.find(handle_);
+                               return it != shared->conns.end() &&
+                                      it->second.server_closed;
+                             });
+}
+
+bool SimConn::server_closed() const {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  std::lock_guard<std::mutex> lock(shared->mu);
+  auto it = shared->conns.find(handle_);
+  return it != shared->conns.end() && it->second.server_closed;
+}
+
+}  // namespace net
+}  // namespace qreg

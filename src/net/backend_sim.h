@@ -1,0 +1,152 @@
+// SimBackend: a deterministic in-memory transport behind the EventBackend
+// seam (DESIGN.md §12.6). No real sockets — a SimTransport is the "network",
+// tests are the peer, and every connection carries a scripted FaultSchedule
+// that decides, call by call, what the server's reads and writes observe:
+// short lengths, EAGAIN at byte k, ECONNRESET mid-frame, reordered
+// readiness. Every connection-teardown and partial-frame path in the server
+// becomes reachable on demand, byte-for-byte reproducibly.
+//
+// Fault-schedule grammar: two op lists, consumed one op per server-side
+// Read / Write call on that connection.
+//
+//   Deliver(k)    the call transfers at most k bytes (a short read/write)
+//   WouldBlock()  the call returns EAGAIN — the connection was "spuriously
+//                 ready"; the loop must park it and resume cleanly
+//   Reset()       the call fails ECONNRESET and the connection is dead to
+//                 the server from then on (mid-frame resets: schedule a
+//                 Deliver(k) first)
+//
+// When a list runs out, `default_read_cap` / `default_write_cap` cap every
+// further call (0 = unlimited) — so "byte-at-a-time forever" is just
+// `default_read_cap = 1`. `readiness_rank` orders simultaneous readiness
+// across connections: Wait() reports ready handles sorted by (rank, handle),
+// so a test scripts readiness reordering by giving a later connection a
+// smaller rank.
+//
+// Determinism: all transport state sits behind one mutex; per-connection op
+// streams are consumed in call order by the single owning loop thread, so a
+// schedule yields the same byte trace on every run — under ASan, TSan, and
+// --gtest_repeat alike (net-fault-gate in CI).
+
+#ifndef QREG_NET_BACKEND_SIM_H_
+#define QREG_NET_BACKEND_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/backend.h"
+
+namespace qreg {
+namespace net {
+
+/// \brief Per-connection script of what the server's I/O calls observe.
+struct FaultSchedule {
+  struct Op {
+    enum class Kind { kDeliver, kWouldBlock, kReset };
+    Kind kind = Kind::kDeliver;
+    size_t max_bytes = std::numeric_limits<size_t>::max();
+  };
+
+  static Op Deliver(size_t max_bytes) {
+    return Op{Op::Kind::kDeliver, max_bytes == 0 ? 1 : max_bytes};
+  }
+  static Op WouldBlock() { return Op{Op::Kind::kWouldBlock, 0}; }
+  static Op Reset() { return Op{Op::Kind::kReset, 0}; }
+
+  /// Consumed one per server-side Read call on this connection.
+  std::vector<Op> reads;
+  /// Consumed one per server-side Write call on this connection.
+  std::vector<Op> writes;
+
+  /// Cap applied to every Read/Write after its op list is exhausted
+  /// (0 = unlimited).
+  size_t default_read_cap = 0;
+  size_t default_write_cap = 0;
+
+  /// Wait() reports simultaneously-ready connections sorted by
+  /// (readiness_rank, handle): smaller rank = reported (and thus served)
+  /// first.
+  int readiness_rank = 0;
+};
+
+class SimTransport;
+
+/// \brief The test's (client's) end of one simulated connection. Created by
+/// SimTransport::Connect and owned by the transport; pointers stay valid for
+/// the transport's lifetime. All methods are thread-safe.
+class SimConn {
+ public:
+  /// Queues bytes for the server to read (per its fault schedule).
+  void SendToServer(const std::vector<uint8_t>& bytes);
+  void SendToServer(const uint8_t* data, size_t n);
+
+  /// Half-close: after already-queued bytes drain, the server reads EOF.
+  void CloseWrite();
+
+  /// Drains everything the server has flushed to this connection so far.
+  std::vector<uint8_t> TakeFromServer();
+
+  /// Bytes flushed by the server and not yet taken.
+  size_t from_server_bytes() const;
+
+  /// Blocks until the server has flushed ≥ `min_bytes` not-yet-taken bytes.
+  /// Returns false on timeout.
+  bool WaitForFromServer(size_t min_bytes, int timeout_ms = 2000);
+
+  /// Blocks until the server closes (or resets) its side of the connection.
+  bool WaitForServerClose(int timeout_ms = 2000);
+
+  bool server_closed() const;
+
+  /// The server-side handle (for cross-checking against counters/logs).
+  int handle() const { return handle_; }
+
+ private:
+  friend class SimTransport;
+  SimConn(SimTransport* transport, int handle)
+      : transport_(transport), handle_(handle) {}
+
+  SimTransport* transport_;
+  int handle_;
+};
+
+/// \brief The in-memory "network" a kSim server runs on: hand one to
+/// ServerConfig::sim, Start() the server, then script connections from the
+/// test thread. One transport serves all of a server's loops (CreateBackend
+/// is called once per loop); new connections are assigned to listeners
+/// round-robin in listener-creation order, so with SO_REUSEPORT-style
+/// multi-listener setups the accept sharding is deterministic too.
+class SimTransport {
+ public:
+  SimTransport();
+  ~SimTransport();
+
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  /// One per-loop backend view onto this transport.
+  std::unique_ptr<EventBackend> CreateBackend();
+
+  /// Opens a client connection with the given fault schedule; it appears in
+  /// a listener's accept queue immediately. Requires a started server (at
+  /// least one listener); returns nullptr otherwise.
+  SimConn* Connect(FaultSchedule schedule = FaultSchedule());
+
+  /// Number of listeners currently open (diagnostics).
+  size_t num_listeners() const;
+
+ private:
+  friend class SimConn;
+  friend class SimBackend;
+  struct Shared;
+  std::unique_ptr<Shared> shared_;
+  std::vector<std::unique_ptr<SimConn>> conns_;
+};
+
+}  // namespace net
+}  // namespace qreg
+
+#endif  // QREG_NET_BACKEND_SIM_H_

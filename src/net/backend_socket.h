@@ -1,0 +1,55 @@
+// Socket plumbing shared by the poll and epoll backends: listener setup,
+// accept, readv/sendmsg I/O, and the self-pipe wakeup channel. Internal to
+// src/net/ — server code talks to EventBackend, never to these directly.
+
+#ifndef QREG_NET_BACKEND_SOCKET_H_
+#define QREG_NET_BACKEND_SOCKET_H_
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <string>
+
+#include "net/backend.h"
+#include "util/status.h"
+
+namespace qreg {
+namespace net {
+
+/// Opens a non-blocking CLOEXEC listener; kNotImplemented when `reuse_port`
+/// is asked for but refused (the Start() fallback trigger).
+util::Result<int> SocketOpenListener(const std::string& address, uint16_t port,
+                                     bool reuse_port);
+
+util::Result<uint16_t> SocketListenerPort(int listener);
+
+/// accept4 + TCP_NODELAY; -1 when nothing is pending.
+int SocketAccept(int listener);
+
+IoResult SocketRead(int fd, const iovec* iov, int iovcnt);
+IoResult SocketWrite(int fd, const iovec* iov, int iovcnt);
+
+/// \brief Self-pipe wakeup: Wake() from any thread makes the read end
+/// readable, interrupting a demultiplexer wait that watches it.
+class WakePipe {
+ public:
+  WakePipe() = default;
+  ~WakePipe();
+
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  util::Status Open();
+  int read_fd() const { return fds_[0]; }
+
+  void Wake();   // Thread-safe.
+  void Drain();  // Owning loop only: consume pending wakeup bytes.
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+}  // namespace net
+}  // namespace qreg
+
+#endif  // QREG_NET_BACKEND_SOCKET_H_

@@ -1,18 +1,14 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <sys/uio.h>
-#include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "net/backend_sim.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -27,7 +23,7 @@ struct PendingRequest {
   service::Request request;
 };
 
-// Chunks gathered into one flush syscall. Well under IOV_MAX everywhere.
+// Chunks gathered into one flush call. Well under IOV_MAX everywhere.
 constexpr size_t kMaxIov = 64;
 
 }  // namespace
@@ -56,17 +52,32 @@ util::Status ServerConfig::Validate() const {
     return util::Status::InvalidArgument(
         "ServerConfig: max_connections must be >= 1");
   }
+  if (drain_timeout_millis < 0) {
+    return util::Status::InvalidArgument(
+        util::Format("ServerConfig: drain_timeout_millis must be >= 0 "
+                     "(got %lld)",
+                     static_cast<long long>(drain_timeout_millis)));
+  }
+  if (arena.max_pooled_buffers == 0 || arena.max_retained_bytes == 0) {
+    return util::Status::InvalidArgument(
+        "ServerConfig: arena pooling caps must be >= 1 (a zero-buffer "
+        "WireArena would defeat the arena encode path entirely)");
+  }
+  if (backend == BackendKind::kSim && sim == nullptr) {
+    return util::Status::InvalidArgument(
+        "ServerConfig: backend == kSim requires a SimTransport in `sim`");
+  }
   return util::Status::OK();
 }
 
 struct Server::Connection {
   uint64_t id = 0;  // Loop-local (each loop numbers its own connections).
-  int fd = -1;
+  int handle = -1;  // Backend handle (an fd for the real backends).
   FrameDecoder decoder;
 
   // Output: a queue of encoded response chunks (arena buffers from executor
   // completions, plus the loop's own staging buffer once committed), flushed
-  // with one scatter-gather syscall per POLLOUT burst. out_pos is the
+  // with one scatter-gather backend Write per burst. out_pos is the
   // already-flushed prefix of the *front* chunk.
   std::deque<std::vector<uint8_t>> outq;
   size_t out_pos = 0;
@@ -77,8 +88,12 @@ struct Server::Connection {
   bool read_closed = false;
   bool close_after_flush = false;
 
-  Connection(uint64_t id_in, int fd_in, size_t max_payload)
-      : id(id_in), fd(fd_in), decoder(max_payload) {}
+  // Interest last pushed to the backend (so the loop upserts only changes).
+  bool want_read = false;
+  bool want_write = false;
+
+  Connection(uint64_t id_in, int handle_in, size_t max_payload)
+      : id(id_in), handle(handle_in), decoder(max_payload) {}
 
   size_t outstanding() const { return pending.size() + in_flight; }
   bool flushed() const { return outq.empty() && loop_out.empty(); }
@@ -97,52 +112,13 @@ struct Server::Completion {
   std::vector<uint8_t> bytes;  // The job's arena buffer, now full of frames.
 };
 
+Server::Loop::Loop(WireArena::Options arena_options) : arena(arena_options) {}
+Server::Loop::~Loop() = default;
+
 Server::Server(service::QueryRouter* router, ServerConfig config)
     : router_(router), config_(std::move(config)), stats_(router->stats_sink()) {}
 
 Server::~Server() { Shutdown(); }
-
-namespace {
-
-// Opens a non-blocking listener on addr:port. `reuse_port` asks for
-// SO_REUSEPORT (kernel accept sharding); failure to set it is reported as an
-// error so Start() can fall back to the shared-listener path.
-util::Result<int> OpenListener(const sockaddr_in& addr_in, uint16_t port,
-                               bool reuse_port) {
-  sockaddr_in addr = addr_in;
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return util::Status::IoError(util::Format("socket(): %s", strerror(errno)));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (reuse_port) {
-#ifdef SO_REUSEPORT
-    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
-      const util::Status st = util::Status::NotImplemented(
-          util::Format("SO_REUSEPORT: %s", strerror(errno)));
-      ::close(fd);
-      return st;
-    }
-#else
-    ::close(fd);
-    return util::Status::NotImplemented("SO_REUSEPORT not available");
-#endif
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 128) != 0) {
-    const util::Status st = util::Status::IoError(
-        util::Format("bind/listen port %u: %s", port, strerror(errno)));
-    ::close(fd);
-    return st;
-  }
-  return fd;
-}
-
-}  // namespace
 
 util::Result<Endpoint> Server::Start() {
   if (state_.load() != State::kIdle) {
@@ -151,73 +127,86 @@ util::Result<Endpoint> Server::Start() {
   // Typed config errors before any socket syscall.
   QREG_RETURN_NOT_OK(config_.Validate());
 
-  sockaddr_in addr{};
-  inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr);
-
   const size_t nloops = config_.event_loops;
   loops_.clear();
   loops_.reserve(nloops);
   for (size_t i = 0; i < nloops; ++i) {
-    loops_.push_back(std::make_unique<Loop>());
+    loops_.push_back(std::make_unique<Loop>(config_.arena));
     loops_.back()->index = i;
   }
 
-  // Listener topology: every loop gets its own SO_REUSEPORT listener on the
-  // same endpoint (kernel accept sharding). If the platform refuses — or the
-  // test hook forces it — loop 0 keeps a sole plain listener and hands
-  // accepted fds round-robin to the other loops.
   auto cleanup = [this] {
     for (auto& loop : loops_) {
-      if (loop->listen_fd >= 0) ::close(loop->listen_fd);
-      for (int fd : loop->wake_fds) {
-        if (fd >= 0) ::close(fd);
+      if (loop->listen_h >= 0 && loop->backend) {
+        loop->backend->Close(loop->listen_h);
       }
     }
     loops_.clear();
   };
 
+  for (auto& loop : loops_) {
+    switch (config_.backend) {
+      case BackendKind::kPoll:
+        loop->backend = CreatePollBackend();
+        break;
+      case BackendKind::kEpoll:
+        loop->backend = CreateEpollBackend();
+        break;
+      case BackendKind::kSim:
+        loop->backend = config_.sim->CreateBackend();
+        break;
+    }
+    const util::Status st = loop->backend->Init();
+    if (!st.ok()) {
+      cleanup();
+      return st;
+    }
+  }
+
+  // Listener topology: every loop gets its own SO_REUSEPORT listener on the
+  // same endpoint (kernel accept sharding). If the platform refuses — or the
+  // test hook forces it — loop 0 keeps a sole plain listener and hands
+  // accepted connections round-robin to the other loops.
   shared_listener_ = config_.force_shared_listener;
   const bool want_reuseport = !config_.force_shared_listener && nloops > 1;
-  util::Result<int> first = OpenListener(addr, config_.port, want_reuseport);
+  util::Result<int> first = loops_[0]->backend->OpenListener(
+      config_.bind_address, config_.port, want_reuseport);
   if (!first.ok() && want_reuseport) {
     // Kernel without SO_REUSEPORT: shared-listener fallback.
     shared_listener_ = true;
-    first = OpenListener(addr, config_.port, /*reuse_port=*/false);
+    first = loops_[0]->backend->OpenListener(config_.bind_address,
+                                             config_.port,
+                                             /*reuse_port=*/false);
   }
   if (!first.ok()) {
     cleanup();
     return first.status();
   }
-  loops_[0]->listen_fd = *first;
+  loops_[0]->listen_h = *first;
 
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  ::getsockname(loops_[0]->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
-  const uint16_t bound_port = ntohs(bound.sin_port);
+  util::Result<uint16_t> bound =
+      loops_[0]->backend->ListenerPort(loops_[0]->listen_h);
+  if (!bound.ok()) {
+    cleanup();
+    return bound.status();
+  }
+  const uint16_t bound_port = *bound;
 
   if (!shared_listener_) {
     for (size_t i = 1; i < nloops; ++i) {
       // Ephemeral first bind resolved the port; siblings bind it concretely.
-      util::Result<int> fd = OpenListener(addr, bound_port, /*reuse_port=*/true);
-      if (!fd.ok()) {
+      util::Result<int> h = loops_[i]->backend->OpenListener(
+          config_.bind_address, bound_port, /*reuse_port=*/true);
+      if (!h.ok()) {
         // Mid-way refusal: close the sibling listeners and fall back.
         for (size_t j = 1; j < i; ++j) {
-          ::close(loops_[j]->listen_fd);
-          loops_[j]->listen_fd = -1;
+          loops_[j]->backend->Close(loops_[j]->listen_h);
+          loops_[j]->listen_h = -1;
         }
         shared_listener_ = true;
         break;
       }
-      loops_[i]->listen_fd = *fd;
-    }
-  }
-
-  for (auto& loop : loops_) {
-    if (::pipe2(loop->wake_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
-      const util::Status st =
-          util::Status::IoError(util::Format("pipe2(): %s", strerror(errno)));
-      cleanup();
-      return st;
+      loops_[i]->listen_h = *h;
     }
   }
 
@@ -258,32 +247,34 @@ void Server::Shutdown() {
   executors_.clear();
 
   for (auto& loop : loops_) {
-    if (loop->listen_fd >= 0) {
-      ::close(loop->listen_fd);
-      loop->listen_fd = -1;
+    if (loop->listen_h >= 0) {
+      loop->backend->Deregister(loop->listen_h);
+      loop->backend->Close(loop->listen_h);
+      loop->listen_h = -1;
     }
-    for (int& fd : loop->wake_fds) {
-      if (fd >= 0) {
-        ::close(fd);
-        fd = -1;
+    // Handoff handles never adopted by the exiting loop: close and un-count.
+    {
+      std::lock_guard<std::mutex> hlock(loop->handoff_mu);
+      for (int h : loop->handoff) {
+        loop->backend->Close(h);
+        open_conns_.fetch_sub(1, std::memory_order_relaxed);
       }
+      loop->handoff.clear();
     }
-    // Handoff fds never adopted by the exiting loop: close and un-count.
-    std::lock_guard<std::mutex> hlock(loop->handoff_mu);
-    for (int fd : loop->handoff) {
-      ::close(fd);
-      open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    // Completions that arrived after the loop exited (executors drain every
+    // queued job before stopping): their buffers still go home to the arena,
+    // preserving acquired() == released() no matter how shutdown raced.
+    std::lock_guard<std::mutex> done_lock(loop->done_mu);
+    for (Completion& done : loop->done) {
+      loop->arena.Release(std::move(done.bytes));
     }
-    loop->handoff.clear();
+    loop->done.clear();
   }
   state_.store(State::kStopped);
 }
 
 void Server::WakeLoop(Loop* loop) {
-  if (loop->wake_fds[1] < 0) return;
-  const uint8_t byte = 1;
-  // EAGAIN means the pipe already holds a pending wakeup — good enough.
-  (void)!::write(loop->wake_fds[1], &byte, 1);
+  if (loop->backend) loop->backend->Wake();
 }
 
 // --------------------------------------------------------------- executors --
@@ -335,9 +326,12 @@ void Server::EventLoop(Loop* loop) {
   bool draining = false;
   int64_t drain_start_nanos = 0;
 
-  std::vector<pollfd> pfds;
-  std::vector<uint64_t> pfd_conn;  // Parallel to pfds; 0 = not a connection.
+  if (loop->listen_h >= 0) {
+    loop->backend->UpdateInterest(loop->listen_h, /*want_read=*/true,
+                                  /*want_write=*/false);
+  }
 
+  std::vector<ReadyEvent> events;
   for (;;) {
     // Enter drain mode once: stop accepting and stop reading new frames;
     // everything already decoded still gets executed and flushed. Each loop
@@ -345,9 +339,10 @@ void Server::EventLoop(Loop* loop) {
     if (!draining && shutdown_requested_.load()) {
       draining = true;
       drain_start_nanos = util::NowNanos();
-      if (loop->listen_fd >= 0) {
-        ::close(loop->listen_fd);
-        loop->listen_fd = -1;
+      if (loop->listen_h >= 0) {
+        loop->backend->Deregister(loop->listen_h);
+        loop->backend->Close(loop->listen_h);
+        loop->listen_h = -1;
       }
       for (auto& entry : loop->conns) {
         entry.second->read_closed = true;
@@ -357,7 +352,8 @@ void Server::EventLoop(Loop* loop) {
     }
 
     // Adopt connections the accepting loop handed over (shared-listener
-    // mode). During drain a handed-off fd has never been read — close it.
+    // mode). During drain a handed-off connection has never been read —
+    // close it.
     AdoptHandoffs(loop);
 
     // Reap connections that are finished: nothing pending, nothing in
@@ -388,35 +384,22 @@ void Server::EventLoop(Loop* loop) {
       }
     }
 
-    pfds.clear();
-    pfd_conn.clear();
-    pfds.push_back({loop->wake_fds[0], POLLIN, 0});
-    pfd_conn.push_back(0);
-    const size_t listen_idx = pfds.size();
-    if (loop->listen_fd >= 0) {
-      pfds.push_back({loop->listen_fd, POLLIN, 0});
-      pfd_conn.push_back(0);
-    }
+    // Interest maintenance: push only *changes* to the backend (for epoll
+    // that keeps the epoll_ctl traffic proportional to state transitions,
+    // not to the connection count).
     for (auto& entry : loop->conns) {
       Connection* c = entry.second.get();
-      short events = 0;
-      if (!c->read_closed) events |= POLLIN;
-      if (!c->flushed()) events |= POLLOUT;
-      if (events == 0) continue;
-      pfds.push_back({c->fd, events, 0});
-      pfd_conn.push_back(c->id);
+      const bool want_read = !c->read_closed;
+      const bool want_write = !c->flushed();
+      if (want_read != c->want_read || want_write != c->want_write) {
+        c->want_read = want_read;
+        c->want_write = want_write;
+        loop->backend->UpdateInterest(c->handle, want_read, want_write);
+      }
     }
 
     const int timeout_ms = draining ? 20 : 500;
-    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (n < 0 && errno != EINTR) break;  // Poll failure: bail out.
-
-    // Self-pipe: drain pending wakeup bytes.
-    if (pfds[0].revents & POLLIN) {
-      uint8_t buf[256];
-      while (::read(loop->wake_fds[0], buf, sizeof(buf)) > 0) {
-      }
-    }
+    if (!loop->backend->Wait(timeout_ms, &events).ok()) break;
 
     // Completed batches → connection output queues (the arena buffer each
     // executor filled comes home here), flushed eagerly while the socket is
@@ -430,7 +413,10 @@ void Server::EventLoop(Loop* loop) {
       for (Completion& done : finished) {
         auto it = loop->conns.find(done.conn_id);
         if (it == loop->conns.end()) {
-          continue;  // Connection died mid-batch; the buffer just drops.
+          // Connection died mid-batch: the response is undeliverable, but
+          // the buffer still goes home (acquired() == released()).
+          loop->arena.Release(std::move(done.bytes));
+          continue;
         }
         Connection* c = it->second.get();
         c->in_flight -= std::min(c->in_flight, done.num_requests);
@@ -444,20 +430,19 @@ void Server::EventLoop(Loop* loop) {
       }
     }
 
-    if (loop->listen_fd >= 0 && listen_idx < pfds.size() &&
-        pfds[listen_idx].fd == loop->listen_fd &&
-        (pfds[listen_idx].revents & POLLIN)) {
-      AcceptNew(loop);
-    }
-
-    for (size_t i = 0; i < pfds.size(); ++i) {
-      const uint64_t id = pfd_conn[i];
-      if (id == 0 || pfds[i].revents == 0) continue;
-      if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+    for (const ReadyEvent& ev : events) {
+      if (loop->listen_h >= 0 && ev.handle == loop->listen_h) {
+        if (ev.readable) AcceptNew(loop);
+        continue;
+      }
+      auto hit = loop->by_handle.find(ev.handle);
+      if (hit == loop->by_handle.end()) continue;
+      const uint64_t id = hit->second;
+      if (ev.error) {
         CloseConnection(loop, id);
         continue;
       }
-      if (pfds[i].revents & (POLLIN | POLLHUP)) {
+      if (ev.readable || ev.hangup) {
         auto it = loop->conns.find(id);
         if (it != loop->conns.end()) HandleReadable(loop, it->second.get());
       }
@@ -470,68 +455,63 @@ void Server::EventLoop(Loop* loop) {
 }
 
 void Server::AdoptHandoffs(Loop* loop) {
-  std::deque<int> fds;
+  std::deque<int> handles;
   {
     std::lock_guard<std::mutex> lock(loop->handoff_mu);
     if (loop->handoff.empty()) return;
-    fds.swap(loop->handoff);
+    handles.swap(loop->handoff);
   }
   service::NetActivity activity;
-  for (int fd : fds) {
+  for (int h : handles) {
     if (shutdown_requested_.load()) {
       // Drain began before this connection was ever read; refuse it.
-      ::close(fd);
+      loop->backend->Close(h);
       open_conns_.fetch_sub(1, std::memory_order_relaxed);
       ++activity.connections_closed;
       continue;
     }
-    RegisterConnection(loop, fd);
+    RegisterConnection(loop, h);
   }
   if (!activity.empty()) stats_->RecordNet(loop->index, activity);
 }
 
-void Server::RegisterConnection(Loop* loop, int fd) {
+void Server::RegisterConnection(Loop* loop, int handle) {
   const uint64_t id = loop->next_conn_id++;
   loop->conns.emplace(
-      id, std::make_unique<Connection>(id, fd, config_.max_payload_bytes));
+      id, std::make_unique<Connection>(id, handle, config_.max_payload_bytes));
+  loop->by_handle[handle] = id;
 }
 
 void Server::AcceptNew(Loop* loop) {
   service::NetActivity activity;
   for (;;) {
-    const int fd =
-        ::accept4(loop->listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // EAGAIN or transient accept failure: poll again.
-    }
+    const int h = loop->backend->Accept(loop->listen_h);
+    if (h < 0) break;  // Nothing pending: wait for the next readiness.
     // Global connection cap: one shared atomic across all loops, so N loops
     // cannot collectively accept N× the limit. fetch_add claims a slot;
     // losing the claim means refuse at the door.
     if (open_conns_.fetch_add(1, std::memory_order_relaxed) >=
         config_.max_connections) {
       open_conns_.fetch_sub(1, std::memory_order_relaxed);
-      ::close(fd);
+      loop->backend->Close(h);
       continue;
     }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ++activity.connections_accepted;
     if (shared_listener_ && loops_.size() > 1) {
       // Software accept sharding: round-robin across every loop (self
       // included) through the per-loop handoff queues.
       Loop* target = loops_[handoff_next_++ % loops_.size()].get();
       if (target == loop) {
-        RegisterConnection(loop, fd);
+        RegisterConnection(loop, h);
       } else {
         {
           std::lock_guard<std::mutex> lock(target->handoff_mu);
-          target->handoff.push_back(fd);
+          target->handoff.push_back(h);
         }
         WakeLoop(target);
       }
     } else {
-      RegisterConnection(loop, fd);
+      RegisterConnection(loop, h);
     }
   }
   if (!activity.empty()) stats_->RecordNet(loop->index, activity);
@@ -548,23 +528,30 @@ static std::vector<uint8_t>* StagedOut(WireArena* arena,
 
 void Server::HandleReadable(Loop* loop, Connection* conn) {
   service::NetActivity activity;
-  uint8_t buf[65536];
+  // Two scatter segments per backend Read (readv on the real backends): a
+  // burst larger than one buffer still lands in a single call.
+  uint8_t buf_a[65536];
+  uint8_t buf_b[65536];
   for (;;) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
-    if (n > 0) {
-      activity.bytes_in += n;
-      conn->decoder.Feed(buf, static_cast<size_t>(n));
-      if (static_cast<size_t>(n) < sizeof(buf)) break;
+    iovec iov[2] = {{buf_a, sizeof(buf_a)}, {buf_b, sizeof(buf_b)}};
+    const IoResult r = loop->backend->Read(conn->handle, iov, 2);
+    if (r.kind == IoResult::Kind::kOk) {
+      activity.bytes_in += r.bytes;
+      conn->decoder.Feed(buf_a, std::min(r.bytes, sizeof(buf_a)));
+      if (r.bytes > sizeof(buf_a)) {
+        conn->decoder.Feed(buf_b, r.bytes - sizeof(buf_a));
+      }
+      // A short read means the input is drained for now.
+      if (r.bytes < sizeof(buf_a) + sizeof(buf_b)) break;
       continue;
     }
-    if (n == 0) {
+    if (r.kind == IoResult::Kind::kEof) {
       conn->read_closed = true;
       break;
     }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (r.kind == IoResult::Kind::kWouldBlock) break;
     // Hard read error: the peer is gone; drop what cannot be delivered.
-    stats_->RecordNet(loop->index, activity);
+    if (!activity.empty()) stats_->RecordNet(loop->index, activity);
     CloseConnection(loop, conn->id);
     return;
   }
@@ -685,9 +672,9 @@ void Server::FlushWrites(Loop* loop, Connection* conn) {
 
   service::NetActivity activity;
   while (!conn->outq.empty()) {
-    // Scatter-gather: one syscall drains up to kMaxIov queued chunks — a
-    // whole pipelined batch of response frames — instead of one write per
-    // frame. sendmsg(MSG_NOSIGNAL) is writev plus SIGPIPE suppression.
+    // Scatter-gather: one backend Write drains up to kMaxIov queued chunks —
+    // a whole pipelined batch of response frames — instead of one write per
+    // frame (sendmsg(MSG_NOSIGNAL) on the real backends).
     iovec iov[kMaxIov];
     size_t niov = 0;
     size_t skip = conn->out_pos;
@@ -698,13 +685,11 @@ void Server::FlushWrites(Loop* loop, Connection* conn) {
       ++niov;
       skip = 0;
     }
-    msghdr msg{};
-    msg.msg_iov = iov;
-    msg.msg_iovlen = niov;
-    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
-    if (n > 0) {
-      activity.bytes_out += n;
-      size_t left = static_cast<size_t>(n);
+    const IoResult r =
+        loop->backend->Write(conn->handle, iov, static_cast<int>(niov));
+    if (r.kind == IoResult::Kind::kOk) {
+      activity.bytes_out += r.bytes;
+      size_t left = r.bytes;
       while (left > 0) {
         std::vector<uint8_t>& front = conn->outq.front();
         const size_t avail = front.size() - conn->out_pos;
@@ -720,8 +705,8 @@ void Server::FlushWrites(Loop* loop, Connection* conn) {
       }
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (r.kind == IoResult::Kind::kWouldBlock) break;
+    // Write error (or a nonsensical EOF): the peer is unreachable.
     if (!activity.empty()) stats_->RecordNet(loop->index, activity);
     CloseConnection(loop, conn->id);
     return;
@@ -732,10 +717,17 @@ void Server::FlushWrites(Loop* loop, Connection* conn) {
 void Server::CloseConnection(Loop* loop, uint64_t id) {
   auto it = loop->conns.find(id);
   if (it == loop->conns.end()) return;
-  ::close(it->second->fd);
-  // Unflushed chunks go home to the arena, not to the allocator.
-  for (std::vector<uint8_t>& chunk : it->second->outq) {
+  Connection* c = it->second.get();
+  loop->backend->Deregister(c->handle);
+  loop->backend->Close(c->handle);
+  loop->by_handle.erase(c->handle);
+  // Unflushed chunks — the committed queue *and* the uncommitted staging
+  // buffer — go home to the arena, not to the allocator.
+  for (std::vector<uint8_t>& chunk : c->outq) {
     loop->arena.Release(std::move(chunk));
+  }
+  if (!c->loop_out.empty()) {
+    loop->arena.Release(std::move(c->loop_out));
   }
   loop->conns.erase(it);
   open_conns_.fetch_sub(1, std::memory_order_relaxed);

@@ -1,12 +1,13 @@
 // Framed-binary TCP front-end over service::QueryRouter (DESIGN.md §12).
 //
-// Architecture: N independent poll()-based event loops (config.event_loops),
-// each owning its *own* listener, connection table, self-pipe, arena, and
-// completion queue — no socket is ever touched by two threads — plus one
-// shared fixed pool of batch-executor threads running the router. A loop
-// never executes a query and the executors never touch a socket, so a slow
-// scan cannot stall frame decoding on any connection and a slow client
-// cannot stall the router.
+// Architecture: N independent event loops (config.event_loops), each owning
+// its *own* EventBackend (the demultiplexer/I-O seam — poll, epoll, or the
+// deterministic SimBackend, selected by config.backend), listener,
+// connection table, arena, and completion queue — no socket is ever touched
+// by two threads — plus one shared fixed pool of batch-executor threads
+// running the router. A loop never executes a query and the executors never
+// touch a socket, so a slow scan cannot stall frame decoding on any
+// connection and a slow client cannot stall the router.
 //
 // Accept sharding: every loop binds its own SO_REUSEPORT listener to the
 // same address, and the kernel spreads incoming connections across them.
@@ -26,8 +27,9 @@
 // dispatch time; the executor encodes every response frame of the batch
 // in place (AppendAnswerFrame/AppendStatusFrame — no per-frame allocation)
 // and the buffer rides the completion back to its loop, is queued as one
-// output chunk, flushed with writev() scatter-gather (one syscall per
-// POLLOUT burst, not per frame), and finally Release()d to the arena.
+// output chunk, flushed with one scatter-gather backend Write per
+// writability burst (not one per frame), and finally Release()d to the
+// arena.
 //
 // Shutdown: Shutdown() stops every listener, lets in-flight and
 // already-decoded requests finish, flushes every response on every loop,
@@ -48,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/backend.h"
 #include "net/wire.h"
 #include "service/query_router.h"
 #include "util/clock.h"
@@ -55,6 +58,8 @@
 
 namespace qreg {
 namespace net {
+
+class SimTransport;
 
 /// Hard ceiling on ServerConfig::event_loops — far past any sane core count;
 /// a bigger request is a typo, rejected by Validate().
@@ -106,6 +111,20 @@ struct ServerConfig {
   /// unflushed responses before force-closing its connections.
   int64_t drain_timeout_millis = 5000;
 
+  /// Event demultiplexer per loop: kPoll (portable baseline), kEpoll
+  /// (level-triggered, O(ready) dispatch), or kSim (the deterministic
+  /// in-memory transport in `sim` — tests only). The wire bytes are
+  /// backend-independent; net_socket_test pins epoll bit-for-bit against
+  /// poll.
+  BackendKind backend = BackendKind::kPoll;
+
+  /// The transport a kSim server runs on. Borrowed; must outlive the
+  /// server. Required (Validate) iff backend == kSim.
+  SimTransport* sim = nullptr;
+
+  /// Per-loop WireArena pooling caps (response-buffer reuse).
+  WireArena::Options arena;
+
   /// Clock that decode-time deadline mapping uses (null = system clock).
   /// Borrowed; must outlive the server. Tests inject a FakeClock.
   const util::Clock* clock = nullptr;
@@ -117,8 +136,9 @@ struct ServerConfig {
 
   /// Typed kInvalidArgument for a config no socket syscall should ever see:
   /// zero executor threads, zero or > kMaxEventLoops event loops, a bind
-  /// address inet_pton rejects, or a zero connection cap. Start() calls this
-  /// before touching the network.
+  /// address inet_pton rejects, a zero connection cap, a negative drain
+  /// timeout, zero-capacity arena pooling, or backend == kSim without a
+  /// transport. Start() calls this before touching the network.
   util::Status Validate() const;
 };
 
@@ -153,6 +173,11 @@ class Server {
   /// instead of per-loop SO_REUSEPORT listeners.
   bool using_shared_listener() const { return shared_listener_; }
 
+  /// Loop `i`'s arena, for post-Shutdown() leak-invariant checks
+  /// (acquired() == released() no matter how each connection died).
+  /// Requires i < num_loops(); call only while the server is not running.
+  const WireArena& loop_arena(size_t i) const { return loops_[i]->arena; }
+
   /// Graceful stop: stop accepting, drain in-flight work, flush responses,
   /// close connections, join threads. Idempotent; safe from any thread
   /// (including concurrently with itself, not from server threads).
@@ -166,17 +191,23 @@ class Server {
   struct Completion;
 
   /// Everything one event loop owns. Only the loop's thread touches the
-  /// connection table, arena, or sockets; the mutex-guarded queues are the
-  /// only cross-thread seams (executors push completions, the accepting
-  /// loop pushes handoff fds in shared-listener mode).
+  /// connection table, arena, or backend (Wake() excepted — it is the one
+  /// thread-safe backend call); the mutex-guarded queues are the only
+  /// cross-thread seams (executors push completions, the accepting loop
+  /// pushes handoff handles in shared-listener mode).
   struct Loop {
+    // Out-of-line (Connection/Completion are incomplete here).
+    explicit Loop(WireArena::Options arena_options);
+    ~Loop();
+
     size_t index = 0;
-    int listen_fd = -1;            // -1 on non-accepting loops (shared mode).
-    int wake_fds[2] = {-1, -1};    // Self-pipe: [0] polled, [1] written.
+    std::unique_ptr<EventBackend> backend;
+    int listen_h = -1;  // Backend listener handle; -1 on non-accepting loops.
     std::thread thread;
 
     // --- loop-thread-only state ---
     std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    std::unordered_map<int, uint64_t> by_handle;  // Backend handle → conn id.
     uint64_t next_conn_id = 1;
     WireArena arena;
 
@@ -184,7 +215,8 @@ class Server {
     std::mutex done_mu;
     std::deque<Completion> done;
 
-    // Accepting loop → loop: round-robin fd handoff (shared-listener mode).
+    // Accepting loop → loop: round-robin handle handoff (shared-listener
+    // mode).
     std::mutex handoff_mu;
     std::deque<int> handoff;
   };

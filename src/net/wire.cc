@@ -260,19 +260,24 @@ util::Status FrameDecoder::Poison(util::Status status) {
 
 FrameDecoder::Event FrameDecoder::Next(Frame* frame) {
   if (poisoned()) return Event::kError;
-  if (buf_.size() - pos_ < kHeaderBytes) return Event::kNeedMore;
+  const size_t avail = buf_.size() - pos_;
   const uint8_t* h = buf_.data() + pos_;
-  if (GetU32(h) != kMagic) {
+  // Reject garbage as early as the bytes allow: a prefix that cannot start a
+  // frame poisons the stream at 4 (magic) or 6 (version) buffered bytes, not
+  // after a full 24-byte header — so a resumed byte-at-a-time read never
+  // sits on input already known to be bad.
+  if (avail >= 4 && GetU32(h) != kMagic) {
     Poison(ProtocolError("bad frame magic"));
     return Event::kError;
   }
-  const uint16_t version = GetU16(h + 4);
-  if (version != kWireVersion) {
+  if (avail >= 6 && GetU16(h + 4) != kWireVersion) {
     Poison(util::Status::NotImplemented(
         util::Format("wire protocol: unsupported version %u (peer speaks %u)",
-                     version, kWireVersion)));
+                     GetU16(h + 4), kWireVersion)));
     return Event::kError;
   }
+  if (avail < kHeaderBytes) return Event::kNeedMore;
+  const uint16_t version = GetU16(h + 4);
   const uint32_t payload_len = GetU32(h + 16);
   if (payload_len > max_payload_) {
     // Rejected from the header alone: the oversized payload is never buffered.
@@ -516,6 +521,7 @@ std::vector<uint8_t> WireArena::Acquire() {
 }
 
 void WireArena::Release(std::vector<uint8_t> buf) {
+  ++released_;
   if (pool_.size() >= options_.max_pooled_buffers ||
       buf.capacity() > options_.max_retained_bytes) {
     return;  // Over the caps: let it free here.

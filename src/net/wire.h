@@ -194,11 +194,17 @@ class WireArena {
   uint64_t acquired() const { return acquired_; }
   uint64_t reused() const { return reused_; }  ///< Acquires served from pool.
 
+  /// Buffers handed back (pooled *or* freed over the caps). The server's
+  /// leak invariant — every acquired buffer comes home no matter how its
+  /// connection died — is `acquired() == released()` after shutdown.
+  uint64_t released() const { return released_; }
+
  private:
   Options options_;
   std::vector<std::vector<uint8_t>> pool_;
   uint64_t acquired_ = 0;
   uint64_t reused_ = 0;
+  uint64_t released_ = 0;
 };
 
 /// In-place frame encoders: append one complete frame — header plus

@@ -13,11 +13,13 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "net/backend.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -43,6 +45,25 @@ bool WaitFor(Cond cond) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return cond();
+}
+
+// The backend every server in this file runs on. CI's net-fault-gate sweeps
+// QREG_NET_BACKEND over {poll, epoll}; unset means poll. The wire bytes must
+// be identical either way — that is the whole point of the seam.
+BackendKind TestBackend() {
+  const char* env = std::getenv("QREG_NET_BACKEND");
+  BackendKind kind = BackendKind::kPoll;
+  if (env != nullptr && *env != '\0') {
+    EXPECT_TRUE(ParseBackendKind(env, &kind))
+        << "bad QREG_NET_BACKEND: " << env;
+  }
+  return kind;
+}
+
+ServerConfig BaseConfig() {
+  ServerConfig cfg;
+  cfg.backend = TestBackend();
+  return cfg;
 }
 
 WireRequest ToWire(const service::Request& request) {
@@ -144,11 +165,11 @@ void RunBitForBitOverWire(ServerConfig server_cfg, size_t client_conns) {
 }
 
 TEST(NetServerTest, PipelinedBatchMatchesInProcessBitForBit) {
-  RunBitForBitOverWire(ServerConfig(), /*client_conns=*/1);
+  RunBitForBitOverWire(BaseConfig(), /*client_conns=*/1);
 }
 
 TEST(NetServerTest, MultiLoopPipelinedBatchesMatchInProcessBitForBit) {
-  ServerConfig cfg;
+  ServerConfig cfg = BaseConfig();
   cfg.event_loops = 4;
   RunBitForBitOverWire(cfg, /*client_conns=*/8);
 }
@@ -156,7 +177,7 @@ TEST(NetServerTest, MultiLoopPipelinedBatchesMatchInProcessBitForBit) {
 TEST(NetServerTest, SharedListenerFallbackMatchesInProcessBitForBit) {
   // Pretend the platform lacks SO_REUSEPORT: the round-robin fd-handoff
   // path must be exactly as correct as kernel accept sharding.
-  ServerConfig cfg;
+  ServerConfig cfg = BaseConfig();
   cfg.event_loops = 4;
   cfg.force_shared_listener = true;
   RunBitForBitOverWire(cfg, /*client_conns=*/8);
@@ -199,7 +220,85 @@ TEST(NetServerTest, ConfigValidateRejectsBadConfigsBeforeAnySocket) {
     cfg.max_connections = 0;
     EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
   }
+  {
+    // A negative drain timeout would turn every Shutdown() into an instant
+    // force-close; reject it as the typo it is.
+    ServerConfig cfg;
+    cfg.drain_timeout_millis = -1;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+    Server server(&router, cfg);
+    EXPECT_EQ(server.Start().status().code(),
+              util::StatusCode::kInvalidArgument);
+  }
+  {
+    // Zero-buffer arena pooling would silently disable the arena encode
+    // path (every Acquire a fresh allocation, every Release a free).
+    ServerConfig cfg;
+    cfg.arena.max_pooled_buffers = 0;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.arena.max_retained_bytes = 0;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    // kSim without a transport has nothing to simulate on.
+    ServerConfig cfg;
+    cfg.backend = BackendKind::kSim;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+    Server server(&router, cfg);
+    EXPECT_EQ(server.Start().status().code(),
+              util::StatusCode::kInvalidArgument);
+  }
   EXPECT_TRUE(ServerConfig().Validate().ok());
+  {
+    // drain_timeout_millis == 0 is legal: "force-close immediately" is a
+    // choice, not a typo.
+    ServerConfig cfg;
+    cfg.drain_timeout_millis = 0;
+    EXPECT_TRUE(cfg.Validate().ok());
+  }
+}
+
+TEST(NetServerTest, ParseBackendKindRoundTripsAndRejectsGarbage) {
+  BackendKind kind = BackendKind::kSim;
+  ASSERT_TRUE(ParseBackendKind("poll", &kind));
+  EXPECT_EQ(kind, BackendKind::kPoll);
+  ASSERT_TRUE(ParseBackendKind("epoll", &kind));
+  EXPECT_EQ(kind, BackendKind::kEpoll);
+  ASSERT_TRUE(ParseBackendKind("sim", &kind));
+  EXPECT_EQ(kind, BackendKind::kSim);
+  for (BackendKind k :
+       {BackendKind::kPoll, BackendKind::kEpoll, BackendKind::kSim}) {
+    BackendKind parsed = BackendKind::kPoll;
+    ASSERT_TRUE(ParseBackendKind(BackendKindName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  kind = BackendKind::kEpoll;
+  EXPECT_FALSE(ParseBackendKind("", &kind));
+  EXPECT_FALSE(ParseBackendKind("Epoll", &kind));
+  EXPECT_FALSE(ParseBackendKind("io_uring", &kind));
+  EXPECT_EQ(kind, BackendKind::kEpoll);  // Untouched on failure.
+}
+
+// The PR 8 acceptance pin: the epoll backend must be bit-for-bit identical
+// to poll over the wire — same frames, same payload bytes, same per-loop
+// counter rollup — at one loop and at four, pipelined batches striped over
+// several connections. (RunBitForBitOverWire compares against the in-process
+// reference, which the poll runs above also match; equality to the same
+// reference is equality to each other.)
+TEST(NetServerTest, EpollSingleLoopMatchesInProcessBitForBit) {
+  ServerConfig cfg;
+  cfg.backend = BackendKind::kEpoll;
+  RunBitForBitOverWire(cfg, /*client_conns=*/1);
+}
+
+TEST(NetServerTest, EpollFourLoopsMatchInProcessBitForBit) {
+  ServerConfig cfg;
+  cfg.backend = BackendKind::kEpoll;
+  cfg.event_loops = 4;
+  RunBitForBitOverWire(cfg, /*client_conns=*/8);
 }
 
 TEST(NetServerTest, StartReturnsBoundEndpoint) {
@@ -207,7 +306,7 @@ TEST(NetServerTest, StartReturnsBoundEndpoint) {
   rcfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), rcfg);
 
-  ServerConfig cfg;
+  ServerConfig cfg = BaseConfig();
   cfg.event_loops = 2;
   Server server(&router, cfg);
   const util::Result<Endpoint> ep = server.Start();
@@ -232,7 +331,7 @@ TEST(NetServerTest, MultiLoopShutdownDrainsEveryLoopsDecodedRequests) {
   cfg.num_threads = 2;
   service::QueryRouter router(SharedCatalog(), cfg);
 
-  ServerConfig server_cfg;
+  ServerConfig server_cfg = BaseConfig();
   server_cfg.event_loops = 4;
   Server server(&router, server_cfg);
   const auto ep = server.Start();
@@ -290,7 +389,7 @@ TEST(NetServerTest, GlobalConnectionCapHoldsAcrossLoops) {
   rcfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), rcfg);
 
-  ServerConfig cfg;
+  ServerConfig cfg = BaseConfig();
   cfg.event_loops = 4;
   cfg.max_connections = 6;  // Global cap, NOT per loop.
   Server server(&router, cfg);
@@ -342,7 +441,7 @@ TEST(NetServerTest, ExpiredClientDeadlineRejectedAtAdmissionWithoutCacheTouch) {
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
 
-  Server server(&router, ServerConfig());
+  Server server(&router, BaseConfig());
   const auto ep = server.Start();
   ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
@@ -380,7 +479,7 @@ TEST(NetServerTest, SaturatedRouterShedsWithTypedFramesNotConnectionDrops) {
   cfg.overload = service::OverloadPolicy::kShed;
   service::QueryRouter router(SharedCatalog(), cfg);
 
-  Server server(&router, ServerConfig());
+  Server server(&router, BaseConfig());
   const auto ep = server.Start();
   ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
@@ -427,7 +526,7 @@ TEST(NetServerTest, ServerPipelineCapShedsAtAdmission) {
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
 
-  ServerConfig server_cfg;
+  ServerConfig server_cfg = BaseConfig();
   server_cfg.max_pipeline = 8;  // Tiny per-connection backlog bound.
   Server server(&router, server_cfg);
   const auto ep = server.Start();
@@ -460,7 +559,7 @@ TEST(NetServerTest, ShutdownDrainsDecodedRequestsThenCloses) {
   cfg.num_threads = 2;
   service::QueryRouter router(SharedCatalog(), cfg);
 
-  Server server(&router, ServerConfig());
+  Server server(&router, BaseConfig());
   const auto ep = server.Start();
   ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
@@ -509,7 +608,7 @@ TEST(NetServerTest, MalformedStreamGetsTypedErrorFrameAndCleanClose) {
   service::RouterConfig cfg;
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
-  Server server(&router, ServerConfig());
+  Server server(&router, BaseConfig());
   const auto ep = server.Start();
   ASSERT_TRUE(ep.ok()) << ep.status();
 
@@ -572,7 +671,7 @@ TEST(NetServerTest, UnknownDatasetComesBackAsTypedNotFound) {
   service::RouterConfig cfg;
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
-  Server server(&router, ServerConfig());
+  Server server(&router, BaseConfig());
   const auto ep = server.Start();
   ASSERT_TRUE(ep.ok()) << ep.status();
   Client client;
@@ -591,7 +690,7 @@ TEST(NetServerTest, PingPongAndServerIsSingleUse) {
   service::RouterConfig cfg;
   cfg.num_threads = 1;
   service::QueryRouter router(SharedCatalog(), cfg);
-  Server server(&router, ServerConfig());
+  Server server(&router, BaseConfig());
   const auto ep = server.Start();
   ASSERT_TRUE(ep.ok()) << ep.status();
   EXPECT_TRUE(server.running());
@@ -604,6 +703,127 @@ TEST(NetServerTest, PingPongAndServerIsSingleUse) {
   EXPECT_FALSE(server.running());
   EXPECT_EQ(server.Start().status().code(),
             util::StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------------- ClientPool --
+
+// A pool server + reference router pair for the ClientPool tests.
+struct PoolFixture {
+  service::QueryRouter router;
+  service::QueryRouter ref;
+  Server server;
+  Endpoint ep;
+
+  static service::RouterConfig RouterCfg(size_t threads) {
+    service::RouterConfig cfg;
+    cfg.policy = service::RoutePolicy::kHybrid;
+    cfg.enable_cache = false;
+    cfg.num_threads = threads;
+    return cfg;
+  }
+
+  PoolFixture()
+      : router(SharedCatalog(), RouterCfg(2)),
+        ref(SharedCatalog(), RouterCfg(0)),
+        server(&router, BaseConfig()) {
+    const util::Result<Endpoint> started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.status();
+    if (started.ok()) ep = *started;
+  }
+};
+
+TEST(ClientPoolTest, ScatterBackIsPositionalAcrossStripes) {
+  PoolFixture fx;
+  ClientPool pool;
+  ASSERT_TRUE(pool.Connect(fx.ep.address, fx.ep.port, 3).ok());
+  ASSERT_EQ(pool.size(), 3u);
+
+  // 20 requests over 3 connections: stripes of 7/7/6, interleaved i % 3. A
+  // scatter-back bug (stripe-major instead of positional) would pair slot i
+  // with the wrong reference answer — the per-slot means differ by design.
+  const std::vector<service::Request> requests = MixedWorkload(20, /*seed=*/9);
+  std::vector<WireRequest> batch;
+  for (const service::Request& r : requests) batch.push_back(ToWire(r));
+  const auto results = pool.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto want = fx.ref.Execute(requests[i]);
+    ASSERT_EQ(results[i].ok(), want.ok()) << "slot " << i;
+    if (!want.ok()) continue;
+    EXPECT_TRUE(BitEq(results[i]->mean, want->mean)) << "slot " << i;
+    EXPECT_EQ(results[i]->exec.tuples_matched, want->exec.tuples_matched)
+        << "slot " << i;
+  }
+  pool.Close();
+}
+
+TEST(ClientPoolTest, FailingStripeYieldsTypedSlotErrorsWithoutPoisoningSiblings) {
+  PoolFixture fx;
+  ClientPool pool;
+  ASSERT_TRUE(pool.Connect(fx.ep.address, fx.ep.port, 3).ok());
+
+  // Kill connection 1 out from under the pool: its stripe (slots 1, 4, 7, …)
+  // must come back as typed per-slot errors while stripes 0 and 2 answer
+  // normally — one bad connection never poisons its siblings' results.
+  pool.client(1)->Close();
+
+  const std::vector<service::Request> requests = MixedWorkload(12, /*seed=*/13);
+  std::vector<WireRequest> batch;
+  for (const service::Request& r : requests) batch.push_back(ToWire(r));
+  const auto results = pool.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i % 3 == 1) {
+      ASSERT_FALSE(results[i].ok()) << "slot " << i;
+      EXPECT_EQ(results[i].status().code(),
+                util::StatusCode::kFailedPrecondition)
+          << "slot " << i << ": " << results[i].status();
+    } else {
+      const auto want = fx.ref.Execute(requests[i]);
+      ASSERT_EQ(results[i].ok(), want.ok()) << "slot " << i;
+      if (want.ok()) {
+        EXPECT_TRUE(BitEq(results[i]->mean, want->mean)) << "slot " << i;
+      }
+    }
+  }
+  pool.Close();
+}
+
+TEST(ClientPoolTest, EmptyBatchAndEdgeConfigs) {
+  PoolFixture fx;
+  {
+    // Zero connections is a typed config error, not a crash later.
+    ClientPool pool;
+    EXPECT_EQ(pool.Connect(fx.ep.address, fx.ep.port, 0).code(),
+              util::StatusCode::kInvalidArgument);
+    EXPECT_FALSE(pool.connected());
+  }
+  {
+    // An empty batch round-trips as an empty result set on a live pool.
+    ClientPool pool;
+    ASSERT_TRUE(pool.Connect(fx.ep.address, fx.ep.port, 2).ok());
+    EXPECT_TRUE(pool.ExecuteBatch({}).empty());
+    // Fewer requests than connections: the extra connection just idles.
+    const std::vector<service::Request> requests =
+        MixedWorkload(1, /*seed=*/21);
+    const auto results = pool.ExecuteBatch({ToWire(requests[0])});
+    ASSERT_EQ(results.size(), 1u);
+    const auto want = fx.ref.Execute(requests[0]);
+    ASSERT_EQ(results[0].ok(), want.ok());
+    if (want.ok()) {
+      EXPECT_TRUE(BitEq(results[0]->mean, want->mean));
+    }
+    pool.Close();
+  }
+  {
+    // ExecuteBatch on a never-connected pool: typed per-slot errors.
+    ClientPool pool;
+    const auto results =
+        pool.ExecuteBatch({WireRequest::Q1("r1", query::Query({0.5}, 0.1))});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status().code(),
+              util::StatusCode::kFailedPrecondition);
+  }
 }
 
 }  // namespace
