@@ -39,6 +39,13 @@ bool ParseBackendKind(const std::string& name, BackendKind* kind) {
 
 // ---------------------------------------------------- shared socket helpers --
 
+util::Status SyscallIoError(const std::string& what) {
+  return util::Status::IoError(
+      util::Format("%s: %s", what.c_str(), strerror(errno)));
+}
+
+bool SyscallInterrupted() { return errno == EINTR; }
+
 util::Result<int> SocketOpenListener(const std::string& address, uint16_t port,
                                      bool reuse_port) {
   sockaddr_in addr{};

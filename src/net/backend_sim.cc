@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qreg {
 namespace net {
@@ -16,11 +17,12 @@ namespace net {
 // listener/connection tables: iteration order is handle order, so accept
 // round-robin and readiness reporting are deterministic by construction.
 struct SimTransport::Shared {
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu;
+  util::CondVar cv;
 
-  int next_handle = 1;
-  uint16_t port = 0;  // Assigned by the first listener; 0 until then.
+  int next_handle QREG_GUARDED_BY(mu) = 1;
+  // Assigned by the first listener; 0 until then.
+  uint16_t port QREG_GUARDED_BY(mu) = 0;
 
   struct Listener {
     std::deque<int> accept_queue;  // Connection handles awaiting Accept().
@@ -38,9 +40,10 @@ struct SimTransport::Shared {
     bool server_closed = false;  // Server called Close() on its handle.
   };
 
-  std::map<int, Listener> listeners;
-  std::map<int, Conn> conns;
-  size_t accept_rr = 0;  // Round-robin cursor over listeners for Connect().
+  std::map<int, Listener> listeners QREG_GUARDED_BY(mu);
+  std::map<int, Conn> conns QREG_GUARDED_BY(mu);
+  // Round-robin cursor over listeners for Connect().
+  size_t accept_rr QREG_GUARDED_BY(mu) = 0;
 };
 
 namespace {
@@ -82,7 +85,7 @@ class SimBackend final : public EventBackend {
     // Every backend of one transport may listen on "the" port — that is the
     // SO_REUSEPORT-sharding analogue, so no shared-listener fallback fires.
     (void)address;
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     if (shared_->port == 0) {
       shared_->port = port != 0 ? port : 42000;  // Deterministic fake port.
     }
@@ -92,12 +95,12 @@ class SimBackend final : public EventBackend {
   }
 
   util::Result<uint16_t> ListenerPort(int /*listener*/) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     return shared_->port;
   }
 
   int Accept(int listener) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     auto it = shared_->listeners.find(listener);
     if (it == shared_->listeners.end() || it->second.accept_queue.empty()) {
       return -1;
@@ -108,20 +111,20 @@ class SimBackend final : public EventBackend {
   }
 
   void UpdateInterest(int handle, bool want_read, bool want_write) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     interests_[handle] = {want_read, want_write};
   }
 
   void Deregister(int handle) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     interests_.erase(handle);
   }
 
   util::Status Wait(int timeout_ms, std::vector<ReadyEvent>* events) override {
     events->clear();
-    std::unique_lock<std::mutex> lock(shared_->mu);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(timeout_ms);
+    util::MutexLock lock(&shared_->mu);
     for (;;) {
       Collect(events);
       if (!events->empty()) return util::Status::OK();
@@ -129,21 +132,26 @@ class SimBackend final : public EventBackend {
         wake_flag_ = false;
         return util::Status::OK();
       }
-      if (timeout_ms <= 0 ||
-          shared_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-derived each pass so spurious wakeups never extend the deadline.
+      const int64_t remaining_nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (timeout_ms <= 0 || remaining_nanos <= 0 ||
+          !shared_->cv.WaitFor(&shared_->mu, remaining_nanos)) {
         return util::Status::OK();
       }
     }
   }
 
   void Wake() override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     wake_flag_ = true;
-    shared_->cv.notify_all();
+    shared_->cv.NotifyAll();
   }
 
   IoResult Read(int handle, const iovec* iov, int iovcnt) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     auto it = shared_->conns.find(handle);
     if (it == shared_->conns.end()) return IoResult::Error(EBADF);
     Shared::Conn& c = it->second;
@@ -158,7 +166,7 @@ class SimBackend final : public EventBackend {
           return IoResult::WouldBlock();
         case Op::Kind::kReset:
           c.reset = true;
-          shared_->cv.notify_all();
+          shared_->cv.NotifyAll();
           return IoResult::Error(ECONNRESET);
         case Op::Kind::kDeliver:
           cap = op->max_bytes;
@@ -184,7 +192,7 @@ class SimBackend final : public EventBackend {
   }
 
   IoResult Write(int handle, const iovec* iov, int iovcnt) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     auto it = shared_->conns.find(handle);
     if (it == shared_->conns.end()) return IoResult::Error(EBADF);
     Shared::Conn& c = it->second;
@@ -199,7 +207,7 @@ class SimBackend final : public EventBackend {
           return IoResult::WouldBlock();
         case Op::Kind::kReset:
           c.reset = true;
-          shared_->cv.notify_all();
+          shared_->cv.NotifyAll();
           return IoResult::Error(ECONNRESET);
         case Op::Kind::kDeliver:
           cap = op->max_bytes;
@@ -216,20 +224,20 @@ class SimBackend final : public EventBackend {
       c.to_client.insert(c.to_client.end(), src, src + take);
       copied += take;
     }
-    shared_->cv.notify_all();  // Wake a test blocked in WaitForFromServer.
+    shared_->cv.NotifyAll();  // Wake a test blocked in WaitForFromServer.
     return IoResult::Ok(copied);
   }
 
   void Close(int handle) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     if (shared_->listeners.erase(handle) > 0) {
-      shared_->cv.notify_all();
+      shared_->cv.NotifyAll();
       return;
     }
     auto it = shared_->conns.find(handle);
     if (it != shared_->conns.end()) {
       it->second.server_closed = true;
-      shared_->cv.notify_all();  // Wake a test blocked in WaitForServerClose.
+      shared_->cv.NotifyAll();  // Wake a test blocked in WaitForServerClose.
     }
   }
 
@@ -246,7 +254,7 @@ class SimBackend final : public EventBackend {
   // the write call itself consumes the scheduled fault. Results are sorted
   // listeners-first, then by (readiness_rank, handle) — the scripted
   // readiness reorder.
-  void Collect(std::vector<ReadyEvent>* events) {
+  void Collect(std::vector<ReadyEvent>* events) QREG_REQUIRES(shared_->mu) {
     struct Ranked {
       int rank;
       ReadyEvent ev;
@@ -291,8 +299,8 @@ class SimBackend final : public EventBackend {
   }
 
   Shared* shared_;
-  std::unordered_map<int, Interest> interests_;
-  bool wake_flag_ = false;  // Guarded by shared_->mu.
+  std::unordered_map<int, Interest> interests_ QREG_GUARDED_BY(shared_->mu);
+  bool wake_flag_ QREG_GUARDED_BY(shared_->mu) = false;
 };
 
 // ------------------------------------------------------------ SimTransport --
@@ -305,7 +313,7 @@ std::unique_ptr<EventBackend> SimTransport::CreateBackend() {
 }
 
 SimConn* SimTransport::Connect(FaultSchedule schedule) {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  util::MutexLock lock(&shared_->mu);
   if (shared_->listeners.empty()) return nullptr;
   const int handle = shared_->next_handle++;
   Shared::Conn conn;
@@ -317,13 +325,13 @@ SimConn* SimTransport::Connect(FaultSchedule schedule) {
   std::advance(lit, static_cast<ptrdiff_t>(shared_->accept_rr++ %
                                            shared_->listeners.size()));
   lit->second.accept_queue.push_back(handle);
-  shared_->cv.notify_all();
+  shared_->cv.NotifyAll();
   conns_.push_back(std::unique_ptr<SimConn>(new SimConn(this, handle)));
   return conns_.back().get();
 }
 
 size_t SimTransport::num_listeners() const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  util::MutexLock lock(&shared_->mu);
   return shared_->listeners.size();
 }
 
@@ -335,28 +343,28 @@ void SimConn::SendToServer(const std::vector<uint8_t>& bytes) {
 
 void SimConn::SendToServer(const uint8_t* data, size_t n) {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::lock_guard<std::mutex> lock(shared->mu);
+  util::MutexLock lock(&shared->mu);
   auto it = shared->conns.find(handle_);
   if (it == shared->conns.end() || it->second.reset ||
       it->second.client_write_closed) {
     return;  // Writing into a dead or half-closed connection: bytes vanish.
   }
   it->second.to_server.insert(it->second.to_server.end(), data, data + n);
-  shared->cv.notify_all();
+  shared->cv.NotifyAll();
 }
 
 void SimConn::CloseWrite() {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::lock_guard<std::mutex> lock(shared->mu);
+  util::MutexLock lock(&shared->mu);
   auto it = shared->conns.find(handle_);
   if (it == shared->conns.end()) return;
   it->second.client_write_closed = true;
-  shared->cv.notify_all();
+  shared->cv.NotifyAll();
 }
 
 std::vector<uint8_t> SimConn::TakeFromServer() {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::lock_guard<std::mutex> lock(shared->mu);
+  util::MutexLock lock(&shared->mu);
   auto it = shared->conns.find(handle_);
   if (it == shared->conns.end()) return {};
   std::vector<uint8_t> out;
@@ -366,36 +374,50 @@ std::vector<uint8_t> SimConn::TakeFromServer() {
 
 size_t SimConn::from_server_bytes() const {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::lock_guard<std::mutex> lock(shared->mu);
+  util::MutexLock lock(&shared->mu);
   auto it = shared->conns.find(handle_);
   return it == shared->conns.end() ? 0 : it->second.to_client.size();
 }
 
 bool SimConn::WaitForFromServer(size_t min_bytes, int timeout_ms) {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::unique_lock<std::mutex> lock(shared->mu);
-  return shared->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                             [&] {
-                               auto it = shared->conns.find(handle_);
-                               return it != shared->conns.end() &&
-                                      it->second.to_client.size() >= min_bytes;
-                             });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(&shared->mu);
+  for (;;) {
+    auto it = shared->conns.find(handle_);
+    if (it != shared->conns.end() && it->second.to_client.size() >= min_bytes) {
+      return true;
+    }
+    const int64_t remaining_nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining_nanos <= 0) return false;
+    shared->cv.WaitFor(&shared->mu, remaining_nanos);
+  }
 }
 
 bool SimConn::WaitForServerClose(int timeout_ms) {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::unique_lock<std::mutex> lock(shared->mu);
-  return shared->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                             [&] {
-                               auto it = shared->conns.find(handle_);
-                               return it != shared->conns.end() &&
-                                      it->second.server_closed;
-                             });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(&shared->mu);
+  for (;;) {
+    auto it = shared->conns.find(handle_);
+    if (it != shared->conns.end() && it->second.server_closed) return true;
+    const int64_t remaining_nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining_nanos <= 0) return false;
+    shared->cv.WaitFor(&shared->mu, remaining_nanos);
+  }
 }
 
 bool SimConn::server_closed() const {
   SimTransport::Shared* shared = transport_->shared_.get();
-  std::lock_guard<std::mutex> lock(shared->mu);
+  util::MutexLock lock(&shared->mu);
   auto it = shared->conns.find(handle_);
   return it != shared->conns.end() && it->second.server_closed;
 }

@@ -16,6 +16,15 @@
 namespace qreg {
 namespace net {
 
+/// Formats "<what>: <strerror(errno)>" as a typed IoError. Call immediately
+/// after the failing syscall, before anything (even ::close) can clobber
+/// errno. Lives here so `errno` itself stays confined to the backend files —
+/// tools/lint_invariants.py rejects it anywhere else in src/.
+util::Status SyscallIoError(const std::string& what);
+
+/// True when the last syscall failed with EINTR (restart the call).
+bool SyscallInterrupted();
+
 /// Opens a non-blocking CLOEXEC listener; kNotImplemented when `reuse_port`
 /// is asked for but refused (the Start() fallback trigger).
 util::Result<int> SocketOpenListener(const std::string& address, uint16_t port,

@@ -7,10 +7,9 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <thread>
 
+#include "net/backend_socket.h"
 #include "util/string_util.h"
 
 namespace qreg {
@@ -46,7 +45,7 @@ util::Status Client::Connect(const std::string& host, uint16_t port) {
     const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
                             ai->ai_protocol);
     if (fd < 0) {
-      last = util::Status::IoError(util::Format("socket(): %s", strerror(errno)));
+      last = SyscallIoError("socket()");
       continue;
     }
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
@@ -56,8 +55,8 @@ util::Status Client::Connect(const std::string& host, uint16_t port) {
       ::freeaddrinfo(addrs);
       return util::Status::OK();
     }
-    last = util::Status::IoError(util::Format("connect %s:%u: %s", host.c_str(),
-                                              port, strerror(errno)));
+    // Built before ::close(), which may clobber errno.
+    last = SyscallIoError(util::Format("connect %s:%u", host.c_str(), port));
     ::close(fd);
   }
   ::freeaddrinfo(addrs);
@@ -73,8 +72,8 @@ util::Status Client::WriteAll(const uint8_t* data, size_t n) {
       sent += static_cast<size_t>(w);
       continue;
     }
-    if (w < 0 && errno == EINTR) continue;
-    return util::Status::IoError(util::Format("send(): %s", strerror(errno)));
+    if (w < 0 && SyscallInterrupted()) continue;
+    return SyscallIoError("send()");
   }
   return util::Status::OK();
 }
@@ -99,8 +98,8 @@ util::Status Client::ReadFrame(Frame* frame) {
     if (n == 0) {
       return util::Status::IoError("connection closed by server");
     }
-    if (errno == EINTR) continue;
-    return util::Status::IoError(util::Format("read(): %s", strerror(errno)));
+    if (SyscallInterrupted()) continue;
+    return SyscallIoError("read()");
   }
 }
 

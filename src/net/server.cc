@@ -4,8 +4,6 @@
 #include <netinet/in.h>
 #include <sys/uio.h>
 
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
 #include "net/backend_sim.h"
@@ -223,7 +221,7 @@ util::Result<Endpoint> Server::Start() {
 }
 
 void Server::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  util::MutexLock lock(&shutdown_mu_);
   if (state_.load() == State::kIdle) {
     state_.store(State::kStopped);
     return;
@@ -237,10 +235,10 @@ void Server::Shutdown() {
   }
 
   {
-    std::lock_guard<std::mutex> job_lock(job_mu_);
+    util::MutexLock job_lock(&job_mu_);
     executors_stop_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& t : executors_) {
     if (t.joinable()) t.join();
   }
@@ -254,7 +252,7 @@ void Server::Shutdown() {
     }
     // Handoff handles never adopted by the exiting loop: close and un-count.
     {
-      std::lock_guard<std::mutex> hlock(loop->handoff_mu);
+      util::MutexLock hlock(&loop->handoff_mu);
       for (int h : loop->handoff) {
         loop->backend->Close(h);
         open_conns_.fetch_sub(1, std::memory_order_relaxed);
@@ -264,7 +262,7 @@ void Server::Shutdown() {
     // Completions that arrived after the loop exited (executors drain every
     // queued job before stopping): their buffers still go home to the arena,
     // preserving acquired() == released() no matter how shutdown raced.
-    std::lock_guard<std::mutex> done_lock(loop->done_mu);
+    util::MutexLock done_lock(&loop->done_mu);
     for (Completion& done : loop->done) {
       loop->arena.Release(std::move(done.bytes));
     }
@@ -283,8 +281,8 @@ void Server::ExecutorLoop() {
   for (;;) {
     BatchJob job;
     {
-      std::unique_lock<std::mutex> lock(job_mu_);
-      job_cv_.wait(lock, [this] { return executors_stop_ || !jobs_.empty(); });
+      util::MutexLock lock(&job_mu_);
+      while (!executors_stop_ && jobs_.empty()) job_cv_.Wait(&job_mu_);
       if (jobs_.empty()) return;  // executors_stop_ and nothing left.
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -313,7 +311,7 @@ void Server::ExecutorLoop() {
     }
     Loop* loop = loops_[job.loop_index].get();
     {
-      std::lock_guard<std::mutex> lock(loop->done_mu);
+      util::MutexLock lock(&loop->done_mu);
       loop->done.push_back(std::move(done));
     }
     WakeLoop(loop);
@@ -407,7 +405,7 @@ void Server::EventLoop(Loop* loop) {
     {
       std::deque<Completion> finished;
       {
-        std::lock_guard<std::mutex> lock(loop->done_mu);
+        util::MutexLock lock(&loop->done_mu);
         finished.swap(loop->done);
       }
       for (Completion& done : finished) {
@@ -457,7 +455,7 @@ void Server::EventLoop(Loop* loop) {
 void Server::AdoptHandoffs(Loop* loop) {
   std::deque<int> handles;
   {
-    std::lock_guard<std::mutex> lock(loop->handoff_mu);
+    util::MutexLock lock(&loop->handoff_mu);
     if (loop->handoff.empty()) return;
     handles.swap(loop->handoff);
   }
@@ -505,7 +503,7 @@ void Server::AcceptNew(Loop* loop) {
         RegisterConnection(loop, h);
       } else {
         {
-          std::lock_guard<std::mutex> lock(target->handoff_mu);
+          util::MutexLock lock(&target->handoff_mu);
           target->handoff.push_back(h);
         }
         WakeLoop(target);
@@ -656,10 +654,10 @@ void Server::DispatchIfReady(Loop* loop, Connection* conn) {
   // the completion; after the flush it returns to this loop's arena.
   job.buf = loop->arena.Acquire();
   {
-    std::lock_guard<std::mutex> lock(job_mu_);
+    util::MutexLock lock(&job_mu_);
     jobs_.push_back(std::move(job));
   }
-  job_cv_.notify_one();
+  job_cv_.NotifyOne();
 }
 
 void Server::FlushWrites(Loop* loop, Connection* conn) {

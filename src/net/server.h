@@ -40,11 +40,9 @@
 #define QREG_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -54,7 +52,9 @@
 #include "net/wire.h"
 #include "service/query_router.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace qreg {
 namespace net {
@@ -212,13 +212,13 @@ class Server {
     WireArena arena;
 
     // Executors → loop: finished batches.
-    std::mutex done_mu;
-    std::deque<Completion> done;
+    util::Mutex done_mu;
+    std::deque<Completion> done QREG_GUARDED_BY(done_mu);
 
     // Accepting loop → loop: round-robin handle handoff (shared-listener
     // mode).
-    std::mutex handoff_mu;
-    std::deque<int> handoff;
+    util::Mutex handoff_mu;
+    std::deque<int> handoff QREG_GUARDED_BY(handoff_mu);
   };
 
   void EventLoop(Loop* loop);
@@ -253,12 +253,12 @@ class Server {
   std::vector<std::thread> executors_;
 
   // Executor work queue (all loops → shared executor pool).
-  std::mutex job_mu_;
-  std::condition_variable job_cv_;
-  std::deque<BatchJob> jobs_;
-  bool executors_stop_ = false;
+  util::Mutex job_mu_;
+  util::CondVar job_cv_;
+  std::deque<BatchJob> jobs_ QREG_GUARDED_BY(job_mu_);
+  bool executors_stop_ QREG_GUARDED_BY(job_mu_) = false;
 
-  std::mutex shutdown_mu_;  // Serializes Shutdown() callers.
+  util::Mutex shutdown_mu_;  // Serializes Shutdown() callers.
 };
 
 }  // namespace net

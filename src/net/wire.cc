@@ -251,11 +251,10 @@ void FrameDecoder::Feed(const uint8_t* data, size_t n) {
   buf_.insert(buf_.end(), data, data + n);
 }
 
-util::Status FrameDecoder::Poison(util::Status status) {
+void FrameDecoder::Poison(util::Status status) {
   error_ = std::move(status);
   buf_.clear();
   pos_ = 0;
-  return error_;
 }
 
 FrameDecoder::Event FrameDecoder::Next(Frame* frame) {

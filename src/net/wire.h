@@ -119,7 +119,7 @@ class FrameDecoder {
   size_t buffered_bytes() const { return buf_.size() - pos_; }
 
  private:
-  util::Status Poison(util::Status status);
+  void Poison(util::Status status);
 
   size_t max_payload_;
   std::vector<uint8_t> buf_;

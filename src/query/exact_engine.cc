@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "query/scan_kernels.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace qreg {
@@ -78,9 +78,9 @@ struct ChunkState {
   std::atomic<bool> aborted{false};
   util::Status abort_status;
   std::atomic<size_t> executed{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t completed = 0;
+  util::Mutex mu;
+  util::CondVar cv;
+  size_t completed QREG_GUARDED_BY(mu) = 0;
 
   void Drain() {
     size_t done_here = 0;
@@ -98,9 +98,9 @@ struct ChunkState {
       ++done_here;
     }
     if (done_here > 0) {
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(&mu);
       completed += done_here;
-      if (completed == chunks) cv.notify_all();
+      if (completed == chunks) cv.NotifyAll();
     }
   }
 };
@@ -141,8 +141,10 @@ ExactEngine::ChunkRunResult ExactEngine::RunChunks(
   // not helper completion: progress never depends on a queued helper ever
   // being scheduled (it may sit behind other queries' tasks forever).
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] { return state->completed == state->chunks; });
+  {
+    util::MutexLock lock(&state->mu);
+    while (state->completed != state->chunks) state->cv.Wait(&state->mu);
+  }
   result.executed = state->executed.load(std::memory_order_relaxed);
   if (state->aborted.load(std::memory_order_acquire)) {
     result.status = state->abort_status;

@@ -154,11 +154,19 @@ const AnswerCache::Entry* AnswerCache::FindBest(const GroupSnapshot& g,
 bool AnswerCache::Lookup(const std::string& group_key, const query::Query& q,
                          CachedAnswer* out) {
   Shard& shard = ShardFor(group_key);
-  // Bench/testing baseline only: serialize readers like the pre-epoch cache.
-  std::unique_lock<std::mutex> baseline_lock;
   if (config_.mutex_reader_baseline) {
-    baseline_lock = std::unique_lock<std::mutex>(shard.mu);
+    // Bench/testing baseline only: serialize readers like the pre-epoch
+    // cache. The branch (instead of a conditionally-engaged lock object)
+    // keeps the scoped acquire/release provable by the thread-safety
+    // analysis.
+    util::MutexLock baseline_lock(&shard.mu);
+    return LookupImpl(shard, group_key, q, out);
   }
+  return LookupImpl(shard, group_key, q, out);
+}
+
+bool AnswerCache::LookupImpl(Shard& shard, const std::string& group_key,
+                             const query::Query& q, CachedAnswer* out) {
   shard.lookups.fetch_add(1, std::memory_order_relaxed);
   // The whole read runs against this immutable snapshot; holding the
   // shared_ptr keeps every entry alive even if writers publish (or erase)
@@ -199,7 +207,7 @@ bool AnswerCache::Lookup(const std::string& group_key, const query::Query& q,
 
 void AnswerCache::Insert(const std::string& group_key, CachedAnswer answer) {
   Shard& shard = ShardFor(group_key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   const SnapshotPtr cur =
       std::atomic_load_explicit(&shard.snap, std::memory_order_acquire);
 
@@ -280,7 +288,7 @@ void AnswerCache::Insert(const std::string& group_key, CachedAnswer answer) {
 size_t AnswerCache::EraseGroupsWithPrefix(const std::string& group_prefix) {
   size_t erased = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     const SnapshotPtr cur =
         std::atomic_load_explicit(&shard->snap, std::memory_order_acquire);
     if (cur == nullptr) continue;
@@ -305,7 +313,7 @@ size_t AnswerCache::EraseGroupsWithPrefix(const std::string& group_prefix) {
 
 void AnswerCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     std::atomic_store_explicit(&shard->snap, SnapshotPtr(),
                                std::memory_order_release);
     shard->size.store(0, std::memory_order_relaxed);

@@ -42,13 +42,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/prototype.h"
 #include "query/query.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qreg {
 namespace service {
@@ -179,8 +180,12 @@ class AnswerCache {
   using SnapshotPtr = std::shared_ptr<const ShardSnapshot>;
 
   struct Shard {
-    std::mutex mu;                    // Serializes writers only.
-    SnapshotPtr snap;                 // Epoch-published; atomic load/store.
+    util::Mutex mu;  // Serializes writers only.
+    // Epoch-published via std::atomic_load/store: readers probe the current
+    // snapshot without `mu` by design (the wait-free read path above), so
+    // the pointer is deliberately *not* GUARDED_BY(mu) — writers hold `mu`
+    // only to serialize the copy-on-write against other writers.
+    SnapshotPtr snap;
     std::atomic<uint64_t> ticket{1};  // LRU clock shared with readers.
     std::atomic<int64_t> size{0};
     std::atomic<int64_t> lookups{0};
@@ -204,6 +209,11 @@ class AnswerCache {
                         double* delta_out, bool* used_grid) const;
   const Entry* LinearProbe(const GroupSnapshot& g, const query::Query& q,
                            double* delta_out) const;
+
+  /// The snapshot-probing body of Lookup(). Lock-free against `shard`; the
+  /// mutex_reader_baseline branch of Lookup() wraps it in the shard mutex.
+  bool LookupImpl(Shard& shard, const std::string& group_key,
+                  const query::Query& q, CachedAnswer* out);
 
   AnswerCacheConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Fixed size after ctor.

@@ -3,7 +3,6 @@
 #include <sys/stat.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <functional>
 #include <utility>
@@ -29,7 +28,7 @@ bool FileExists(const std::string& path) {
 // indefinitely. 1ms keeps the poll cost invisible next to a multi-second
 // training while bounding how long a tripped waiter lingers. Deadline-only
 // waiters sleep their whole remaining budget, capped at
-// kTrainWaitMaxSliceNanos so the duration arithmetic inside wait_for can
+// kTrainWaitMaxSliceNanos so the duration arithmetic inside WaitFor can
 // never overflow a steady_clock time_point.
 constexpr int64_t kTrainWaitSliceNanos = 1000000;
 constexpr int64_t kTrainWaitMaxSliceNanos = 3600LL * 1000000000;  // 1 hour.
@@ -53,10 +52,10 @@ void ModelCatalog::SetParallelism(query::ParallelOptions options) {
   // under it (lock order: parallel_mu_ -> shard.mu in both paths), so an
   // entry either gets the new options applied here or reads them at
   // registration — never a stale pool pointer in between.
-  std::lock_guard<std::mutex> parallel_lock(parallel_mu_);
+  util::MutexLock parallel_lock(&parallel_mu_);
   parallel_ = options;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     for (auto& kv : shard->entries) kv.second->engine->set_parallel(options);
   }
 }
@@ -110,10 +109,10 @@ util::Status ModelCatalog::Register(const std::string& name,
   // Configure the engine and publish the entry under one parallel_mu_ hold
   // so a concurrent SetParallelism either sees this entry in the shard map
   // or is read here — never misses it with stale options.
-  std::lock_guard<std::mutex> parallel_lock(parallel_mu_);
+  util::MutexLock parallel_lock(&parallel_mu_);
   entry->engine->set_parallel(parallel_);
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   if (shard.entries.count(name) > 0) {
     return util::Status::AlreadyExists(
         util::Format("dataset '%s' is already registered", name.c_str()));
@@ -125,7 +124,7 @@ util::Status ModelCatalog::Register(const std::string& name,
 std::shared_ptr<ModelCatalog::Entry> ModelCatalog::FindEntry(
     const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   auto it = shard.entries.find(name);
   return it == shard.entries.end() ? nullptr : it->second;
 }
@@ -140,9 +139,9 @@ CatalogSnapshot ModelCatalog::MakeSnapshot(
     snap.report = trained->report;
     snap.warm_started = trained->warm_started;
     snap.generation = trained->generation;
-    // Safe to read e.monitor here: it is written before the trained-state
+    // drift_live(): `monitor` is written before the trained-state
     // publication this snapshot observed, never re-pointed afterwards.
-    snap.drift_enabled = e.monitor != nullptr;
+    snap.drift_enabled = e.drift_live();
     if (snap.model) snap.vigilance = snap.model->config().vigilance;
   }
   return snap;
@@ -165,43 +164,44 @@ util::Result<CatalogSnapshot> ModelCatalog::GetOrTrain(
   // before a single training query runs.
   if (control != nullptr) QREG_RETURN_NOT_OK(control->Check());
 
-  std::unique_lock<std::mutex> lock(e->train_mu);
-  while (e->training) {
-    // A control that can never trip asynchronously waits on the cv alone.
-    if (control == nullptr ||
-        (control->deadline.infinite() && !control->cancel.cancellable())) {
-      e->train_cv.wait(lock);
-      continue;
+  {
+    util::MutexLock lock(&e->train_mu);
+    while (e->training) {
+      // A control that can never trip asynchronously waits on the cv alone.
+      if (control == nullptr ||
+          (control->deadline.infinite() && !control->cancel.cancellable())) {
+        e->train_cv.Wait(&e->train_mu);
+        continue;
+      }
+      // Deadline-bounded wait: a request whose control trips abandons the
+      // wait with the typed status instead of blocking behind a training it
+      // would abandon anyway; the elected trainer keeps going for the
+      // waiters that are still live. A deadline-only control sleeps its
+      // whole remaining budget in one WaitFor (the publication notify still
+      // wakes it early); a cancellable token has no notification channel,
+      // so it is re-polled once per slice.
+      int64_t slice = std::min(control->deadline.remaining_nanos(),
+                               kTrainWaitMaxSliceNanos);
+      if (control->cancel.cancellable()) {
+        slice = std::min(slice, kTrainWaitSliceNanos);
+      }
+      e->train_cv.WaitFor(&e->train_mu, std::max<int64_t>(slice, 1));
+      util::Status st = control->Check();
+      if (!st.ok()) return st;
     }
-    // Deadline-bounded wait: a request whose control trips abandons the
-    // wait with the typed status instead of blocking behind a training it
-    // would abandon anyway; the elected trainer keeps going for the
-    // waiters that are still live. A deadline-only control sleeps its
-    // whole remaining budget in one wait_for (the publication notify still
-    // wakes it early); a cancellable token has no notification channel, so
-    // it is re-polled once per slice.
-    int64_t slice = std::min(control->deadline.remaining_nanos(),
-                             kTrainWaitMaxSliceNanos);
-    if (control->cancel.cancellable()) {
-      slice = std::min(slice, kTrainWaitSliceNanos);
+    if (auto trained = std::atomic_load(&e->trained)) {  // Someone trained.
+      return MakeSnapshot(*e, std::move(trained));
     }
-    e->train_cv.wait_for(lock,
-                         std::chrono::nanoseconds(std::max<int64_t>(slice, 1)));
-    util::Status st = control->Check();
-    if (!st.ok()) return st;
+    // We are the elected trainer. Training runs outside train_mu so waiters
+    // can observe their own deadlines while it is in flight.
+    e->training = true;
   }
-  if (auto trained = std::atomic_load(&e->trained)) {  // Someone trained.
-    return MakeSnapshot(*e, std::move(trained));
-  }
-  // We are the elected trainer. Training runs outside train_mu so waiters
-  // can observe their own deadlines while it is in flight.
-  e->training = true;
-  lock.unlock();
   util::Status st = TrainEntry(e.get(), control);
-  lock.lock();
-  e->training = false;
-  lock.unlock();
-  e->train_cv.notify_all();
+  {
+    util::MutexLock lock(&e->train_mu);
+    e->training = false;
+  }
+  e->train_cv.NotifyAll();
   // An aborted training leaves the entry untrained, not poisoned: `trained`
   // was never published, so the next GetOrTrain retries from scratch.
   QREG_RETURN_NOT_OK(st);
@@ -284,6 +284,12 @@ void ModelCatalog::SetupDrift(Entry* e, const core::LlmModel& model) {
                   << "); freshness maintenance disabled for this dataset";
     return;
   }
+  // Publish under drift_mu. No probe/retrain can race this assignment today
+  // (both require a trained state, which is only published afterwards), but
+  // the guarded fields' discipline is "all writes under drift_mu" — the
+  // happens-before argument covering the lock-free drift_live() read relies
+  // on this being the one and only re-point of the pointers.
+  util::MutexLock lock(&e->drift_mu);
   e->monitor = std::move(monitor);
   e->probe_gen = std::move(probe_gen);
 }
@@ -301,12 +307,12 @@ bool ModelCatalog::ReportObservationImpl(const std::string& name,
   std::shared_ptr<Entry> e = FindEntry(name);
   if (!e || !e->opts.drift.enabled) return false;
   // Trained-state publication happens-after monitor setup, so a non-null
-  // load here guarantees `monitor` is safely readable.
-  if (std::atomic_load(&e->trained) == nullptr || e->monitor == nullptr) {
+  // load here guarantees drift_live() is a safe lock-free read.
+  if (std::atomic_load(&e->trained) == nullptr || !e->drift_live()) {
     return false;
   }
   if (residual != nullptr && std::isfinite(*residual)) {
-    std::lock_guard<std::mutex> lock(e->residual_mu);
+    util::MutexLock lock(&e->residual_mu);
     e->residual_sse += *residual * *residual;
     ++e->residual_count;
   }
@@ -321,13 +327,13 @@ bool ModelCatalog::ProbeStillWorthRunning(Entry* e) {
   // another is pointless, and the window must stay *unconsumed* — its
   // residuals are evidence for the next boundary, not this one's to burn.
   // (Lock order drift_mu → residual_mu matches MaybeRetrain's reset.)
-  std::unique_lock<std::mutex> drift_lock(e->drift_mu, std::try_to_lock);
-  if (!drift_lock.owns_lock()) return false;
+  if (!e->drift_mu.TryLock()) return false;
+  util::MutexLock drift_lock(&e->drift_mu, util::MutexLock::Adopt{});
   double sse = 0.0;
   int64_t count = 0;
   {
     // Consume the window: this boundary judges the residuals so far.
-    std::lock_guard<std::mutex> lock(e->residual_mu);
+    util::MutexLock lock(&e->residual_mu);
     sse = e->residual_sse;
     count = e->residual_count;
     e->residual_sse = 0.0;
@@ -359,17 +365,19 @@ util::Result<RetrainOutcome> ModelCatalog::MaybeRetrain(const std::string& name)
     return util::Status::FailedPrecondition(
         util::Format("dataset '%s' has no trained model", name.c_str()));
   }
-  if (!e->monitor) {
+  // drift_live(): sound lock-free read — `monitor` was assigned before the
+  // trained publication observed above and is never re-pointed.
+  if (!e->drift_live()) {
     return util::Status::FailedPrecondition(util::Format(
         "drift maintenance is not enabled for dataset '%s'", name.c_str()));
   }
-  std::unique_lock<std::mutex> lock(e->drift_mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!e->drift_mu.TryLock()) {
     // A probe/retrain for this dataset is already running; let it win.
     RetrainOutcome out;
     out.generation = trained->generation;
     return out;
   }
+  util::MutexLock lock(&e->drift_mu, util::MutexLock::Adopt{});
   trained = std::atomic_load(&e->trained);  // Re-read under the lock.
 
   // A previous post-retrain recalibration may have failed (e.g. an empty
@@ -435,7 +443,7 @@ util::Result<RetrainOutcome> ModelCatalog::MaybeRetrain(const std::string& name)
   {
     // Residuals metered against the old generation say nothing about the
     // fresh model; start the next gating window clean.
-    std::lock_guard<std::mutex> residual_lock(e->residual_mu);
+    util::MutexLock residual_lock(&e->residual_mu);
     e->residual_sse = 0.0;
     e->residual_count = 0;
   }
@@ -476,14 +484,14 @@ util::Status ModelCatalog::SaveModel(const std::string& name,
 
 bool ModelCatalog::Contains(const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   return shard.entries.count(name) > 0;
 }
 
 std::vector<std::string> ModelCatalog::Names() const {
   std::vector<std::string> names;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     for (const auto& kv : shard->entries) names.push_back(kv.first);
   }
   std::sort(names.begin(), names.end());  // Shard hash order is meaningless.
@@ -493,7 +501,7 @@ std::vector<std::string> ModelCatalog::Names() const {
 size_t ModelCatalog::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     total += shard->entries.size();
   }
   return total;

@@ -28,10 +28,8 @@
 #define QREG_SERVICE_MODEL_CATALOG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,7 +42,9 @@
 #include "storage/spatial_index.h"
 #include "storage/table.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace qreg {
 namespace service {
@@ -243,40 +243,55 @@ class ModelCatalog {
     CatalogOptions opts;
     std::unique_ptr<query::ExactEngine> engine;
 
-    // Trainer election. `training` (guarded by train_mu) is true while one
-    // GetOrTrain call runs the trainer; others wait on train_cv in
-    // deadline-bounded slices so an expired waiter abandons the wait
-    // instead of blocking on a mutex the trainer holds for seconds.
-    std::mutex train_mu;
-    std::condition_variable train_cv;
-    bool training = false;
+    // Trainer election. `training` is true while one GetOrTrain call runs
+    // the trainer; others wait on train_cv in deadline-bounded slices so an
+    // expired waiter abandons the wait instead of blocking on a mutex the
+    // trainer holds for seconds.
+    util::Mutex train_mu;
+    util::CondVar train_cv;
+    bool training QREG_GUARDED_BY(train_mu) = false;
     // Written with atomic_store / read with atomic_load: readers never
     // block on train_mu, and never see partial training state. Rewritten
     // (next generation) by MaybeRetrain under drift_mu.
     std::shared_ptr<const TrainedState> trained;
 
-    // Drift maintenance. `monitor` and `probe_gen` are created before the
-    // first `trained` publication (so any reader that observes a trained
-    // state also observes them) and mutated only under drift_mu thereafter.
-    std::mutex drift_mu;  // Serializes probe + retrain + generation swap.
-    std::unique_ptr<core::DriftMonitor> monitor;        // Null = drift off.
-    std::unique_ptr<query::WorkloadGenerator> probe_gen;
+    // Drift maintenance. `monitor` and `probe_gen` are assigned (under
+    // drift_mu) before the first `trained` publication, so any reader that
+    // observes a trained state also observes them; drift_live() below is
+    // the one sanctioned lock-free read.
+    // Serializes probe + retrain + generation swap. Lock order: drift_mu
+    // before residual_mu, never the reverse.
+    util::Mutex drift_mu QREG_ACQUIRED_BEFORE(residual_mu);
+    // Null = drift off.
+    std::unique_ptr<core::DriftMonitor> monitor QREG_GUARDED_BY(drift_mu);
+    std::unique_ptr<query::WorkloadGenerator> probe_gen
+        QREG_GUARDED_BY(drift_mu);
     std::atomic<int64_t> observations{0};
 
+    /// Lock-free "is drift maintenance live?" hint. Sound without drift_mu
+    /// because `monitor` is assigned exactly once, before the `trained`
+    /// publication the caller has already observed via atomic_load (the
+    /// release/acquire pair orders the write), and never re-pointed
+    /// afterwards — probes and retrains mutate *through* the pointer under
+    /// drift_mu, they never swing it.
+    bool drift_live() const QREG_NO_THREAD_SAFETY_ANALYSIS {
+      return monitor != nullptr;
+    }
+
     // Metered-residual window (see ReportObservation(name, residual)).
-    // Guarded by residual_mu — held only for a few arithmetic ops, and
-    // never while acquiring drift_mu. Reset at every interval boundary and
-    // on a generation swap (old-model residuals say nothing about the new).
-    std::mutex residual_mu;
-    double residual_sse = 0.0;
-    int64_t residual_count = 0;
+    // Held only for a few arithmetic ops, and never while acquiring
+    // drift_mu. Reset at every interval boundary and on a generation swap
+    // (old-model residuals say nothing about the new).
+    util::Mutex residual_mu;
+    double residual_sse QREG_GUARDED_BY(residual_mu) = 0.0;
+    int64_t residual_count QREG_GUARDED_BY(residual_mu) = 0;
   };
 
   // One lock shard: the mutex guards this shard's map only, never entry
   // training (that is the per-entry train_mu's job).
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, std::shared_ptr<Entry>> entries;
+    mutable util::Mutex mu;
+    std::map<std::string, std::shared_ptr<Entry>> entries QREG_GUARDED_BY(mu);
   };
 
   CatalogSnapshot MakeSnapshot(const Entry& e,
@@ -303,8 +318,8 @@ class ModelCatalog {
   std::vector<std::unique_ptr<Shard>> shards_;  // Fixed size after ctor.
   // Serializes Register against SetParallelism (lock order: parallel_mu_
   // before shard.mu) so no entry is ever published with stale options.
-  mutable std::mutex parallel_mu_;
-  query::ParallelOptions parallel_;
+  mutable util::Mutex parallel_mu_;
+  query::ParallelOptions parallel_ QREG_GUARDED_BY(parallel_mu_);
 };
 
 }  // namespace service

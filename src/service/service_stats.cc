@@ -15,7 +15,7 @@ ServiceStats::ServiceStats(size_t latency_window)
 }
 
 void ServiceStats::Record(const QueryOutcome& o) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ++total_;
   if (!o.ok) ++errors_;
   if (o.cache_hit) ++cache_hits_;
@@ -36,24 +36,24 @@ void ServiceStats::Record(const QueryOutcome& o) {
 }
 
 void ServiceStats::RecordRetrain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ++retrains_;
 }
 
 void ServiceStats::RecordNet(const NetActivity& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   net_ += delta;
 }
 
 void ServiceStats::RecordNet(size_t loop_index, const NetActivity& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   net_ += delta;
   if (net_loops_.size() <= loop_index) net_loops_.resize(loop_index + 1);
   net_loops_[loop_index] += delta;
 }
 
 ServiceSnapshot ServiceStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ServiceSnapshot s;
   s.total_queries = total_;
   s.errors = errors_;
@@ -91,7 +91,7 @@ ServiceSnapshot ServiceStats::Snapshot() const {
 }
 
 void ServiceStats::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   clock_.Restart();
   latencies_.clear();
   next_ = 0;

@@ -7,10 +7,11 @@
 #define QREG_SERVICE_SERVICE_STATS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace qreg {
@@ -145,24 +146,27 @@ class ServiceStats {
 
  private:
   const size_t window_;
-  mutable std::mutex mu_;
-  util::Stopwatch clock_;
-  std::vector<int64_t> latencies_;  // Ring buffer.
-  size_t next_ = 0;                 // Ring cursor.
-  int64_t total_ = 0;
-  int64_t errors_ = 0;
-  int64_t cache_hits_ = 0;
-  int64_t exact_ = 0;
-  int64_t model_ = 0;
-  int64_t shed_ = 0;
-  int64_t deadline_exceeded_ = 0;
-  int64_t cancelled_ = 0;
-  int64_t degraded_ = 0;
-  int64_t retrains_ = 0;
-  int64_t train_aborted_ = 0;
-  NetActivity net_;                // Wire-level totals (see RecordNet).
-  std::vector<NetActivity> net_loops_;  // Per-loop totals, indexed by loop.
-  int64_t latency_sum_nanos_ = 0;  // Over *all* samples, not just the window.
+  mutable util::Mutex mu_;
+  util::Stopwatch clock_ QREG_GUARDED_BY(mu_);
+  std::vector<int64_t> latencies_ QREG_GUARDED_BY(mu_);  // Ring buffer.
+  size_t next_ QREG_GUARDED_BY(mu_) = 0;                 // Ring cursor.
+  int64_t total_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t errors_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t cache_hits_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t exact_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t model_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t shed_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t deadline_exceeded_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t cancelled_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t degraded_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t retrains_ QREG_GUARDED_BY(mu_) = 0;
+  int64_t train_aborted_ QREG_GUARDED_BY(mu_) = 0;
+  // Wire-level totals (see RecordNet).
+  NetActivity net_ QREG_GUARDED_BY(mu_);
+  // Per-loop totals, indexed by loop.
+  std::vector<NetActivity> net_loops_ QREG_GUARDED_BY(mu_);
+  // Over *all* samples, not just the window.
+  int64_t latency_sum_nanos_ QREG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace service

@@ -39,7 +39,11 @@ const char* StatusCodeToString(StatusCode code);
 /// \brief Result of an operation that can fail without a value payload.
 ///
 /// Cheap to copy in the OK case (no allocation); error states carry a message.
-class Status {
+///
+/// Class-level [[nodiscard]]: a dropped Status is a swallowed failure, so
+/// every by-value return warns unless the caller checks it (or launders it
+/// through an explicit cast when discarding really is intended).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -116,7 +120,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Accessing the value of an errored Result aborts in debug builds; callers
 /// must check ok() (or use QREG_ASSIGN_OR_RETURN).
 template <typename T, typename E = Status>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (the common success path).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/mutex.h"
+
 namespace qreg {
 namespace util {
 
@@ -15,11 +17,11 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -29,12 +31,12 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stop_; });
+    MutexLock lock(&mu_);
+    while (queue_.size() >= capacity_ && !stop_) not_full_.Wait(&mu_);
     if (stop_) return;  // Shutting down: drop the task.
     queue_.push_back(std::move(task));
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
@@ -43,16 +45,16 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
     return true;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -60,13 +62,13 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !stop_) not_empty_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ && drained.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     task();
   }
 }

@@ -14,13 +14,14 @@
 #ifndef QREG_UTIL_THREAD_POOL_H_
 #define QREG_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qreg {
 namespace util {
@@ -34,20 +35,20 @@ class BlockingCounter {
   BlockingCounter(const BlockingCounter&) = delete;
   BlockingCounter& operator=(const BlockingCounter&) = delete;
 
-  void DecrementCount() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--count_ <= 0) cv_.notify_all();
+  void DecrementCount() QREG_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (--count_ <= 0) cv_.NotifyAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ <= 0; });
+  void Wait() QREG_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (count_ > 0) cv_.Wait(&mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  int64_t count_ QREG_GUARDED_BY(mu_);
 };
 
 /// \brief Fixed-size worker pool over a bounded MPMC queue.
@@ -81,13 +82,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  size_t capacity_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<std::function<void()>> queue_ QREG_GUARDED_BY(mu_);
+  size_t capacity_;  // Const after construction.
+  bool stop_ QREG_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // Const after construction.
 };
 
 }  // namespace util

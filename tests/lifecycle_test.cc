@@ -876,6 +876,71 @@ TEST(DriftRetrainTest, SteadyDataProbesQuietAndKeepsGeneration) {
   EXPECT_EQ(after->model.get(), before->model.get());  // Same frozen model.
 }
 
+// Regression for the drift-state publication fix: `monitor`/`probe_gen` are
+// assigned under drift_mu before `trained` is published. While a training is
+// held mid-flight, the maintenance surface (ReportObservation, MaybeRetrain)
+// must stay inert — typed refusals, no deadlock, no torn drift state — and
+// must light up the moment the publication lands.
+TEST(DriftRetrainTest, MaintenanceApisAreInertDuringInFlightTraining) {
+  storage::Table table{1};
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Uniform();
+    ASSERT_TRUE(
+        table.Append({x}, 1.0 + 0.5 * x + rng.Gaussian(0.0, 0.02)).ok());
+  }
+  storage::ScanIndex index(table);
+
+  ModelCatalog catalog;
+  Gate training_started;
+  Gate release_training;
+  std::atomic<bool> gates_armed{true};
+  CatalogOptions opts = CatalogOptions::ForCube(
+      /*d=*/1, /*lo=*/0.0, /*hi=*/1.0, /*theta_mean=*/0.1,
+      /*theta_stddev=*/0.03, /*a=*/0.15, /*max_pairs=*/1000, /*seed=*/13);
+  opts.drift.enabled = true;
+  opts.drift.config.probe_queries = 20;
+  opts.drift.config.absolute_threshold = 0.3;
+  opts.drift.report_interval = 1;  // Every observation is a boundary.
+  opts.trainer.on_pair_for_testing = [&](int64_t pairs_done) {
+    if (pairs_done == 0 && gates_armed.exchange(false)) {
+      training_started.Open();
+      release_training.Wait();
+    }
+  };
+  ASSERT_TRUE(catalog.Register("ds", &table, &index, opts).ok());
+
+  std::thread trainer([&] {
+    auto snap = catalog.GetOrTrain("ds");
+    EXPECT_TRUE(snap.ok()) << snap.status();
+  });
+  training_started.Wait();
+
+  // Mid-training: no model, hence no drift monitor, hence every
+  // maintenance entry point refuses without blocking on the trainer.
+  EXPECT_FALSE(catalog.ReportObservation("ds"));
+  EXPECT_FALSE(catalog.ReportObservation("ds", 0.25));
+  auto early = catalog.MaybeRetrain("ds");
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), util::StatusCode::kFailedPrecondition);
+
+  release_training.Open();
+  trainer.join();
+
+  // Publication happened; the same calls now see live drift state.
+  auto snap = catalog.Get("ds");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(snap->drift_enabled);
+  EXPECT_EQ(snap->generation, 1);
+  EXPECT_TRUE(catalog.ReportObservation("ds"));
+  auto out = catalog.MaybeRetrain("ds");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->probed);
+  EXPECT_FALSE(out->drift.drifted);  // Steady data: probe quiet, no swap.
+  EXPECT_FALSE(out->retrained);
+  EXPECT_EQ(out->generation, 1);
+}
+
 TEST(DriftRetrainTest, InjectedShiftSwapsGenerationAndInvalidatesCache) {
   DriftFixture fx;
   RouterConfig cfg;

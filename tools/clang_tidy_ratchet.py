@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""clang-tidy warning-count ratchet (DESIGN.md §13). Pure stdlib.
+
+Runs clang-tidy (config from .clang-tidy) over every src/**/*.cc translation
+unit against a compile database, dedups diagnostics by (file, line, column,
+check), and compares per-check counts to tools/clang_tidy_baseline.json:
+
+  * any check above its baseline count fails the gate (new debt);
+  * a check below its baseline prints a tighten hint — run with --update to
+    rewrite the baseline at the new, lower level;
+  * a check absent from the baseline has a ceiling of zero.
+
+Usage:
+  tools/clang_tidy_ratchet.py -p <build-dir> [--update] [--clang-tidy BIN]
+
+The build dir must contain compile_commands.json (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+"""
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "clang_tidy_baseline.json"
+
+# "/path/file.cc:12:3: warning: message [check-name]"
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+warning:\s+.*"
+    r"\[(?P<check>[^\]\s]+)\]\s*$"
+)
+
+
+def run_clang_tidy(binary, build_dir, sources):
+    seen = set()
+    counts = {}
+    for src in sources:
+        proc = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet", str(src)],
+            cwd=REPO,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        for line in proc.stdout.splitlines():
+            m = DIAG_RE.match(line.strip())
+            if not m:
+                continue
+            # Headers are re-diagnosed per includer; dedup keeps one count
+            # per physical location.
+            key = (m["file"], m["line"], m["col"], m["check"])
+            if key in seen:
+                continue
+            seen.add(key)
+            for check in m["check"].split(","):
+                counts[check] = counts.get(check, 0) + 1
+    return counts
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("-p", "--build-dir", default=str(REPO / "build"))
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline to the current (lower) counts",
+    )
+    args = ap.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"clang_tidy_ratchet: '{args.clang_tidy}' not found", file=sys.stderr)
+        return 2
+    build_dir = Path(args.build_dir)
+    if not (build_dir / "compile_commands.json").exists():
+        print(
+            f"clang_tidy_ratchet: no compile_commands.json in {build_dir} "
+            "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+            file=sys.stderr,
+        )
+        return 2
+
+    sources = sorted((REPO / "src").rglob("*.cc"))
+    counts = run_clang_tidy(args.clang_tidy, build_dir, sources)
+    baseline = (
+        json.loads(BASELINE.read_text(encoding="utf-8"))
+        if BASELINE.exists()
+        else {}
+    )
+
+    if args.update:
+        BASELINE.write_text(
+            json.dumps(dict(sorted(counts.items())), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"clang_tidy_ratchet: baseline rewritten ({sum(counts.values())} "
+              f"warning(s) across {len(counts)} check(s))")
+        return 0
+
+    regressions = []
+    improvements = []
+    for check in sorted(set(counts) | set(baseline)):
+        now = counts.get(check, 0)
+        ceiling = baseline.get(check, 0)
+        if now > ceiling:
+            regressions.append(f"  {check}: {now} > baseline {ceiling}")
+        elif now < ceiling:
+            improvements.append(f"  {check}: {now} (baseline {ceiling})")
+
+    if improvements:
+        print("clang_tidy_ratchet: below baseline — run with --update to tighten:")
+        for line in improvements:
+            print(line)
+    if regressions:
+        print("clang_tidy_ratchet: FAIL — new warnings above baseline:")
+        for line in regressions:
+            print(line)
+        return 1
+    print(f"clang_tidy_ratchet: OK ({sum(counts.values())} warning(s), "
+          f"ceiling {sum(baseline.values())})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
