@@ -6,9 +6,11 @@
 // with `backend = B, event_loops = L`, sweeps the *same* absolute
 // offered-QPS ladder against it, and records per rung: achieved QPS, p50/p99
 // latency measured from the *scheduled* send time (coordinated-omission-
-// free), shed rate (typed kResourceExhausted frames), and client-observed
+// free), shed rate (typed kResourceExhausted frames), client-observed
 // connection drops (must stay zero at every loop count — overload is
-// expressed as frames, never resets). The saturation knee is the highest
+// expressed as frames, never resets), and the connection-lifecycle close
+// counters (idle / read-timeout / backpressure) as snapshot deltas around
+// the rung. The saturation knee is the highest
 // rung whose achieved/offered ratio stays ≥ 0.9; because the ladder is
 // shared, knee(L) is directly comparable across loop counts and
 // knee(L)/knee(1) is the measured event-loop scaling.
@@ -37,9 +39,11 @@
 //
 // `--smoke` shrinks everything (tiny dataset, short rungs) and exits
 // non-zero unless every curve is non-empty with a strictly monotone
-// offered-QPS axis, zero drops anywhere, and — on multi-core hosts —
-// knee(2) ≥ knee(1) per backend *and* knee(epoll) ≥ 0.9·knee(poll): the CI
-// gates for the multi-loop front-end and the epoll backend.
+// offered-QPS axis, zero drops anywhere, zero backpressure evictions at any
+// rung at or below the knee (pre-saturation, the write caps must never fire
+// on a reader that keeps up), and — on multi-core hosts — knee(2) ≥ knee(1)
+// per backend *and* knee(epoll) ≥ 0.9·knee(poll): the CI gates for the
+// multi-loop front-end and the epoll backend.
 
 #include <algorithm>
 #include <chrono>
@@ -125,6 +129,13 @@ struct RungResult {
                        ///< random θ balls are empty subspaces (kNotFound),
                        ///< in-process and over the wire alike.
   int64_t drops = 0;   ///< Client-observed transport failures (must be 0).
+  // Connection-lifecycle closes attributed to this rung (snapshot deltas
+  // around the rung). The smoke gate requires backpressure_closed == 0 at
+  // every rung at or below the knee: pre-saturation, well-behaved readers
+  // must never be evicted by the write caps.
+  int64_t idle_closed = 0;
+  int64_t read_timeout_closed = 0;
+  int64_t backpressure_closed = 0;
 };
 
 /// One full sweep against a server running `loops` event loops on `backend`.
@@ -285,24 +296,34 @@ std::string LoopRunJson(const LoopRun& run, double inproc_p99_ms,
             "  \"net\": {\"connections_accepted\": %lld, "
             "\"connections_closed\": "
             "%lld, \"frames_decoded\": %lld, \"protocol_errors\": %lld, "
-            "\"bytes_in\": %lld, \"bytes_out\": %lld},\n",
+            "\"bytes_in\": %lld, \"bytes_out\": %lld, "
+            "\"idle_closed\": %lld, \"read_timeout_closed\": %lld, "
+            "\"backpressure_closed\": %lld},\n",
             static_cast<long long>(snap.net_connections_accepted),
             static_cast<long long>(snap.net_connections_closed),
             static_cast<long long>(snap.net_frames_decoded),
             static_cast<long long>(snap.net_protocol_errors),
             static_cast<long long>(snap.net_bytes_in),
-            static_cast<long long>(snap.net_bytes_out));
+            static_cast<long long>(snap.net_bytes_out),
+            static_cast<long long>(snap.net_idle_closed),
+            static_cast<long long>(snap.net_read_timeout_closed),
+            static_cast<long long>(snap.net_backpressure_closed));
   // Per-loop accept/frame attribution: a healthy multi-loop run spreads the
   // work; one hot row means the accept sharding is skewed on this host.
   os << indent << "  \"net_loops\": [";
   for (size_t i = 0; i < snap.net_loops.size(); ++i) {
     const service::NetActivity& l = snap.net_loops[i];
     os << util::Format(
-        "%s{\"conns\": %lld, \"frames\": %lld, \"bytes_out\": %lld}",
+        "%s{\"conns\": %lld, \"frames\": %lld, \"bytes_out\": %lld, "
+        "\"idle_closed\": %lld, \"read_timeout_closed\": %lld, "
+        "\"backpressure_closed\": %lld}",
         i == 0 ? "" : ", ",
         static_cast<long long>(l.connections_accepted),
         static_cast<long long>(l.frames_decoded),
-        static_cast<long long>(l.bytes_out));
+        static_cast<long long>(l.bytes_out),
+        static_cast<long long>(l.idle_closed),
+        static_cast<long long>(l.read_timeout_closed),
+        static_cast<long long>(l.backpressure_closed));
   }
   os << "],\n";
   os << indent << "  \"curve\": [\n";
@@ -317,13 +338,17 @@ std::string LoopRunJson(const LoopRun& run, double inproc_p99_ms,
               "%.4f, \"sent\": %lld, "
               "\"answered\": %lld, \"shed\": %lld, \"errors\": %lld, "
               "\"drops\": "
-              "%lld}%s\n",
+              "%lld, \"idle_closed\": %lld, \"read_timeout_closed\": %lld, "
+              "\"backpressure_closed\": %lld}%s\n",
               r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms,
               r.service_p99_ms, r.shed_rate, static_cast<long long>(r.sent),
               static_cast<long long>(r.answered),
               static_cast<long long>(r.shed),
               static_cast<long long>(r.errors),
               static_cast<long long>(r.drops),
+              static_cast<long long>(r.idle_closed),
+              static_cast<long long>(r.read_timeout_closed),
+              static_cast<long long>(r.backpressure_closed),
               i + 1 < run.curve.size() ? "," : "");
   }
   os << indent << "  ]\n";
@@ -544,9 +569,19 @@ int Run(bool smoke) {
         run.shared_listener ? ", shared listener" : "");
     util::TablePrinter table({"offered_qps", "achieved_qps", "p50_ms",
                               "p99_ms", "service_p99_ms", "shed_rate",
-                              "drops"});
+                              "drops", "bp_closed"});
     for (double rate : rates) {
+      const service::ServiceSnapshot before = router.Stats();
       RungResult r = RunRung(ep->port, pool, rate, seconds, run.conns);
+      // Lifecycle closes this rung caused, by counter delta: the server
+      // pushes every close into the stats the moment it happens, so the
+      // difference around the rung is exact attribution.
+      const service::ServiceSnapshot after = router.Stats();
+      r.idle_closed = after.net_idle_closed - before.net_idle_closed;
+      r.read_timeout_closed =
+          after.net_read_timeout_closed - before.net_read_timeout_closed;
+      r.backpressure_closed =
+          after.net_backpressure_closed - before.net_backpressure_closed;
       run.curve.push_back(r);
       table.AddRow({util::Format("%.0f", r.offered_qps),
                     util::Format("%.0f", r.achieved_qps),
@@ -554,7 +589,9 @@ int Run(bool smoke) {
                     util::Format("%.3f", r.p99_ms),
                     util::Format("%.4f", r.service_p99_ms),
                     util::Format("%.4f", r.shed_rate),
-                    util::Format("%lld", static_cast<long long>(r.drops))});
+                    util::Format("%lld", static_cast<long long>(r.drops)),
+                    util::Format("%lld",
+                                 static_cast<long long>(r.backpressure_closed))});
     }
     run.snap = router.Stats();
     server.Shutdown();
@@ -663,6 +700,21 @@ int Run(bool smoke) {
     if (total_drops != 0) {
       std::cerr << "SMOKE FAIL: client observed connection drops\n";
       ok = false;
+    }
+    // Below the knee the server is not saturated and every bench client
+    // reads promptly, so a backpressure eviction there means the write caps
+    // fired on a healthy peer — a lifecycle regression, not overload.
+    for (const LoopRun& run : runs) {
+      for (const RungResult& r : run.curve) {
+        if (r.offered_qps <= run.knee_qps && r.backpressure_closed != 0) {
+          std::cerr << util::Format(
+              "SMOKE FAIL: %lld backpressure close(s) at pre-knee rung "
+              "%.0f qps (%s, loops=%zu)\n",
+              static_cast<long long>(r.backpressure_closed), r.offered_qps,
+              net::BackendKindName(run.backend), run.loops);
+          ok = false;
+        }
+      }
     }
     if (!ok) {
       std::cerr << "SMOKE FAIL: curve empty or offered-QPS axis not "

@@ -133,6 +133,21 @@ IoResult SocketWrite(int fd, const iovec* iov, int iovcnt) {
   }
 }
 
+util::Result<bool> SocketWaitReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return true;
+    if (n == 0) return false;
+    // EINTR restarts with the full window again — acceptable slop for a
+    // progress timeout.
+    if (SyscallInterrupted()) continue;
+    return SyscallIoError("poll()");
+  }
+}
+
 util::Status WakePipe::Open() {
   if (::pipe2(fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
     return util::Status::IoError(util::Format("pipe2(): %s", strerror(errno)));

@@ -44,6 +44,9 @@ struct SimTransport::Shared {
   std::map<int, Conn> conns QREG_GUARDED_BY(mu);
   // Round-robin cursor over listeners for Connect().
   size_t accept_rr QREG_GUARDED_BY(mu) = 0;
+  // Bumped by SimTransport::Poke(); every backend whose last-seen value
+  // differs returns from Wait() immediately (virtual-time wakeup).
+  uint64_t poke_seq QREG_GUARDED_BY(mu) = 0;
 };
 
 namespace {
@@ -132,6 +135,10 @@ class SimBackend final : public EventBackend {
         wake_flag_ = false;
         return util::Status::OK();
       }
+      if (seen_poke_ != shared_->poke_seq) {
+        seen_poke_ = shared_->poke_seq;
+        return util::Status::OK();  // Empty events: the loop re-reads time.
+      }
       // Re-derived each pass so spurious wakeups never extend the deadline.
       const int64_t remaining_nanos =
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -213,6 +220,10 @@ class SimBackend final : public EventBackend {
           cap = op->max_bytes;
           break;
       }
+    } else if (c.sched.stall_writes) {
+      // The scripted reader stopped reading: park every write until the
+      // test calls ResumeWrites().
+      return IoResult::WouldBlock();
     }
 
     const size_t n = std::min(cap, IovTotal(iov, iovcnt));
@@ -285,7 +296,16 @@ class SimBackend final : public EventBackend {
         ev.readable = !c.to_server.empty() || c.client_write_closed ||
                       c.reset || fault_pending;
       }
-      if (want.write) ev.writable = true;
+      if (want.write) {
+        // A stalled peer mirrors a full kernel socket buffer: the
+        // connection is *not* writable until ResumeWrites(), exactly as
+        // epoll would withhold EPOLLOUT — otherwise a parked writer would
+        // busy-spin the loop.
+        const bool stalled = c.sched.stall_writes &&
+                             c.next_write_op >= c.sched.writes.size() &&
+                             !c.reset;
+        ev.writable = !stalled;
+      }
       if (ev.readable || ev.writable) {
         ranked.push_back({c.sched.readiness_rank, ev});
       }
@@ -301,6 +321,7 @@ class SimBackend final : public EventBackend {
   Shared* shared_;
   std::unordered_map<int, Interest> interests_ QREG_GUARDED_BY(shared_->mu);
   bool wake_flag_ QREG_GUARDED_BY(shared_->mu) = false;
+  uint64_t seen_poke_ QREG_GUARDED_BY(shared_->mu) = 0;
 };
 
 // ------------------------------------------------------------ SimTransport --
@@ -335,6 +356,12 @@ size_t SimTransport::num_listeners() const {
   return shared_->listeners.size();
 }
 
+void SimTransport::Poke() {
+  util::MutexLock lock(&shared_->mu);
+  ++shared_->poke_seq;
+  shared_->cv.NotifyAll();
+}
+
 // ---------------------------------------------------------------- SimConn --
 
 void SimConn::SendToServer(const std::vector<uint8_t>& bytes) {
@@ -359,6 +386,24 @@ void SimConn::CloseWrite() {
   auto it = shared->conns.find(handle_);
   if (it == shared->conns.end()) return;
   it->second.client_write_closed = true;
+  shared->cv.NotifyAll();
+}
+
+void SimConn::Reset() {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  util::MutexLock lock(&shared->mu);
+  auto it = shared->conns.find(handle_);
+  if (it == shared->conns.end()) return;
+  it->second.reset = true;
+  shared->cv.NotifyAll();
+}
+
+void SimConn::ResumeWrites() {
+  SimTransport::Shared* shared = transport_->shared_.get();
+  util::MutexLock lock(&shared->mu);
+  auto it = shared->conns.find(handle_);
+  if (it == shared->conns.end()) return;
+  it->second.sched.stall_writes = false;
   shared->cv.NotifyAll();
 }
 

@@ -66,6 +66,12 @@ struct FaultSchedule {
   size_t default_read_cap = 0;
   size_t default_write_cap = 0;
 
+  /// After the write op list is exhausted, every server Write returns
+  /// EAGAIN — the scripted "reader that stopped reading", held until
+  /// SimConn::ResumeWrites(). (Unlike default_write_cap, which can slow
+  /// writes but never park them forever.)
+  bool stall_writes = false;
+
   /// Wait() reports simultaneously-ready connections sorted by
   /// (readiness_rank, handle): smaller rank = reported (and thus served)
   /// first.
@@ -85,6 +91,14 @@ class SimConn {
 
   /// Half-close: after already-queued bytes drain, the server reads EOF.
   void CloseWrite();
+
+  /// Hard reset: every further server I/O on this connection fails
+  /// ECONNRESET (the client-initiated RST a reset storm is made of).
+  void Reset();
+
+  /// Clears FaultSchedule::stall_writes, letting parked server writes flow
+  /// again — how a test observes a best-effort goodbye frame.
+  void ResumeWrites();
 
   /// Drains everything the server has flushed to this connection so far.
   std::vector<uint8_t> TakeFromServer();
@@ -137,6 +151,12 @@ class SimTransport {
 
   /// Number of listeners currently open (diagnostics).
   size_t num_listeners() const;
+
+  /// Forces every loop's next (or current) Wait() to return, even with no
+  /// I/O ready. The virtual-time idiom: advance the FakeClock, then Poke()
+  /// so each loop re-reads the clock and fires its due lifecycle timers —
+  /// deterministically, with no real sleeps.
+  void Poke();
 
  private:
   friend class SimConn;

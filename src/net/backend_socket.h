@@ -38,6 +38,12 @@ int SocketAccept(int listener);
 IoResult SocketRead(int fd, const iovec* iov, int iovcnt);
 IoResult SocketWrite(int fd, const iovec* iov, int iovcnt);
 
+/// Blocks until `fd` is readable (true), the timeout expires (false), or the
+/// wait itself fails (typed IoError). `timeout_ms < 0` waits forever. Lives
+/// here because poll(2) is confined to the backend files by the invariant
+/// linter — this is the client's receive-timeout primitive.
+util::Result<bool> SocketWaitReadable(int fd, int timeout_ms);
+
 /// \brief Self-pipe wakeup: Wake() from any thread makes the read end
 /// readable, interrupting a demultiplexer wait that watches it.
 class WakePipe {

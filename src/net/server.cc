@@ -7,8 +7,8 @@
 #include <utility>
 
 #include "net/backend_sim.h"
+#include "util/clock.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace qreg {
 namespace net {
@@ -56,6 +56,26 @@ util::Status ServerConfig::Validate() const {
                      "(got %lld)",
                      static_cast<long long>(drain_timeout_millis)));
   }
+  if (idle_timeout_millis < 0) {
+    return util::Status::InvalidArgument(
+        util::Format("ServerConfig: idle_timeout_millis must be >= 0 "
+                     "(0 disables; got %lld)",
+                     static_cast<long long>(idle_timeout_millis)));
+  }
+  if (read_progress_timeout_millis < 0) {
+    return util::Status::InvalidArgument(util::Format(
+        "ServerConfig: read_progress_timeout_millis must be >= 0 "
+        "(0 disables; got %lld)",
+        static_cast<long long>(read_progress_timeout_millis)));
+  }
+  if (max_loop_pending_write_bytes > 0 &&
+      max_conn_pending_write_bytes > max_loop_pending_write_bytes) {
+    return util::Status::InvalidArgument(util::Format(
+        "ServerConfig: max_conn_pending_write_bytes (%zu) must not exceed "
+        "max_loop_pending_write_bytes (%zu) when both caps are set — one "
+        "connection could otherwise never hit its own cap",
+        max_conn_pending_write_bytes, max_loop_pending_write_bytes));
+  }
   if (arena.max_pooled_buffers == 0 || arena.max_retained_bytes == 0) {
     return util::Status::InvalidArgument(
         "ServerConfig: arena pooling caps must be >= 1 (a zero-buffer "
@@ -89,6 +109,16 @@ struct Server::Connection {
   // Interest last pushed to the backend (so the loop upserts only changes).
   bool want_read = false;
   bool want_write = false;
+
+  // --- lifecycle state (all on the config clock) ---
+  int64_t last_activity_nanos = 0;  // Last byte in/out or batch completion.
+  int64_t frame_start_nanos = 0;    // When the buffered partial frame began.
+  bool mid_frame = false;           // Decoder holds an incomplete frame.
+  bool evicted = false;             // Backpressure eviction in progress.
+  int64_t evicted_nanos = 0;
+  uint64_t timer_gen = 0;       // Bumped on every arm (lazy invalidation).
+  int64_t armed_deadline = -1;  // Live wheel-entry key; -1 = not armed.
+  size_t pending_out = 0;       // Cached pending write bytes (accounting).
 
   Connection(uint64_t id_in, int handle_in, size_t max_payload)
       : id(id_in), handle(handle_in), decoder(max_payload) {}
@@ -336,7 +366,7 @@ void Server::EventLoop(Loop* loop) {
     // drains independently — there is no cross-loop barrier to stall on.
     if (!draining && shutdown_requested_.load()) {
       draining = true;
-      drain_start_nanos = util::NowNanos();
+      drain_start_nanos = Now();
       if (loop->listen_h >= 0) {
         loop->backend->Deregister(loop->listen_h);
         loop->backend->Close(loop->listen_h);
@@ -370,8 +400,7 @@ void Server::EventLoop(Loop* loop) {
 
     if (draining) {
       const bool timed_out =
-          util::NowNanos() - drain_start_nanos >
-          config_.drain_timeout_millis * 1000000;
+          Now() - drain_start_nanos > config_.drain_timeout_millis * 1000000;
       if (loop->conns.empty()) break;
       if (timed_out) {
         std::vector<uint64_t> ids;
@@ -381,6 +410,12 @@ void Server::EventLoop(Loop* loop) {
         break;
       }
     }
+
+    // Lifecycle timers: close every connection whose deadline (idle,
+    // read-progress, or eviction grace) has passed on the config clock.
+    // Skipped while draining — drain has its own timeout and force-close.
+    const int64_t now_nanos = Now();
+    if (!draining) ProcessTimers(loop, now_nanos);
 
     // Interest maintenance: push only *changes* to the backend (for epoll
     // that keeps the epoll_ctl traffic proportional to state transitions,
@@ -396,7 +431,16 @@ void Server::EventLoop(Loop* loop) {
       }
     }
 
-    const int timeout_ms = draining ? 20 : 500;
+    // Sleep exactly until the next timer expiry (no polling tick); 500ms is
+    // only the fallback when no deadline is armed. Stale wheel entries can
+    // only wake us *early* — ProcessTimers drops them and rearms.
+    int timeout_ms = draining ? 20 : 500;
+    if (!draining && !loop->timers.empty()) {
+      const int64_t remaining = loop->timers.begin()->first - now_nanos;
+      int64_t ms = remaining <= 0 ? 0 : (remaining + 999999) / 1000000;
+      if (ms > 3600000) ms = 3600000;  // Bound the int conversion.
+      timeout_ms = static_cast<int>(ms);
+    }
     if (!loop->backend->Wait(timeout_ms, &events).ok()) break;
 
     // Completed batches → connection output queues (the arena buffer each
@@ -408,6 +452,7 @@ void Server::EventLoop(Loop* loop) {
         util::MutexLock lock(&loop->done_mu);
         finished.swap(loop->done);
       }
+      const int64_t done_nanos = Now();
       for (Completion& done : finished) {
         auto it = loop->conns.find(done.conn_id);
         if (it == loop->conns.end()) {
@@ -418,13 +463,21 @@ void Server::EventLoop(Loop* loop) {
         }
         Connection* c = it->second.get();
         c->in_flight -= std::min(c->in_flight, done.num_requests);
-        if (!done.bytes.empty()) {
+        if (!done.bytes.empty() && !c->evicted) {
           c->outq.push_back(std::move(done.bytes));
         } else {
+          // Empty batch, or an evicted peer that will never read it.
           loop->arena.Release(std::move(done.bytes));
         }
+        c->last_activity_nanos = done_nanos;
         DispatchIfReady(loop, c);
-        FlushWrites(loop, c);  // May close c; last touch this round.
+        FlushWrites(loop, c);  // May close c.
+        it = loop->conns.find(done.conn_id);
+        if (it != loop->conns.end()) MaybeEvict(loop, it->second.get());
+        it = loop->conns.find(done.conn_id);
+        if (it != loop->conns.end()) {
+          RescheduleTimer(loop, it->second.get(), done_nanos);
+        }
       }
     }
 
@@ -475,9 +528,13 @@ void Server::AdoptHandoffs(Loop* loop) {
 
 void Server::RegisterConnection(Loop* loop, int handle) {
   const uint64_t id = loop->next_conn_id++;
-  loop->conns.emplace(
-      id, std::make_unique<Connection>(id, handle, config_.max_payload_bytes));
+  auto conn =
+      std::make_unique<Connection>(id, handle, config_.max_payload_bytes);
+  conn->last_activity_nanos = Now();
+  Connection* raw = conn.get();
+  loop->conns.emplace(id, std::move(conn));
   loop->by_handle[handle] = id;
+  RescheduleTimer(loop, raw, raw->last_activity_nanos);  // Arm the idle timer.
 }
 
 void Server::AcceptNew(Loop* loop) {
@@ -525,6 +582,8 @@ static std::vector<uint8_t>* StagedOut(WireArena* arena,
 }
 
 void Server::HandleReadable(Loop* loop, Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  const int64_t now = Now();
   service::NetActivity activity;
   // Two scatter segments per backend Read (readv on the real backends): a
   // burst larger than one buffer still lands in a single call.
@@ -535,6 +594,7 @@ void Server::HandleReadable(Loop* loop, Connection* conn) {
     const IoResult r = loop->backend->Read(conn->handle, iov, 2);
     if (r.kind == IoResult::Kind::kOk) {
       activity.bytes_in += r.bytes;
+      conn->last_activity_nanos = now;
       conn->decoder.Feed(buf_a, std::min(r.bytes, sizeof(buf_a)));
       if (r.bytes > sizeof(buf_a)) {
         conn->decoder.Feed(buf_b, r.bytes - sizeof(buf_a));
@@ -555,10 +615,12 @@ void Server::HandleReadable(Loop* loop, Connection* conn) {
   }
 
   Frame frame;
+  size_t frames_this_call = 0;
   for (;;) {
     const FrameDecoder::Event event = conn->decoder.Next(&frame);
     if (event == FrameDecoder::Event::kFrame) {
       ++activity.frames_decoded;
+      ++frames_this_call;
       HandleFrame(loop, conn, std::move(frame));
       continue;
     }
@@ -574,9 +636,24 @@ void Server::HandleReadable(Loop* loop, Connection* conn) {
     break;  // kNeedMore or kError.
   }
 
+  // Read-progress tracking: the window anchors at the *start* of the
+  // buffered partial frame. A frame decoded this call means any leftover
+  // partial belongs to a new frame, so the anchor resets; a byte-drip that
+  // completes nothing does not move it.
+  const bool was_mid = conn->mid_frame;
+  conn->mid_frame = !conn->read_closed && !conn->decoder.poisoned() &&
+                    conn->decoder.buffered_bytes() > 0;
+  if (conn->mid_frame && (!was_mid || frames_this_call > 0)) {
+    conn->frame_start_nanos = now;
+  }
+
   if (!activity.empty()) stats_->RecordNet(loop->index, activity);
   DispatchIfReady(loop, conn);
-  FlushWrites(loop, conn);
+  FlushWrites(loop, conn);  // May close conn.
+  auto it = loop->conns.find(conn_id);
+  if (it != loop->conns.end()) MaybeEvict(loop, it->second.get());
+  it = loop->conns.find(conn_id);
+  if (it != loop->conns.end()) RescheduleTimer(loop, it->second.get(), now);
 }
 
 void Server::HandleFrame(Loop* loop, Connection* conn, Frame frame) {
@@ -643,7 +720,7 @@ void Server::HandleFrame(Loop* loop, Connection* conn, Frame frame) {
 }
 
 void Server::DispatchIfReady(Loop* loop, Connection* conn) {
-  if (conn->in_flight > 0 || conn->pending.empty()) return;
+  if (conn->evicted || conn->in_flight > 0 || conn->pending.empty()) return;
   BatchJob job;
   job.loop_index = loop->index;
   job.conn_id = conn->id;
@@ -709,7 +786,11 @@ void Server::FlushWrites(Loop* loop, Connection* conn) {
     CloseConnection(loop, conn->id);
     return;
   }
-  if (!activity.empty()) stats_->RecordNet(loop->index, activity);
+  if (!activity.empty()) {
+    stats_->RecordNet(loop->index, activity);
+    conn->last_activity_nanos = Now();
+  }
+  UpdatePendingAccounting(loop, conn);
 }
 
 void Server::CloseConnection(Loop* loop, uint64_t id) {
@@ -727,11 +808,167 @@ void Server::CloseConnection(Loop* loop, uint64_t id) {
   if (!c->loop_out.empty()) {
     loop->arena.Release(std::move(c->loop_out));
   }
+  loop->pending_out_total -= c->pending_out;
   loop->conns.erase(it);
   open_conns_.fetch_sub(1, std::memory_order_relaxed);
   service::NetActivity activity;
   ++activity.connections_closed;
   stats_->RecordNet(loop->index, activity);
+}
+
+// --------------------------------------------- lifecycle timers & eviction --
+
+int64_t Server::Now() const {
+  return (config_.clock != nullptr ? *config_.clock
+                                   : util::SystemClock::Default())
+      .NowNanos();
+}
+
+int64_t Server::NextDeadline(const Connection& c, int64_t now) const {
+  if (c.evicted) {
+    // Goodbye grace: a reader slow enough to be evicted may never take the
+    // going-away frame; bound how long we hold the slot open for it.
+    const int64_t grace_millis = config_.read_progress_timeout_millis > 0
+                                     ? config_.read_progress_timeout_millis
+                                     : config_.idle_timeout_millis;
+    return grace_millis > 0 ? c.evicted_nanos + grace_millis * 1000000 : -1;
+  }
+  if (c.read_closed || c.close_after_flush) {
+    // Finishing: the reap loop closes it once flushed. The idle window still
+    // bounds a peer that never drains its last responses.
+    return config_.idle_timeout_millis > 0
+               ? c.last_activity_nanos + config_.idle_timeout_millis * 1000000
+               : -1;
+  }
+  if (c.mid_frame && config_.read_progress_timeout_millis > 0) {
+    return c.frame_start_nanos + config_.read_progress_timeout_millis * 1000000;
+  }
+  if (config_.idle_timeout_millis > 0) {
+    const int64_t idle = config_.idle_timeout_millis * 1000000;
+    // Busy connections are not idle; re-examine one window from now.
+    if (c.outstanding() > 0 || !c.flushed()) return now + idle;
+    return c.last_activity_nanos + idle;
+  }
+  return -1;
+}
+
+void Server::ArmTimer(Loop* loop, Connection* conn, int64_t deadline) {
+  conn->armed_deadline = deadline;
+  loop->timers.emplace(deadline, TimerEntry{conn->id, ++conn->timer_gen});
+}
+
+void Server::RescheduleTimer(Loop* loop, Connection* conn, int64_t now) {
+  const int64_t desired = NextDeadline(*conn, now);
+  if (desired < 0) return;  // A stale armed entry no-ops at pop time.
+  if (conn->armed_deadline < 0 || desired < conn->armed_deadline) {
+    ArmTimer(loop, conn, desired);
+  }
+}
+
+void Server::ProcessTimers(Loop* loop, int64_t now) {
+  service::NetActivity activity;
+  while (!loop->timers.empty() && loop->timers.begin()->first <= now) {
+    const TimerEntry entry = loop->timers.begin()->second;
+    loop->timers.erase(loop->timers.begin());
+    auto it = loop->conns.find(entry.conn_id);
+    if (it == loop->conns.end()) continue;    // Connection already gone.
+    Connection* c = it->second.get();
+    if (entry.gen != c->timer_gen) continue;  // Rearmed since; stale.
+    c->armed_deadline = -1;
+    const int64_t desired = NextDeadline(*c, now);
+    if (desired < 0) continue;
+    if (desired > now) {
+      // The connection made progress since arming; push the deadline out.
+      ArmTimer(loop, c, desired);
+      continue;
+    }
+    // A real expiry: count the specific limit that fired, then close.
+    if (c->evicted) {
+      // Already counted backpressure_closed at eviction; the grace ran out.
+    } else if (c->mid_frame && config_.read_progress_timeout_millis > 0) {
+      ++activity.read_timeout_closed;
+    } else {
+      ++activity.idle_closed;
+    }
+    CloseConnection(loop, c->id);
+  }
+  if (!activity.empty()) stats_->RecordNet(loop->index, activity);
+}
+
+size_t Server::PendingBytes(const Connection& c) {
+  size_t total = c.loop_out.size();
+  for (const std::vector<uint8_t>& chunk : c.outq) total += chunk.size();
+  return total - c.out_pos;
+}
+
+void Server::UpdatePendingAccounting(Loop* loop, Connection* conn) {
+  const size_t fresh = PendingBytes(*conn);
+  loop->pending_out_total += fresh;
+  loop->pending_out_total -= conn->pending_out;
+  conn->pending_out = fresh;
+}
+
+void Server::MaybeEvict(Loop* loop, Connection* conn) {
+  const size_t conn_cap = config_.max_conn_pending_write_bytes;
+  if (conn_cap > 0 && !conn->evicted && conn->pending_out > conn_cap) {
+    Evict(loop, conn);  // May close conn; do not touch it again below.
+  }
+  const size_t loop_cap = config_.max_loop_pending_write_bytes;
+  if (loop_cap == 0) return;
+  // Aggregate cap: shed the heaviest writers until the loop fits again.
+  // Already-evicted connections hold only their goodbye frame and are never
+  // picked twice.
+  while (loop->pending_out_total > loop_cap) {
+    Connection* worst = nullptr;
+    for (auto& entry : loop->conns) {
+      Connection* c = entry.second.get();
+      if (c->evicted) continue;
+      if (worst == nullptr || c->pending_out > worst->pending_out) worst = c;
+    }
+    if (worst == nullptr || worst->pending_out == 0) break;
+    Evict(loop, worst);
+  }
+}
+
+void Server::Evict(Loop* loop, Connection* conn) {
+  service::NetActivity activity;
+  ++activity.backpressure_closed;
+  stats_->RecordNet(loop->index, activity);
+
+  // The queued responses are undeliverable — this peer is not reading. They
+  // go home to the arena *now*, so eviction caps memory immediately instead
+  // of when the socket finally dies.
+  for (std::vector<uint8_t>& chunk : conn->outq) {
+    loop->arena.Release(std::move(chunk));
+  }
+  conn->outq.clear();
+  conn->out_pos = 0;
+  if (!conn->loop_out.empty()) {
+    loop->arena.Release(std::move(conn->loop_out));
+    conn->loop_out.clear();
+  }
+  conn->pending.clear();  // Undispatched requests die with the connection.
+
+  // One typed goodbye so a recovering peer learns *why* (and that a retry
+  // elsewhere is safe), then close as soon as it flushes — or when the
+  // grace timer fires, for a reader that never resumes.
+  AppendStatusFrame(
+      StagedOut(&loop->arena, &conn->loop_out), 0,
+      util::Status::Unavailable(
+          "write backpressure: pending responses exceeded the server cap"));
+  conn->evicted = true;
+  conn->evicted_nanos = Now();
+  conn->read_closed = true;
+  conn->close_after_flush = true;
+  UpdatePendingAccounting(loop, conn);
+
+  const uint64_t id = conn->id;
+  const int64_t evicted_nanos = conn->evicted_nanos;
+  FlushWrites(loop, conn);  // Best effort; may close the connection.
+  auto it = loop->conns.find(id);
+  if (it != loop->conns.end()) {
+    RescheduleTimer(loop, it->second.get(), evicted_nanos);
+  }
 }
 
 }  // namespace net

@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -108,8 +109,36 @@ struct ServerConfig {
   size_t max_connections = 1024;
 
   /// Shutdown(): how long each loop waits for in-flight batches and
-  /// unflushed responses before force-closing its connections.
+  /// unflushed responses before force-closing its connections. Measured on
+  /// `clock`, like every other lifecycle timeout.
   int64_t drain_timeout_millis = 5000;
+
+  /// Idle timeout: a connection with no partial frame buffered, no
+  /// outstanding requests, and nothing left to flush is closed
+  /// (NetActivity::idle_closed) after this long without traffic, so an
+  /// abandoned peer cannot pin a connection-table slot forever. 0 disables.
+  int64_t idle_timeout_millis = 60000;
+
+  /// Read-progress timeout: once the first byte of a frame arrives, the
+  /// whole frame (header and payload) must complete within this window or
+  /// the connection is closed (NetActivity::read_timeout_closed). The window
+  /// anchors at frame *start*, not at the last byte, so a slow-loris peer
+  /// dripping one byte per interval cannot extend it. 0 disables.
+  int64_t read_progress_timeout_millis = 10000;
+
+  /// Per-connection cap on pending (queued, unflushed) response bytes. A
+  /// peer that stops reading past this point is evicted: its queued
+  /// responses are released back to the arena, one typed kUnavailable
+  /// "going away" frame is staged best-effort, and the connection closes
+  /// (NetActivity::backpressure_closed). 0 disables.
+  size_t max_conn_pending_write_bytes = 64u << 20;
+
+  /// Aggregate pending-write cap across all connections of one loop.
+  /// Exceeding it evicts the connection(s) with the most pending bytes until
+  /// the loop is back under the cap — one stalled reader cannot starve its
+  /// loop's arena. Must be >= the per-connection cap when both are set
+  /// (Validate). 0 disables.
+  size_t max_loop_pending_write_bytes = 0;
 
   /// Event demultiplexer per loop: kPoll (portable baseline), kEpoll
   /// (level-triggered, O(ready) dispatch), or kSim (the deterministic
@@ -125,8 +154,10 @@ struct ServerConfig {
   /// Per-loop WireArena pooling caps (response-buffer reuse).
   WireArena::Options arena;
 
-  /// Clock that decode-time deadline mapping uses (null = system clock).
-  /// Borrowed; must outlive the server. Tests inject a FakeClock.
+  /// Clock that decode-time deadline mapping *and* every connection
+  /// lifecycle timeout (idle, read-progress, drain) read (null = system
+  /// clock). Borrowed; must outlive the server. Tests inject a FakeClock and
+  /// drive expiries with SimTransport::Poke() — no real sleeps.
   const util::Clock* clock = nullptr;
 
   /// Test hook: pretend the platform lacks SO_REUSEPORT, forcing the
@@ -136,9 +167,11 @@ struct ServerConfig {
 
   /// Typed kInvalidArgument for a config no socket syscall should ever see:
   /// zero executor threads, zero or > kMaxEventLoops event loops, a bind
-  /// address inet_pton rejects, a zero connection cap, a negative drain
-  /// timeout, zero-capacity arena pooling, or backend == kSim without a
-  /// transport. Start() calls this before touching the network.
+  /// address inet_pton rejects, a zero connection cap, a negative drain /
+  /// idle / read-progress timeout, a per-connection pending-write cap above
+  /// the per-loop aggregate cap, zero-capacity arena pooling, or
+  /// backend == kSim without a transport. Start() calls this before touching
+  /// the network.
   util::Status Validate() const;
 };
 
@@ -190,6 +223,16 @@ class Server {
   struct BatchJob;
   struct Completion;
 
+  /// One armed connection deadline in a loop's timer wheel. Entries are
+  /// never removed eagerly: each carries the generation its connection had
+  /// when armed, and a popped entry whose generation no longer matches (the
+  /// connection rearmed, or died) is dropped — lazy invalidation keeps
+  /// arming O(log n) with no multimap searches.
+  struct TimerEntry {
+    uint64_t conn_id = 0;
+    uint64_t gen = 0;
+  };
+
   /// Everything one event loop owns. Only the loop's thread touches the
   /// connection table, arena, or backend (Wake() excepted — it is the one
   /// thread-safe backend call); the mutex-guarded queues are the only
@@ -210,6 +253,14 @@ class Server {
     std::unordered_map<int, uint64_t> by_handle;  // Backend handle → conn id.
     uint64_t next_conn_id = 1;
     WireArena arena;
+
+    // Timer wheel: connection deadlines ordered by expiry (config clock
+    // nanos). The loop's Wait() sleeps exactly until the earliest entry —
+    // there is no polling tick. Loop-thread-only.
+    std::multimap<int64_t, TimerEntry> timers;
+    // Sum of every connection's pending (unflushed) response bytes — the
+    // quantity max_loop_pending_write_bytes bounds.
+    size_t pending_out_total = 0;
 
     // Executors → loop: finished batches.
     util::Mutex done_mu;
@@ -234,6 +285,42 @@ class Server {
   void DispatchIfReady(Loop* loop, Connection* conn);
   void FlushWrites(Loop* loop, Connection* conn);
   void CloseConnection(Loop* loop, uint64_t id);
+
+  // --- connection lifecycle (timer wheel + write backpressure) ---
+
+  /// The lifecycle clock: config.clock, or the system clock when none was
+  /// injected. Every timeout in this file reads time through here.
+  int64_t Now() const;
+
+  /// The connection's next deadline on the lifecycle clock, derived from its
+  /// current state (mid-frame → read-progress window from frame start;
+  /// otherwise idle window from last activity; evicted → goodbye grace).
+  /// Returns -1 when no timeout applies.
+  int64_t NextDeadline(const Connection& conn, int64_t now) const;
+
+  void ArmTimer(Loop* loop, Connection* conn, int64_t deadline);
+
+  /// Arms (or tightens) the connection's wheel entry to its current
+  /// NextDeadline. A looser desired deadline is left alone: the armed entry
+  /// fires early, recomputes, and rearms — monotone and lazy.
+  void RescheduleTimer(Loop* loop, Connection* conn, int64_t now);
+
+  /// Pops and handles every expired wheel entry: stale entries are dropped,
+  /// still-early ones rearmed, true expiries closed with the right
+  /// NetActivity counter (idle_closed / read_timeout_closed).
+  void ProcessTimers(Loop* loop, int64_t now);
+
+  static size_t PendingBytes(const Connection& conn);
+  void UpdatePendingAccounting(Loop* loop, Connection* conn);
+
+  /// Enforces both pending-write caps; may Evict `conn` (per-connection
+  /// cap) and/or the loop's heaviest writers (aggregate cap).
+  void MaybeEvict(Loop* loop, Connection* conn);
+
+  /// Backpressure eviction: drop the undeliverable queue back to the arena,
+  /// stage one typed kUnavailable goodbye, count backpressure_closed, and
+  /// close as soon as the goodbye flushes (or the grace timer fires).
+  void Evict(Loop* loop, Connection* conn);
 
   service::QueryRouter* router_;
   ServerConfig config_;

@@ -670,7 +670,7 @@ util::Status DecodeStatus(const uint8_t* data, size_t n, util::Status* decoded) 
     }
   }
   QREG_RETURN_NOT_OK(r.status());
-  if (code > static_cast<uint32_t>(util::StatusCode::kCancelled)) {
+  if (code > static_cast<uint32_t>(util::StatusCode::kUnavailable)) {
     return ProtocolError(util::Format("unknown status code %u", code));
   }
   *decoded = util::Status(static_cast<util::StatusCode>(code), std::move(message));

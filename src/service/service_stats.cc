@@ -72,6 +72,9 @@ ServiceSnapshot ServiceStats::Snapshot() const {
   s.net_protocol_errors = net_.protocol_errors;
   s.net_bytes_in = net_.bytes_in;
   s.net_bytes_out = net_.bytes_out;
+  s.net_idle_closed = net_.idle_closed;
+  s.net_read_timeout_closed = net_.read_timeout_closed;
+  s.net_backpressure_closed = net_.backpressure_closed;
   s.net_loops = net_loops_;
   s.elapsed_seconds = clock_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
@@ -128,6 +131,14 @@ void ServiceSnapshot::PrintTo(std::ostream& os) const {
             util::Format("%lld", static_cast<long long>(net_bytes_in))});
   t.AddRow({"net bytes out",
             util::Format("%lld", static_cast<long long>(net_bytes_out))});
+  t.AddRow({"net idle closed",
+            util::Format("%lld", static_cast<long long>(net_idle_closed))});
+  t.AddRow({"net read-timeout closed",
+            util::Format("%lld",
+                         static_cast<long long>(net_read_timeout_closed))});
+  t.AddRow({"net backpressure closed",
+            util::Format("%lld",
+                         static_cast<long long>(net_backpressure_closed))});
   for (size_t i = 0; i < net_loops.size(); ++i) {
     const NetActivity& l = net_loops[i];
     t.AddRow({util::Format("net loop %zu (conns/frames/bytes out)", i),

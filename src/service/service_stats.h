@@ -26,11 +26,17 @@ struct NetActivity {
   int64_t protocol_errors = 0;
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
+  // Lifecycle expiries (all also counted in connections_closed): why the
+  // server, not the peer, ended a connection.
+  int64_t idle_closed = 0;          ///< Idle timeout (no traffic, no work).
+  int64_t read_timeout_closed = 0;  ///< Partial frame never completed in time.
+  int64_t backpressure_closed = 0;  ///< Pending-write cap exceeded (slow reader).
 
   bool empty() const {
     return connections_accepted == 0 && connections_closed == 0 &&
            frames_decoded == 0 && protocol_errors == 0 && bytes_in == 0 &&
-           bytes_out == 0;
+           bytes_out == 0 && idle_closed == 0 && read_timeout_closed == 0 &&
+           backpressure_closed == 0;
   }
 
   NetActivity& operator+=(const NetActivity& d) {
@@ -40,6 +46,9 @@ struct NetActivity {
     protocol_errors += d.protocol_errors;
     bytes_in += d.bytes_in;
     bytes_out += d.bytes_out;
+    idle_closed += d.idle_closed;
+    read_timeout_closed += d.read_timeout_closed;
+    backpressure_closed += d.backpressure_closed;
     return *this;
   }
 };
@@ -76,6 +85,9 @@ struct ServiceSnapshot {
   int64_t net_protocol_errors = 0;  ///< Malformed frames / payloads rejected.
   int64_t net_bytes_in = 0;
   int64_t net_bytes_out = 0;
+  int64_t net_idle_closed = 0;
+  int64_t net_read_timeout_closed = 0;
+  int64_t net_backpressure_closed = 0;
   std::vector<NetActivity> net_loops;  ///< Per-event-loop totals (may be empty).
 
   double elapsed_seconds = 0.0;  ///< Since construction or Reset().

@@ -356,6 +356,54 @@ TEST(NetFaultTest, GarbageStreamGetsTypedErrorFrameThenClose) {
   EXPECT_EQ(server.loop_arena(0).acquired(), server.loop_arena(0).released());
 }
 
+TEST(NetFaultTest, OversizedFramePoisonPersistsAcrossLaterValidFrames) {
+  SimTransport transport;
+  service::QueryRouter router(SharedCatalog(), RouterCfg(1));
+  Server server(&router, SimConfig(&transport));
+  ASSERT_TRUE(server.Start().ok());
+
+  SimConn* conn = transport.Connect();
+  ASSERT_NE(conn, nullptr);
+
+  // A frame whose header announces a payload over the 16 MiB ceiling — the
+  // decoder poisons from the header alone, before buffering a byte of it.
+  const std::vector<service::Request> requests = MixedWorkload(1, /*seed=*/67);
+  std::vector<uint8_t> oversized = RequestFrame(ToWire(requests[0]), 1);
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(oversized.data() + 16, &huge, sizeof(huge));  // payload_len.
+
+  // The poison must *persist*: a perfectly well-formed frame follows in the
+  // same burst, and the server must not decode it — one typed error frame,
+  // one protocol_errors tick, then close. A decoder that resynchronizes
+  // after garbage would answer the second frame and fail this test.
+  std::vector<uint8_t> burst = oversized;
+  const std::vector<uint8_t> valid = RequestFrame(ToWire(requests[0]), 2);
+  burst.insert(burst.end(), valid.begin(), valid.end());
+  conn->SendToServer(burst);
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  ASSERT_TRUE(CollectFrames(conn, &decoder, 1, &frames));
+  ASSERT_EQ(frames[0].header.type, FrameType::kError);
+  EXPECT_EQ(frames[0].header.request_id, 0u);
+  util::Status transported;
+  ASSERT_TRUE(DecodeStatus(frames[0].payload.data(), frames[0].payload.size(),
+                           &transported)
+                  .ok());
+  EXPECT_EQ(transported.code(), util::StatusCode::kOutOfRange);
+
+  ASSERT_TRUE(conn->WaitForServerClose());
+  EXPECT_TRUE(
+      WaitFor([&] { return router.Stats().net_protocol_errors == 1; }));
+  const service::ServiceSnapshot snap = router.Stats();
+  EXPECT_EQ(snap.net_protocol_errors, 1);  // Exactly one, not one per frame.
+  EXPECT_EQ(snap.net_frames_decoded, 0);   // The valid frame died unparsed.
+  EXPECT_EQ(snap.total_queries, 0);
+
+  server.Shutdown();
+  EXPECT_EQ(server.loop_arena(0).acquired(), server.loop_arena(0).released());
+}
+
 // Flattens a response frame sequence into comparable bytes, zeroing the one
 // legitimately nondeterministic field (exec.nanos, the wall-clock serving
 // latency encoded in every answer). Everything else — frame order, ids,

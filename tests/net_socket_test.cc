@@ -251,12 +251,44 @@ TEST(NetServerTest, ConfigValidateRejectsBadConfigsBeforeAnySocket) {
     EXPECT_EQ(server.Start().status().code(),
               util::StatusCode::kInvalidArgument);
   }
+  {
+    // Negative lifecycle timeouts are typos, not choices (0 = disabled).
+    ServerConfig cfg;
+    cfg.idle_timeout_millis = -1;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.read_progress_timeout_millis = -5;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    // A per-connection write cap above the per-loop aggregate could never
+    // fire — one connection would always trip the loop cap first. Reject
+    // the inverted pair outright.
+    ServerConfig cfg;
+    cfg.max_conn_pending_write_bytes = 1024;
+    cfg.max_loop_pending_write_bytes = 512;
+    EXPECT_EQ(cfg.Validate().code(), util::StatusCode::kInvalidArgument);
+    Server server(&router, cfg);
+    EXPECT_EQ(server.Start().status().code(),
+              util::StatusCode::kInvalidArgument);
+  }
   EXPECT_TRUE(ServerConfig().Validate().ok());
   {
     // drain_timeout_millis == 0 is legal: "force-close immediately" is a
     // choice, not a typo.
     ServerConfig cfg;
     cfg.drain_timeout_millis = 0;
+    EXPECT_TRUE(cfg.Validate().ok());
+  }
+  {
+    // Disabling one or both write caps is legal, as is conn-cap-only.
+    ServerConfig cfg;
+    cfg.idle_timeout_millis = 0;
+    cfg.read_progress_timeout_millis = 0;
+    cfg.max_conn_pending_write_bytes = 1024;
+    cfg.max_loop_pending_write_bytes = 0;
     EXPECT_TRUE(cfg.Validate().ok());
   }
 }
@@ -667,6 +699,107 @@ TEST(NetServerTest, MalformedStreamGetsTypedErrorFrameAndCleanClose) {
   server.Shutdown();
 }
 
+TEST(NetServerTest, OversizedFramePoisonPersistsOverSocket) {
+  service::RouterConfig cfg;
+  cfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), cfg);
+  Server server(&router, BaseConfig());
+  const auto ep = server.Start();
+  ASSERT_TRUE(ep.ok()) << ep.status();
+
+  // One burst: a frame whose header announces a payload over the 16 MiB
+  // ceiling, followed by a perfectly well-formed request. The poison must
+  // persist — exactly one typed kError frame (kOutOfRange, request_id 0),
+  // then EOF; the valid frame is never decoded, let alone answered.
+  std::vector<uint8_t> burst;
+  AppendFrame(&burst, FrameType::kRequest, 1,
+              EncodeRequest(WireRequest::Q1("r1", query::Query({0.4, 0.6},
+                                                               0.12))));
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(burst.data() + 16, &huge, sizeof(huge));  // payload_len field.
+  AppendFrame(&burst, FrameType::kRequest, 2,
+              EncodeRequest(WireRequest::Q1("r1", query::Query({0.4, 0.6},
+                                                               0.12))));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep->port);
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+
+  FrameDecoder decoder;
+  Frame frame;
+  int error_frames = 0;
+  bool got_eof = false;
+  uint8_t buf[4096];
+  for (int i = 0; i < 2000 && !got_eof; ++i) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      decoder.Feed(buf, static_cast<size_t>(n));
+      while (decoder.Next(&frame) == FrameDecoder::Event::kFrame) {
+        ASSERT_EQ(frame.header.type, FrameType::kError);
+        EXPECT_EQ(frame.header.request_id, 0u);
+        util::Status transported;
+        ASSERT_TRUE(DecodeStatus(frame.payload.data(), frame.payload.size(),
+                                 &transported)
+                        .ok());
+        EXPECT_EQ(transported.code(), util::StatusCode::kOutOfRange);
+        ++error_frames;
+      }
+    } else if (n == 0) {
+      got_eof = true;
+    } else {
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(error_frames, 1);
+  EXPECT_TRUE(got_eof);
+  EXPECT_TRUE(WaitFor([&] { return router.Stats().net_protocol_errors == 1; }));
+  EXPECT_EQ(router.Stats().net_frames_decoded, 0);
+  EXPECT_EQ(router.Stats().total_queries, 0);
+
+  server.Shutdown();
+}
+
+TEST(NetClientTest, RecvTimeoutReturnsTypedDeadlineExceededOnStalledServer) {
+  // A listener that never accepts: the TCP handshake still completes via
+  // the backlog, so the client connects and sends — and before the
+  // poll-with-timeout receive path, ReadResponse would park in read()
+  // forever. Now the silence comes back as a typed kDeadlineExceeded.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  Client client;
+  client.set_recv_timeout_millis(50);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+
+  const auto result =
+      client.Execute(WireRequest::Q1("r1", query::Query({0.4, 0.6}, 0.12)));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+  // The timed-out stream is desynced (the answer could still arrive later),
+  // so the client closes it — and the failure is deliberately *not*
+  // retryable: re-issuing a request whose wait expired would silently grant
+  // it a fresh window.
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(util::IsRetryable(result.status().code()));
+  ::close(lfd);
+}
+
 TEST(NetServerTest, UnknownDatasetComesBackAsTypedNotFound) {
   service::RouterConfig cfg;
   cfg.num_threads = 1;
@@ -757,15 +890,17 @@ TEST(ClientPoolTest, ScatterBackIsPositionalAcrossStripes) {
   pool.Close();
 }
 
-TEST(ClientPoolTest, FailingStripeYieldsTypedSlotErrorsWithoutPoisoningSiblings) {
+TEST(ClientPoolTest, DeadStripeIsRedialedLazilyAndNeverPoisonsSiblings) {
   PoolFixture fx;
   ClientPool pool;
   ASSERT_TRUE(pool.Connect(fx.ep.address, fx.ep.port, 3).ok());
 
-  // Kill connection 1 out from under the pool: its stripe (slots 1, 4, 7, …)
-  // must come back as typed per-slot errors while stripes 0 and 2 answer
-  // normally — one bad connection never poisons its siblings' results.
+  // Kill connection 1 out from under the pool. The server is still up, so
+  // the next batch must lazily redial that stripe and answer every slot —
+  // one dead connection never poisons its siblings' results, and with a
+  // reachable server it costs nothing but the reconnect.
   pool.client(1)->Close();
+  ASSERT_FALSE(pool.client(1)->connected());
 
   const std::vector<service::Request> requests = MixedWorkload(12, /*seed=*/13);
   std::vector<WireRequest> batch;
@@ -773,19 +908,218 @@ TEST(ClientPoolTest, FailingStripeYieldsTypedSlotErrorsWithoutPoisoningSiblings)
   const auto results = pool.ExecuteBatch(batch);
   ASSERT_EQ(results.size(), batch.size());
   for (size_t i = 0; i < results.size(); ++i) {
-    if (i % 3 == 1) {
-      ASSERT_FALSE(results[i].ok()) << "slot " << i;
-      EXPECT_EQ(results[i].status().code(),
-                util::StatusCode::kFailedPrecondition)
-          << "slot " << i << ": " << results[i].status();
-    } else {
-      const auto want = fx.ref.Execute(requests[i]);
-      ASSERT_EQ(results[i].ok(), want.ok()) << "slot " << i;
-      if (want.ok()) {
-        EXPECT_TRUE(BitEq(results[i]->mean, want->mean)) << "slot " << i;
-      }
+    const auto want = fx.ref.Execute(requests[i]);
+    ASSERT_EQ(results[i].ok(), want.ok())
+        << "slot " << i << ": " << results[i].status();
+    if (want.ok()) {
+      EXPECT_TRUE(BitEq(results[i]->mean, want->mean)) << "slot " << i;
     }
   }
+  EXPECT_TRUE(pool.client(1)->connected());  // The redial actually happened.
+  pool.Close();
+}
+
+TEST(RetryPolicyTest, BackoffScheduleIsDeterministicSeededJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.base_backoff_nanos = 1000000;    // 1 ms
+  policy.max_backoff_nanos = 8000000;     // 8 ms cap
+  policy.jitter_seed = 42;
+
+  // Same seed → the exact same schedule, call after call: the determinism
+  // the chaos/retry tests (and any bug report with a seed in it) lean on.
+  RetryPolicy same = policy;
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_EQ(policy.BackoffNanos(k), same.BackoffNanos(k)) << "retry " << k;
+  }
+
+  // Every value sits in [nominal/2, nominal] where nominal doubles per
+  // retry until the cap: jittered, never wilder than exponential.
+  for (int k = 1; k <= 10; ++k) {
+    int64_t nominal = policy.base_backoff_nanos;
+    for (int i = 1; i < k && nominal < policy.max_backoff_nanos; ++i) {
+      nominal *= 2;
+    }
+    nominal = std::min(nominal, policy.max_backoff_nanos);
+    const int64_t got = policy.BackoffNanos(k);
+    EXPECT_GE(got, nominal - nominal / 2) << "retry " << k;
+    EXPECT_LE(got, nominal) << "retry " << k;
+  }
+  EXPECT_LE(policy.BackoffNanos(63), policy.max_backoff_nanos);
+
+  // A different seed actually moves the jitter somewhere in the schedule.
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  bool differs = false;
+  for (int k = 1; k <= 10 && !differs; ++k) {
+    differs = other.BackoffNanos(k) != policy.BackoffNanos(k);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ClientPoolTest, RetryRecoversBatchAfterResetFirstAttempt) {
+  // Port handoff: a throwaway listener owns an ephemeral port first; the
+  // pool's connection lands in its backlog. The listener RSTs that
+  // connection (SO_LINGER{1,0} close) and vacates the port, a real server
+  // takes it over, and the retrying pool must finish the scripted
+  // reset-first-attempt scenario at 100% success.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  ClientPool pool;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_nanos = 1000000;  // Keep the test fast.
+  policy.jitter_seed = 7;
+  pool.set_retry_policy(policy);
+  ASSERT_TRUE(pool.Connect("127.0.0.1", port, 1).ok());
+
+  // RST the pooled connection and vacate the port.
+  const int accepted = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(accepted, 0);
+  struct linger hard_reset = {1, 0};
+  ::setsockopt(accepted, SOL_SOCKET, SO_LINGER, &hard_reset,
+               sizeof(hard_reset));
+  ::close(accepted);  // RST, not FIN: the first attempt dies as kIoError.
+  ::close(lfd);
+
+  // The real server inherits the exact endpoint the pool remembers.
+  service::RouterConfig rcfg;
+  rcfg.policy = service::RoutePolicy::kHybrid;
+  rcfg.enable_cache = false;
+  rcfg.num_threads = 2;
+  service::QueryRouter router(SharedCatalog(), rcfg);
+  service::RouterConfig refcfg = rcfg;
+  refcfg.num_threads = 0;
+  service::QueryRouter ref(SharedCatalog(), refcfg);
+  ServerConfig scfg = BaseConfig();
+  scfg.port = port;
+  Server server(&router, scfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<service::Request> requests = MixedWorkload(8, /*seed=*/17);
+  std::vector<WireRequest> batch;
+  for (const service::Request& r : requests) batch.push_back(ToWire(r));
+  const auto results = pool.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto want = ref.Execute(requests[i]);
+    ASSERT_TRUE(results[i].ok())
+        << "slot " << i << ": " << results[i].status();
+    ASSERT_TRUE(want.ok());
+    EXPECT_TRUE(BitEq(results[i]->mean, want->mean)) << "slot " << i;
+  }
+  pool.Close();
+  server.Shutdown();
+}
+
+TEST(ClientPoolTest, DeadlineCarryingRequestsAreNeverRetried) {
+  // Same reset-first-attempt handoff, but one request carries a client
+  // deadline budget. Retrying it would silently grant the query a fresh
+  // budget, so the pool must leave it failed even though a retry against
+  // the healthy server would trivially succeed — that success on the
+  // budget-free sibling slot is the proof the retry machinery ran.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  ClientPool pool;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_nanos = 1000000;
+  pool.set_retry_policy(policy);
+  ASSERT_TRUE(pool.Connect("127.0.0.1", port, 1).ok());
+
+  const int accepted = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(accepted, 0);
+  struct linger hard_reset = {1, 0};
+  ::setsockopt(accepted, SOL_SOCKET, SO_LINGER, &hard_reset,
+               sizeof(hard_reset));
+  ::close(accepted);
+  ::close(lfd);
+
+  service::RouterConfig rcfg;
+  rcfg.num_threads = 1;
+  service::QueryRouter router(SharedCatalog(), rcfg);
+  ServerConfig scfg = BaseConfig();
+  scfg.port = port;
+  Server server(&router, scfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireRequest plain = WireRequest::Q1("r1", query::Query({0.4, 0.6}, 0.12));
+  WireRequest budgeted = plain;
+  budgeted.deadline_budget_nanos = 30ll * 1000000000;  // Generous: 30s.
+  const auto results = pool.ExecuteBatch({plain, budgeted});
+  ASSERT_EQ(results.size(), 2u);
+
+  // The budget-free request rode the retry to success...
+  ASSERT_TRUE(results[0].ok()) << results[0].status();
+  // ...the deadline-carrying one was provably never re-issued: the only
+  // attempt it ever got was the reset one, and that failure stands.
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), util::StatusCode::kIoError);
+
+  pool.Close();
+  server.Shutdown();
+}
+
+TEST(ClientPoolTest, RoutesAroundPermanentlyDeadStripe) {
+  PoolFixture fx;
+  ClientPool pool;
+  ASSERT_TRUE(pool.Connect(fx.ep.address, fx.ep.port, 2).ok());
+
+  // Find a port that is genuinely dead (bind, look, close — nothing listens
+  // there afterwards), and point stripe 1's endpoint at it. Every redial of
+  // that stripe now fails with ECONNREFUSED.
+  uint16_t dead_port = 0;
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    dead_port = ntohs(addr.sin_port);
+    ::close(fd);
+  }
+  pool.client(1)->Close();
+  EXPECT_FALSE(pool.client(1)->Connect("127.0.0.1", dead_port).ok());
+
+  // The batch routes entirely around the dead stripe: every slot answers
+  // bit-for-bit over stripe 0 alone, and the dead stripe stays dead.
+  const std::vector<service::Request> requests = MixedWorkload(10, /*seed=*/23);
+  std::vector<WireRequest> batch;
+  for (const service::Request& r : requests) batch.push_back(ToWire(r));
+  const auto results = pool.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto want = fx.ref.Execute(requests[i]);
+    ASSERT_TRUE(results[i].ok())
+        << "slot " << i << ": " << results[i].status();
+    ASSERT_TRUE(want.ok());
+    EXPECT_TRUE(BitEq(results[i]->mean, want->mean)) << "slot " << i;
+  }
+  EXPECT_FALSE(pool.client(1)->connected());
   pool.Close();
 }
 

@@ -756,6 +756,12 @@ TEST(OverloadSheddingTest, SaturatedBatchShedsToCacheOrRejects) {
   EXPECT_EQ(results[0]->mean, router.Execute(warm)->mean);
   ASSERT_FALSE(results[1].ok());
   EXPECT_EQ(results[1].status().code(), util::StatusCode::kResourceExhausted);
+  // The shed status is the contract the wire client's retry layer keys on:
+  // overload is transient, so a backoff-and-retry is the right response —
+  // unlike a bad query or an expired deadline, which must never be retried.
+  EXPECT_TRUE(util::IsRetryable(results[1].status().code()));
+  EXPECT_FALSE(util::IsRetryable(util::StatusCode::kInvalidArgument));
+  EXPECT_FALSE(util::IsRetryable(util::StatusCode::kDeadlineExceeded));
 
   ServiceSnapshot stats = router.Stats();
   EXPECT_EQ(stats.shed, 2);

@@ -15,6 +15,11 @@ so prose mentions don't trip the net):
   4. util::Status and util::Result must stay class-level [[nodiscard]]
      (checked structurally in src/util/status.h), so a dropped error is a
      compile warning everywhere, under every compiler.
+  5. No wall-clock reads — `time(`, `std::chrono::system_clock::now()` —
+     outside src/util/clock.h. Every lifecycle deadline must flow through
+     the injectable util::Clock seam, or the virtual-time chaos tests can't
+     reach it. (steady_clock stays allowed: it is the seam's own engine and
+     never observes the wall.)
 
 Exit 0 when clean; exit 1 with file:line diagnostics otherwise.
 """
@@ -66,6 +71,11 @@ RAW_SYNC_RE = re.compile(
 # Lookbehind keeps `epoll_wait(` and `ThreadPool(` from matching bare poll(.
 POLL_RE = re.compile(r"(?<![\w])poll\s*\(")
 EPOLL_RE = re.compile(r"\bepoll_\w+")
+# Wall-clock reads: time()/std::time() (the lookbehind spares localtime(,
+# strftime(, member .time( calls) and system_clock::now.
+WALLCLOCK_RE = re.compile(
+    r"(?:(?<![\w.>])time\s*\(|std::chrono::system_clock::now)"
+)
 
 
 def is_backend_file(path):
@@ -96,6 +106,11 @@ def check_file(path, violations):
             violations.append(
                 f"{rel}:{lineno}: poll/epoll call outside src/net/backend* "
                 f"(go through EventBackend)"
+            )
+        if path != SRC / "util" / "clock.h" and WALLCLOCK_RE.search(line):
+            violations.append(
+                f"{rel}:{lineno}: wall-clock read outside src/util/clock.h "
+                f"(inject a util::Clock so virtual-time tests can drive it)"
             )
 
 
